@@ -1,0 +1,105 @@
+// Command figures regenerates the data behind every table and figure of
+// the paper's evaluation. For each experiment it writes a gnuplot-style
+// .dat file and a metrics file into the output directory and prints an
+// ASCII rendering of the curves.
+//
+// Usage:
+//
+//	figures [-out out] [-runs 10] [-quick] [fig4 fig9a ...]
+//
+// With no figure IDs, every experiment is regenerated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	out := fs.String("out", "out", "output directory for .dat and metrics files")
+	runs := fs.Int("runs", 10, "simulation replicas to average")
+	quick := fs.Bool("quick", false, "reduced populations and horizons")
+	ascii := fs.Bool("ascii", true, "print ASCII renderings")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		ids = experiment.IDs()
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return fmt.Errorf("create %s: %w", *out, err)
+	}
+	opt := experiment.Options{Runs: *runs, Quick: *quick}
+	for _, id := range ids {
+		res, err := experiment.Run(id, opt)
+		if err != nil {
+			return err
+		}
+		if err := writeResult(*out, res); err != nil {
+			return err
+		}
+		fmt.Printf("== %s ==\n%s\n", res.ID, res.Paper)
+		if *ascii {
+			s, err := res.Figure.RenderASCII(76, 18)
+			if err != nil {
+				return fmt.Errorf("%s: render: %w", id, err)
+			}
+			fmt.Println(s)
+		}
+		printMetrics(res.Metrics)
+		fmt.Println()
+	}
+	return nil
+}
+
+func writeResult(dir string, res *experiment.Result) error {
+	dat, err := os.Create(filepath.Join(dir, res.ID+".dat"))
+	if err != nil {
+		return fmt.Errorf("%s: %w", res.ID, err)
+	}
+	defer dat.Close()
+	if err := res.Figure.WriteDat(dat); err != nil {
+		return fmt.Errorf("%s: %w", res.ID, err)
+	}
+	met, err := os.Create(filepath.Join(dir, res.ID+".metrics"))
+	if err != nil {
+		return fmt.Errorf("%s: %w", res.ID, err)
+	}
+	defer met.Close()
+	keys := make([]string, 0, len(res.Metrics))
+	for k := range res.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(met, "%s\t%g\n", k, res.Metrics[k]); err != nil {
+			return fmt.Errorf("%s: %w", res.ID, err)
+		}
+	}
+	return nil
+}
+
+func printMetrics(m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-40s %.4g\n", k, m[k])
+	}
+}

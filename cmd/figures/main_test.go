@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesFigureFiles(t *testing.T) {
+	dir := t.TempDir()
+	// Analytic figures only: fast and deterministic.
+	err := run([]string{"-out", dir, "-quick", "-ascii=false", "fig1a", "fig10"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"fig1a.dat", "fig1a.metrics", "fig10.dat", "fig10.metrics"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing output %s: %v", want, err)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig1a.metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty metrics file")
+	}
+}
+
+func TestRunASCII(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-quick", "fig2"}); err != nil {
+		t.Fatalf("run with ascii: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "figZZ"}); err == nil {
+		t.Error("unknown figure should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+	// A path through an existing regular file cannot be MkdirAll'd even
+	// as root (ENOTDIR).
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-out", filepath.Join(blocker, "sub"), "fig1a"}); err == nil {
+		t.Error("uncreatable output dir should fail")
+	}
+}

@@ -1,0 +1,131 @@
+// Command traceanalyze reads a trace (as written by tracegen) and
+// reproduces the paper's Section 7 analysis: per-class contact-rate
+// CDFs under the three refinements, host classification, worm
+// detection, and recommended rate limits.
+//
+// Usage:
+//
+//	traceanalyze -window 5s campus.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("traceanalyze", flag.ContinueOnError)
+	window := fs.Duration("window", 5*time.Second, "contact-count window")
+	quantile := fs.Float64("q", 0.999, "quantile for recommended limits")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: traceanalyze [-window 5s] <trace file or - for stdin>")
+	}
+	in := os.Stdin
+	if name := fs.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := trace.Read(in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("records: %d, duration: %v\n",
+		len(tr.Records), time.Duration(tr.Duration())*time.Millisecond)
+
+	// Classify hosts and group them.
+	reports := trace.Classify(tr)
+	byClass := make(map[trace.Class][]int)
+	worms := make(map[trace.WormKind]int)
+	peak := make(map[trace.WormKind]int)
+	for _, r := range reports {
+		byClass[r.Class] = append(byClass[r.Class], r.Host)
+		if r.Worm != trace.WormNone {
+			worms[r.Worm]++
+			if r.PeakScanPerMinute > peak[r.Worm] {
+				peak[r.Worm] = r.PeakScanPerMinute
+			}
+		}
+	}
+	classes := []trace.Class{trace.ClassNormal, trace.ClassServer, trace.ClassP2P, trace.ClassInfected}
+	fmt.Println("\nhost classification:")
+	for _, c := range classes {
+		fmt.Printf("  %-9s %4d hosts\n", c, len(byClass[c]))
+	}
+	fmt.Println("\nworm detection:")
+	for _, w := range []trace.WormKind{trace.WormBlaster, trace.WormWelchia} {
+		fmt.Printf("  %-9s %4d hosts, peak %d distinct contacts/minute\n", w, worms[w], peak[w])
+	}
+
+	win := window.Milliseconds()
+	fmt.Printf("\naggregate contact limits (%.1f%% of %v windows unaffected):\n",
+		*quantile*100, *window)
+	for _, c := range classes {
+		hosts := byClass[c]
+		if len(hosts) == 0 {
+			continue
+		}
+		sort.Ints(hosts)
+		stats, err := trace.AnalyzeAggregate(tr, hosts, win)
+		if err != nil {
+			return err
+		}
+		all, noPrior, nonDNS := stats.RecommendedLimits(*quantile)
+		fmt.Printf("  %-9s all=%-5d no-prior=%-5d non-DNS=%d\n", c, all, noPrior, nonDNS)
+	}
+
+	if hosts := byClass[trace.ClassNormal]; len(hosts) > 0 {
+		ph, err := trace.AnalyzePerHost(tr, hosts, win)
+		if err != nil {
+			return err
+		}
+		all, noPrior, nonDNS := ph.RecommendedLimits(*quantile)
+		fmt.Printf("\nper-host limits (normal clients): all=%d no-prior=%d non-DNS=%d\n",
+			all, noPrior, nonDNS)
+	}
+
+	// What would the derived normal-client limit actually do?
+	normal := byClass[trace.ClassNormal]
+	infected := byClass[trace.ClassInfected]
+	if len(normal) > 0 {
+		stats, err := trace.AnalyzeAggregate(tr, normal, win)
+		if err != nil {
+			return err
+		}
+		limit := stats.All.Quantile(*quantile)
+		fmt.Printf("\nimpact of an aggregate limit of %d distinct IPs per %v:\n", limit, *window)
+		imN, err := trace.EvaluateLimit(tr, normal, win, limit, trace.RefAll)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  normal clients: %.3f%% of windows affected, %.2f%% of contacts delayed\n",
+			imN.AffectedWindowFraction()*100, imN.BlockedContactFraction()*100)
+		if len(infected) > 0 {
+			imW, err := trace.EvaluateLimit(tr, infected, win, limit, trace.RefAll)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  infected hosts: %.1f%% of windows affected, %.1f%% of scans suppressed\n",
+				imW.AffectedWindowFraction()*100, imW.BlockedContactFraction()*100)
+		}
+	}
+	return nil
+}

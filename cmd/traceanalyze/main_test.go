@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	cfg := trace.GenConfig{
+		Duration: 3 * trace.Minute, Seed: 5,
+		NormalClients: 15, Servers: 1, P2PClients: 2, Infected: 3,
+		BlasterFraction: 0.5,
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := tr.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAnalyzesTrace(t *testing.T) {
+	path := writeTestTrace(t)
+	if err := run([]string{"-window", "5s", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing file arg should fail")
+	}
+	if err := run([]string{"/nonexistent.trace"}); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := run([]string{"-bogus", "x"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+	// Malformed trace content.
+	bad := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(bad, []byte("not\ta\ttrace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Error("malformed trace should fail")
+	}
+}

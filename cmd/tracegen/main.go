@@ -1,0 +1,70 @@
+// Command tracegen synthesizes a campus edge-router trace in the shape
+// of the paper's Section 7 data set and writes it as tab-separated
+// records (see internal/trace.Record) to stdout or a file.
+//
+// Usage:
+//
+//	tracegen -duration 2h -seed 42 -o campus.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	duration := fs.Duration("duration", 2*time.Hour, "trace duration")
+	seed := fs.Int64("seed", 42, "random seed")
+	normal := fs.Int("normal", trace.PaperNormalClients, "normal desktop clients")
+	servers := fs.Int("servers", trace.PaperServers, "servers")
+	p2p := fs.Int("p2p", trace.PaperP2PClients, "peer-to-peer clients")
+	infected := fs.Int("infected", trace.PaperInfected, "worm-infected hosts")
+	blasterFrac := fs.Float64("blaster", 0.6, "fraction of infected hosts running Blaster (rest Welchia)")
+	onset := fs.Duration("onset", 0, "delay before worms start scanning")
+	out := fs.String("o", "-", "output file (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := trace.GenConfig{
+		Duration:        duration.Milliseconds(),
+		Seed:            *seed,
+		NormalClients:   *normal,
+		Servers:         *servers,
+		P2PClients:      *p2p,
+		Infected:        *infected,
+		BlasterFraction: *blasterFrac,
+		WormOnset:       onset.Milliseconds(),
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := tr.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d records over %v (%d hosts)\n",
+		len(tr.Records), duration, cfg.NumHosts())
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunWritesParsableTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "test.trace")
+	err := run([]string{
+		"-duration", "2m", "-normal", "10", "-servers", "1", "-p2p", "1",
+		"-infected", "2", "-o", out,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(tr.Records) == 0 {
+		t.Error("empty trace written")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-duration", "0s"}); err == nil {
+		t.Error("zero duration should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+	if err := run([]string{"-duration", "1m", "-o", "/nonexistent-dir/x.trace"}); err == nil {
+		t.Error("unwritable output should fail")
+	}
+}

@@ -1,0 +1,107 @@
+// Command wormmodel evaluates one of the paper's analytical models and
+// prints (time, infected fraction) pairs.
+//
+// Usage:
+//
+//	wormmodel -model hostrl -q 0.3 -beta1 0.8 -beta2 0.01 -n 1000 -t1 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/model"
+	"repro/internal/numeric"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wormmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wormmodel", flag.ContinueOnError)
+	kind := fs.String("model", "homogeneous",
+		"model: homogeneous | hostrl | hubrl | edgerl | backbone | immunization | backbone-immunization")
+	n := fs.Float64("n", 1000, "population size")
+	i0 := fs.Float64("i0", 1, "initially infected")
+	beta := fs.Float64("beta", 0.8, "contact rate β (β1 for hostrl)")
+	beta2 := fs.Float64("beta2", 0.01, "filtered rate β2 (hostrl) / cross-subnet rate (edgerl)")
+	q := fs.Float64("q", 0.3, "deployment fraction (hostrl)")
+	gamma := fs.Float64("gamma", 0.1, "per-link rate γ (hubrl)")
+	hubBeta := fs.Float64("hubbeta", 2, "hub node budget β (hubrl)")
+	alpha := fs.Float64("alpha", 0.9, "fraction of paths covered (backbone)")
+	r := fs.Float64("r", 10, "residual allowed rate (backbone)")
+	mu := fs.Float64("mu", 0.1, "patch probability (immunization)")
+	delay := fs.Float64("delay", 6, "immunization start time")
+	subnetSize := fs.Float64("subnetsize", 50, "hosts per subnet (edgerl)")
+	numSubnets := fs.Float64("subnets", 20, "number of subnets (edgerl)")
+	t1 := fs.Float64("t1", 100, "horizon")
+	points := fs.Int("points", 200, "samples")
+	exact := fs.Bool("exact", false, "integrate the exact ODE instead of the closed form")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		curve model.Curve
+		ode   interface {
+			model.ODE
+			N0() float64
+		}
+		v model.Validator
+	)
+	switch *kind {
+	case "homogeneous":
+		m := model.Homogeneous{Beta: *beta, N: *n, I0: *i0}
+		curve, ode, v = m, m, m
+	case "hostrl":
+		m := model.HostRL{Q: *q, Beta1: *beta, Beta2: *beta2, N: *n, I0: *i0}
+		curve, ode, v = m, m, m
+	case "hubrl":
+		m := model.HubRL{Beta: *hubBeta, Gamma: *gamma, N: *n, I0: *i0}
+		curve, ode, v = m, m, m
+	case "edgerl":
+		m := model.EdgeRL{Beta1: *beta, Beta2: *beta2, SubnetSize: *subnetSize, NumSubnets: *numSubnets}
+		curve, ode, v = m, m, m
+	case "backbone":
+		m := model.BackboneRL{Beta: *beta, Alpha: *alpha, R: *r, N: *n, I0: *i0}
+		curve, ode, v = m, m, m
+	case "immunization":
+		m := model.DelayedImmunization{Beta: *beta, Mu: *mu, Delay: *delay, N: *n, I0: *i0}
+		curve, ode, v = m, m, m
+	case "backbone-immunization":
+		m := model.BackboneRLImmunization{
+			Beta: *beta, Alpha: *alpha, R: *r, Mu: *mu, Delay: *delay, N: *n, I0: *i0,
+		}
+		curve, ode, v = m, m, m
+	default:
+		return fmt.Errorf("unknown model %q", *kind)
+	}
+	if err := v.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Println("# time\tinfected_fraction")
+	if *exact {
+		ts, frac, err := model.Integrate(ode, *t1, *t1/float64(*points)/10)
+		if err != nil {
+			return err
+		}
+		step := len(ts) / *points
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(ts); i += step {
+			fmt.Printf("%.4f\t%.6f\n", ts[i], frac[i])
+		}
+		return nil
+	}
+	for _, t := range numeric.Linspace(0, *t1, *points) {
+		fmt.Printf("%.4f\t%.6f\n", t, curve.Fraction(t))
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestRunAllModels(t *testing.T) {
+	kinds := []string{
+		"homogeneous", "hostrl", "hubrl", "edgerl", "backbone",
+		"immunization", "backbone-immunization",
+	}
+	for _, k := range kinds {
+		t.Run(k, func(t *testing.T) {
+			if err := run([]string{"-model", k, "-t1", "20", "-points", "10"}); err != nil {
+				t.Errorf("run(%s): %v", k, err)
+			}
+		})
+	}
+}
+
+func TestRunExactODE(t *testing.T) {
+	if err := run([]string{"-model", "immunization", "-exact", "-t1", "20", "-points", "10"}); err != nil {
+		t.Errorf("exact mode: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unknown model", []string{"-model", "nonsense"}},
+		{"invalid params", []string{"-model", "hostrl", "-q", "2"}},
+		{"bad flag", []string{"-bogus"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import "testing"
+
+func TestRunScenarios(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"star hub", []string{
+			"-topology", "star", "-n", "60", "-defense", "hub", "-hubcap", "2",
+			"-ticks", "30", "-runs", "2",
+		}},
+		{"powerlaw backbone", []string{
+			"-topology", "powerlaw", "-n", "120", "-defense", "backbone",
+			"-rate", "0.4", "-scans", "5", "-ticks", "30", "-runs", "2",
+		}},
+		{"enterprise localpref host RL", []string{
+			"-topology", "enterprise", "-n", "100", "-worm", "localpref",
+			"-defense", "host", "-fraction", "0.3", "-rate", "0.01",
+			"-ticks", "30", "-runs", "2",
+		}},
+		{"sequential with immunization", []string{
+			"-topology", "powerlaw", "-n", "100", "-worm", "sequential",
+			"-immunize-at", "0.2", "-mu", "0.1", "-ticks", "40", "-runs", "2",
+		}},
+		{"edge defense", []string{
+			"-topology", "powerlaw", "-n", "120", "-defense", "edge",
+			"-rate", "0.2", "-ticks", "30", "-runs", "2",
+		}},
+		{"probe-first welchia", []string{
+			"-topology", "powerlaw", "-n", "100", "-probe",
+			"-ticks", "40", "-runs", "2",
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err != nil {
+				t.Errorf("run: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unknown topology", []string{"-topology", "torus"}},
+		{"unknown worm", []string{"-worm", "sasser"}},
+		{"unknown defense", []string{"-defense", "prayer"}},
+		{"bad flag", []string{"-bogus"}},
+		{"hub on powerlaw", []string{"-topology", "powerlaw", "-n", "60", "-defense", "hub", "-ticks", "10", "-runs", "1"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,22 @@
+// Package repro is a from-scratch Go reproduction of "Dynamic
+// Quarantine of Internet Worms" (Wong, Wang, Song, Bielski, Ganger —
+// DSN 2004 / CMU-PDL-03-108): the paper's analytical epidemic models,
+// a packet-level worm-propagation simulator with rate-limited links,
+// the campus-trace case study (synthetic substitute for the CMU ECE
+// traces), and a harness that regenerates every figure of the paper's
+// evaluation.
+//
+// Entry points:
+//
+//   - internal/core      — the Scenario facade (topology × worm × defense)
+//   - internal/model     — the paper's closed-form/ODE models (§3-6)
+//   - internal/sim       — the discrete-event simulator (§5.4)
+//   - internal/trace     — the trace generator + analyzer (§7)
+//   - internal/experiment — per-figure regeneration (Figures 1-10)
+//   - cmd/figures, cmd/wormsim, cmd/wormmodel, cmd/tracegen,
+//     cmd/traceanalyze — command-line tools
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured numbers. The benchmarks in
+// bench_test.go regenerate each figure (go test -bench=Fig -benchtime 1x).
+package repro

@@ -1,0 +1,114 @@
+// Detection: Williamson's virus throttle doubles as a worm detector —
+// legitimate traffic has enough destination locality that the throttle's
+// delay queue stays empty, while a scanning worm's queue grows without
+// bound. This example replays synthetic per-host traffic through real
+// throttles (working set 5, one release per second, the HPL-2002-172
+// defaults) and compares the queue-growth signal across host classes.
+//
+// Run with: go run ./examples/detection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ratelimit"
+	"repro/internal/trace"
+)
+
+func main() {
+	cfg := trace.GenConfig{
+		Duration:        20 * trace.Minute,
+		Seed:            17,
+		NormalClients:   40,
+		Servers:         2,
+		P2PClients:      6,
+		Infected:        8,
+		BlasterFraction: 0.5,
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One throttle per internal host; feed every outbound contact
+	// through it and advance the drain clock each second.
+	type hostState struct {
+		throttle *ratelimit.WilliamsonThrottle
+		peakQ    int
+		blocked  int
+		contacts int
+	}
+	hosts := make(map[int]*hostState)
+	get := func(h int) *hostState {
+		st, ok := hosts[h]
+		if !ok {
+			th, err := ratelimit.NewWilliamsonThrottle(5, trace.Second)
+			if err != nil {
+				log.Fatal(err)
+			}
+			st = &hostState{throttle: th}
+			hosts[h] = st
+		}
+		return st
+	}
+	lastDrain := int64(0)
+	for i := range tr.Records {
+		r := &tr.Records[i]
+		// Advance every throttle's drain clock once per elapsed second.
+		for ; lastDrain <= r.Time; lastDrain += trace.Second {
+			for _, st := range hosts {
+				st.throttle.Tick(lastDrain)
+				if q := st.throttle.QueueLen(); q > st.peakQ {
+					st.peakQ = q
+				}
+			}
+		}
+		if !r.Outbound() {
+			continue
+		}
+		st := get(trace.HostIndex(r.Src))
+		st.contacts++
+		if !st.throttle.Allow(r.Time, r.Dst) {
+			st.blocked++
+		}
+		if q := st.throttle.QueueLen(); q > st.peakQ {
+			st.peakQ = q
+		}
+	}
+
+	// Aggregate the detection signal by true class.
+	type classAgg struct {
+		hosts, flagged int
+		maxPeak        int
+	}
+	const detectionThreshold = 100 // queued contacts = Williamson's alarm
+	agg := map[trace.Class]*classAgg{}
+	for h, st := range hosts {
+		cl := cfg.HostClass(h)
+		a, ok := agg[cl]
+		if !ok {
+			a = &classAgg{}
+			agg[cl] = a
+		}
+		a.hosts++
+		if st.peakQ > a.maxPeak {
+			a.maxPeak = st.peakQ
+		}
+		if st.peakQ >= detectionThreshold {
+			a.flagged++
+		}
+	}
+
+	fmt.Println("Williamson throttle as a worm detector (working set 5, 1 release/s)")
+	fmt.Printf("%-10s %7s %14s %16s\n", "class", "hosts", "peak queue", "flagged (>100)")
+	for _, cl := range []trace.Class{trace.ClassNormal, trace.ClassServer, trace.ClassP2P, trace.ClassInfected} {
+		a := agg[cl]
+		if a == nil {
+			continue
+		}
+		fmt.Printf("%-10s %7d %14d %11d/%d\n", cl, a.hosts, a.maxPeak, a.flagged, a.hosts)
+	}
+	fmt.Println("\nworm queues explode; normal clients barely queue — the throttle both")
+	fmt.Println("limits the contact rate AND raises the alarm the paper's defenses need.")
+}

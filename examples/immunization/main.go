@@ -1,0 +1,89 @@
+// Immunization: Section 6's question — how much does patching speed
+// matter, and how much time does rate limiting buy the patchers?
+// Sweeps the immunization start level with and without backbone rate
+// limiting on the 1000-node power-law topology and reports the total
+// ever-infected population, alongside the analytical predictions.
+//
+// Run with: go run ./examples/immunization
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/worm"
+)
+
+func main() {
+	g, err := topology.BarabasiAlbert(1000, 1, rand.New(rand.NewSource(4)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	roles, err := topology.AssignRoles(g, topology.PaperRoles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	caps := make(map[int]int)
+	for _, b := range sim.DeployBackbone(roles) {
+		caps[b] = 40
+	}
+	base := sim.Config{
+		Graph:           g,
+		Roles:           roles,
+		Beta:            0.8,
+		Strategy:        worm.NewRandomFactory(),
+		InitialInfected: 5,
+		Ticks:           250,
+		Seed:            11,
+	}
+
+	fmt.Println("Total ever-infected population vs immunization start (µ=0.05/tick)")
+	fmt.Printf("%-22s %12s %16s %12s\n", "start level", "simulated", "sim + backboneRL", "analytical")
+	for _, level := range []float64{0.1, 0.2, 0.5, 0.8} {
+		noRL := base
+		noRL.Immunize = &sim.Immunization{StartTick: -1, StartLevel: level, Mu: 0.05}
+		resNo, err := sim.MultiRun(noRL, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		withRL := noRL
+		withRL.NodeCaps = caps
+		resRL, err := sim.MultiRun(withRL, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The analytical counterpart (constant µ after the delay at
+		// which the baseline reaches the level).
+		m := model.DelayedImmunization{Beta: 0.8, Mu: 0.05, N: 1000, I0: 5}
+		m.Delay = m.DelayForLevel(level)
+		ever, err := m.EverInfected(300, 0.01)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %11.0f%% %15.0f%% %11.0f%%\n",
+			fmt.Sprintf("%.0f%%", level*100),
+			resNo.FinalEverInfected()*100, resRL.FinalEverInfected()*100, ever*100)
+	}
+
+	// The paper's extension remark: patching activity is really a bell
+	// curve, not a constant. Compare the two at equal peak effort.
+	constant := model.DelayedImmunization{Beta: 0.8, Mu: 0.05, Delay: 7, N: 1000, I0: 1}
+	bell := model.VariableImmunization{
+		Beta: 0.8, Peak: 0.05, TPeak: 15, Width: 8, Delay: 7, N: 1000, I0: 1,
+	}
+	ec, err := constant.EverInfected(300, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eb, err := bell.EverInfected(300, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconstant µ=0.05 from tick 7:       %.0f%% ever infected\n", ec*100)
+	fmt.Printf("bell-curve µ (peak 0.05 at t=15):  %.0f%% ever infected\n", eb*100)
+	fmt.Println("a late-peaking bell curve lets the worm run further before patching bites.")
+}

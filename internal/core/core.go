@@ -1,0 +1,351 @@
+// Package core is the library facade: a Scenario ties together a
+// topology, a worm, a rate-limiting defense deployment, and an optional
+// immunization process, and can be run both as a packet-level
+// simulation and as the paper's matching analytical model. It is the
+// one-import entry point for downstream users; the specialised packages
+// (model, sim, trace, ratelimit) remain available for finer control.
+//
+//	sc := core.Scenario{
+//	    Topology: core.PowerLaw(1000),
+//	    Worm:     core.RandomWorm(0.8),
+//	    Defense:  core.BackboneRateLimit(0.4),
+//	}
+//	res, err := sc.Simulate(10)
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/worm"
+)
+
+// TopologySpec describes how to build the network.
+type TopologySpec struct {
+	kind     string
+	n        int
+	m        int
+	hier     topology.HierarchicalConfig
+	twolevel topology.TwoLevelConfig
+}
+
+// Star specifies an n-node star (one hub, n-1 leaves).
+func Star(n int) TopologySpec { return TopologySpec{kind: "star", n: n} }
+
+// PowerLaw specifies an n-node preferential-attachment (AS-like) graph.
+func PowerLaw(n int) TopologySpec { return TopologySpec{kind: "powerlaw", n: n, m: 1} }
+
+// PowerLawM specifies a preferential-attachment graph with m edges per
+// new node.
+func PowerLawM(n, m int) TopologySpec { return TopologySpec{kind: "powerlaw", n: n, m: m} }
+
+// Enterprise specifies an explicit backbone/edge/subnet hierarchy.
+func Enterprise(cfg topology.HierarchicalConfig) TopologySpec {
+	return TopologySpec{kind: "hier", hier: cfg}
+}
+
+// ASInternet specifies a BRITE-style two-level topology: a power-law
+// AS core whose stub ASes each serve a host subnet.
+func ASInternet(cfg topology.TwoLevelConfig) TopologySpec {
+	return TopologySpec{kind: "twolevel", twolevel: cfg}
+}
+
+// WormSpec describes the worm's contact rate and targeting.
+type WormSpec struct {
+	// Beta is the per-scan infection probability (the paper's β).
+	Beta float64
+	// ScansPerTick is the scan attempts per tick (default 1).
+	ScansPerTick int
+	// ProbeFirst makes the worm ping targets and await the reply before
+	// exploiting (Welchia's behaviour).
+	ProbeFirst bool
+	// strategy builds the target picker.
+	strategy worm.Factory
+	// localPref is recorded for the analytic mapping.
+	localPref float64
+	err       error
+}
+
+// RandomWorm scans uniformly random targets (Code Red style).
+func RandomWorm(beta float64) WormSpec {
+	return WormSpec{Beta: beta, strategy: worm.NewRandomFactory()}
+}
+
+// LocalPreferentialWorm scans its own subnet with probability p
+// (Blaster/Welchia style).
+func LocalPreferentialWorm(beta, p float64) WormSpec {
+	f, err := worm.NewLocalPreferentialFactory(p)
+	return WormSpec{Beta: beta, strategy: f, localPref: p, err: err}
+}
+
+// SequentialWorm walks the address space in order.
+func SequentialWorm(beta float64) WormSpec {
+	return WormSpec{Beta: beta, strategy: worm.NewSequentialFactory()}
+}
+
+// DefenseSpec describes a rate-limiting deployment.
+type DefenseSpec struct {
+	kind     string
+	fraction float64 // host deployment fraction
+	rate     float64 // link rate or filtered scan rate
+	cap      int     // node cap for hub defenses
+}
+
+// NoDefense leaves the network open.
+func NoDefense() DefenseSpec { return DefenseSpec{kind: "none"} }
+
+// HostRateLimit installs Williamson-style throttles on a fraction of
+// hosts, cutting their scan rate to beta2.
+func HostRateLimit(fraction, beta2 float64) DefenseSpec {
+	return DefenseSpec{kind: "host", fraction: fraction, rate: beta2}
+}
+
+// EdgeRateLimit limits every subnet uplink to rate packets/tick.
+func EdgeRateLimit(rate float64) DefenseSpec {
+	return DefenseSpec{kind: "edge", rate: rate}
+}
+
+// BackboneRateLimit limits every backbone-incident link to rate
+// packets/tick.
+func BackboneRateLimit(rate float64) DefenseSpec {
+	return DefenseSpec{kind: "backbone", rate: rate}
+}
+
+// HubCap caps the star hub's forwarding at cap packets/tick.
+func HubCap(cap int) DefenseSpec { return DefenseSpec{kind: "hub", cap: cap} }
+
+// QuarantineSpec configures dynamic (detection-triggered) activation of
+// the scenario's defense.
+type QuarantineSpec struct {
+	// TriggerScansPerTick fires the detector when one tick carries this
+	// many worm packets.
+	TriggerScansPerTick int
+	// Delay is the detection-to-deployment lag in ticks.
+	Delay int
+}
+
+// ImmunizationSpec configures delayed patching.
+type ImmunizationSpec struct {
+	// StartLevel triggers patching when the infected fraction reaches
+	// this level (used when StartTick is 0 or negative).
+	StartLevel float64
+	// StartTick triggers patching at a fixed tick when positive.
+	StartTick int
+	// Mu is the per-tick patch probability.
+	Mu float64
+}
+
+// Scenario is a complete experiment description. Zero values get
+// sensible defaults where noted.
+type Scenario struct {
+	Topology TopologySpec
+	Worm     WormSpec
+	Defense  DefenseSpec
+	// Immunize enables delayed patching when non-nil.
+	Immunize *ImmunizationSpec
+	// DynamicQuarantine, when non-nil, keeps the Defense inactive until
+	// the worm is detected (the paper's title scenario): the defense
+	// engages when any single tick carries at least TriggerScansPerTick
+	// worm packets, after Delay further ticks.
+	DynamicQuarantine *QuarantineSpec
+	// Ticks is the horizon (default 150).
+	Ticks int
+	// Seed fixes the randomness (default 1).
+	Seed int64
+	// InitialInfected seeds the epidemic (default 1).
+	InitialInfected int
+	// MaxQueue bounds link buffers (default 50).
+	MaxQueue int
+}
+
+// ErrUnsupported reports a scenario combination with no implementation.
+var ErrUnsupported = errors.New("core: unsupported scenario combination")
+
+// build materializes the simulation config.
+func (s *Scenario) build() (sim.Config, error) {
+	var cfg sim.Config
+	if s.Worm.err != nil {
+		return cfg, fmt.Errorf("core: worm: %w", s.Worm.err)
+	}
+	if s.Worm.strategy == nil {
+		return cfg, errors.New("core: scenario needs a worm (use RandomWorm et al.)")
+	}
+
+	var (
+		g      *topology.Graph
+		roles  []topology.Role
+		subnet []int
+		err    error
+	)
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	switch s.Topology.kind {
+	case "star":
+		g, err = topology.Star(s.Topology.n)
+		if err != nil {
+			return cfg, fmt.Errorf("core: topology: %w", err)
+		}
+	case "powerlaw":
+		g, err = topology.BarabasiAlbert(s.Topology.n, s.Topology.m, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return cfg, fmt.Errorf("core: topology: %w", err)
+		}
+		roles, err = topology.AssignRoles(g, topology.PaperRoles)
+		if err != nil {
+			return cfg, fmt.Errorf("core: roles: %w", err)
+		}
+		subnet = topology.Subnets(g, roles)
+	case "hier":
+		g, roles, subnet, err = topology.Hierarchical(s.Topology.hier)
+		if err != nil {
+			return cfg, fmt.Errorf("core: topology: %w", err)
+		}
+	case "twolevel":
+		g, roles, subnet, err = topology.TwoLevel(s.Topology.twolevel, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return cfg, fmt.Errorf("core: topology: %w", err)
+		}
+	default:
+		return cfg, errors.New("core: scenario needs a topology (use Star, PowerLaw, Enterprise, ASInternet)")
+	}
+
+	ticks := s.Ticks
+	if ticks == 0 {
+		ticks = 150
+	}
+	initial := s.InitialInfected
+	if initial == 0 {
+		initial = 1
+	}
+	maxQ := s.MaxQueue
+	if maxQ == 0 {
+		maxQ = 50
+	}
+	cfg = sim.Config{
+		Graph:           g,
+		Roles:           roles,
+		Subnet:          subnet,
+		Beta:            s.Worm.Beta,
+		ScansPerTick:    s.Worm.ScansPerTick,
+		ProbeFirst:      s.Worm.ProbeFirst,
+		Strategy:        s.Worm.strategy,
+		InitialInfected: initial,
+		Ticks:           ticks,
+		Seed:            seed,
+		MaxQueue:        maxQ,
+	}
+
+	switch s.Defense.kind {
+	case "", "none":
+	case "host":
+		hosts, err := sim.DeployHostFraction(g, roles, s.Defense.fraction, seed)
+		if err != nil {
+			return cfg, fmt.Errorf("core: defense: %w", err)
+		}
+		o := make(map[int]float64, len(hosts))
+		for _, h := range hosts {
+			o[h] = s.Defense.rate
+		}
+		cfg.ScanRateOverride = o
+	case "edge":
+		if roles == nil {
+			return cfg, fmt.Errorf("%w: edge rate limiting needs a routed topology", ErrUnsupported)
+		}
+		cfg.LimitedLinks = sim.DeployEdgeUplinks(g, roles, subnet)
+		cfg.BaseRate = s.Defense.rate
+	case "backbone":
+		if roles == nil {
+			return cfg, fmt.Errorf("%w: backbone rate limiting needs a routed topology", ErrUnsupported)
+		}
+		cfg.LimitedNodes = sim.DeployBackbone(roles)
+		cfg.BaseRate = s.Defense.rate
+	case "hub":
+		if s.Topology.kind != "star" {
+			return cfg, fmt.Errorf("%w: hub caps apply to star topologies", ErrUnsupported)
+		}
+		cfg.NodeCaps = map[int]int{topology.Hub: s.Defense.cap}
+	default:
+		return cfg, fmt.Errorf("%w: defense %q", ErrUnsupported, s.Defense.kind)
+	}
+
+	if s.Immunize != nil {
+		im := &sim.Immunization{Mu: s.Immunize.Mu, StartTick: -1, StartLevel: s.Immunize.StartLevel}
+		if s.Immunize.StartTick > 0 {
+			im.StartTick = s.Immunize.StartTick
+		}
+		cfg.Immunize = im
+	}
+	if s.DynamicQuarantine != nil {
+		cfg.Quarantine = &sim.Quarantine{
+			TriggerScansPerTick: s.DynamicQuarantine.TriggerScansPerTick,
+			Delay:               s.DynamicQuarantine.Delay,
+		}
+	}
+	return cfg, nil
+}
+
+// Simulate runs the scenario `runs` times (averaging the series) and
+// returns the per-tick result.
+func (s *Scenario) Simulate(runs int) (*sim.Result, error) {
+	cfg, err := s.build()
+	if err != nil {
+		return nil, err
+	}
+	return sim.MultiRun(cfg, runs)
+}
+
+// Model returns the paper's analytical model matching the scenario
+// (topology size N, worm β, defense), where one exists. Scenarios with
+// no closed-form counterpart return ErrUnsupported.
+func (s *Scenario) Model() (model.Curve, error) {
+	if s.Worm.strategy == nil {
+		return nil, errors.New("core: scenario needs a worm")
+	}
+	var n float64
+	switch s.Topology.kind {
+	case "star", "powerlaw":
+		n = float64(s.Topology.n)
+	case "hier":
+		h := s.Topology.hier
+		n = float64(h.Backbones + h.Backbones*h.EdgesPer*(1+h.HostsPerSubnet))
+	case "twolevel":
+		tl := s.Topology.twolevel
+		nTransit := int(tl.TransitFraction * float64(tl.ASes))
+		if tl.TransitFraction > 0 && nTransit == 0 {
+			nTransit = 1
+		}
+		n = float64(tl.ASes + (tl.ASes-nTransit)*tl.HostsPerStub)
+	default:
+		return nil, errors.New("core: scenario needs a topology")
+	}
+	i0 := float64(s.InitialInfected)
+	if i0 == 0 {
+		i0 = 1
+	}
+	switch s.Defense.kind {
+	case "", "none":
+		m := model.Homogeneous{Beta: s.Worm.Beta, N: n, I0: i0}
+		return m, m.Validate()
+	case "host":
+		m := model.HostRL{
+			Q: s.Defense.fraction, Beta1: s.Worm.Beta, Beta2: s.Defense.rate, N: n, I0: i0,
+		}
+		return m, m.Validate()
+	case "hub":
+		m := model.HubRL{Beta: float64(s.Defense.cap), Gamma: s.Worm.Beta, N: n, I0: i0}
+		return m, m.Validate()
+	case "backbone":
+		// Backbone coverage approximates the fraction of paths crossing
+		// the core; on the paper's topology that is nearly all of them.
+		m := model.BackboneRL{Beta: s.Worm.Beta, Alpha: 0.9, R: s.Defense.rate, N: n, I0: i0}
+		return m, m.Validate()
+	default:
+		return nil, fmt.Errorf("%w: no analytical model for defense %q", ErrUnsupported, s.Defense.kind)
+	}
+}

@@ -1,0 +1,315 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/plot"
+)
+
+// curveSeries evaluates a model curve on ts.
+func curveSeries(label string, c model.Curve, ts []float64) plot.Series {
+	return plot.Series{Label: label, X: ts, Y: model.Series(c, ts)}
+}
+
+// Fig1a regenerates Figure 1(a): the analytical star-graph comparison of
+// leaf-node vs hub rate limiting on a 200-node star. Parameters: β1 =
+// 0.8, β2 = 0.01 for leaf filters; the hub has per-link rate γ = β1 and
+// an aggregate node budget chosen so the hub curve reaches 60% infection
+// about 3x later than 30% leaf deployment, the paper's stated gap.
+func Fig1a(opt Options) (*Result, error) {
+	const n = 200
+	ts := numeric.Linspace(0, 50, 201)
+	noRL := model.HostRL{Q: 0, Beta1: 0.8, Beta2: hostFilteredRate, N: n, I0: 1}
+	leaf10 := model.HostRL{Q: 0.1, Beta1: 0.8, Beta2: hostFilteredRate, N: n, I0: 1}
+	leaf30 := model.HostRL{Q: 0.3, Beta1: 0.8, Beta2: hostFilteredRate, N: n, I0: 1}
+	hub := model.HubRL{Beta: 6, Gamma: 0.8, N: n, I0: 1}
+	for _, v := range []model.Validator{noRL, leaf10, leaf30, hub} {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("experiment: fig1a: %w", err)
+		}
+	}
+	t60Leaf30 := leaf30.TimeToLevel(0.6)
+	t60Hub := hub.TimeToLevel(0.6)
+	return &Result{
+		ID:    "fig1a",
+		Paper: "Analytical star-graph rate limiting: hub RL far outperforms partial leaf RL (~3x to 60%)",
+		Figure: plot.Figure{
+			Title:  "Fig 1(a): analytical rate limiting on a 200-node star",
+			XLabel: "time",
+			YLabel: "fraction infected",
+			Series: []plot.Series{
+				curveSeries("No RL", noRL, ts),
+				curveSeries("10% leaf nodes RL", leaf10, ts),
+				curveSeries("30% leaf nodes RL", leaf30, ts),
+				curveSeries("Hub node RL", hub, ts),
+			},
+		},
+		Metrics: map[string]float64{
+			"t60_leaf30":      t60Leaf30,
+			"t60_hub":         t60Hub,
+			"hub_over_leaf30": t60Hub / t60Leaf30,
+			"t60_noRL":        noRL.TimeToLevel(0.6),
+		},
+	}, nil
+}
+
+// Fig2 regenerates Figure 2: analytical host-based rate limiting with
+// β1 = 0.8, β2 = 0.01 at deployment fractions 0/5/50/80/100% — the
+// "linear slowdown" figure whose point is the gulf between 80% and 100%.
+func Fig2(opt Options) (*Result, error) {
+	const n = 1000
+	ts := numeric.Linspace(0, 1000, 501)
+	fracs := []float64{0, 0.05, 0.5, 0.8, 1}
+	fig := plot.Figure{
+		Title:  "Fig 2: analytical rate limiting at individual hosts (β1=0.8, β2=0.01)",
+		XLabel: "time",
+		YLabel: "fraction infected",
+	}
+	metrics := make(map[string]float64, len(fracs))
+	var t50Base float64
+	for _, q := range fracs {
+		m := model.HostRL{Q: q, Beta1: 0.8, Beta2: hostFilteredRate, N: n, I0: 1}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("experiment: fig2: %w", err)
+		}
+		label := fmt.Sprintf("%.0f%% hosts w/ RL", q*100)
+		if q == 0 {
+			label = "No RL"
+		}
+		fig.Series = append(fig.Series, curveSeries(label, m, ts))
+		t50 := m.TimeToLevel(0.5)
+		metrics[fmt.Sprintf("t50_q%02.0f", q*100)] = t50
+		if q == 0 {
+			t50Base = t50
+		}
+	}
+	metrics["slowdown_q80"] = metrics["t50_q80"] / t50Base
+	metrics["slowdown_q100"] = metrics["t50_q100"] / t50Base
+	return &Result{
+		ID:      "fig2",
+		Paper:   "Host-based RL slowdown is linear in (1-q); little benefit below universal deployment",
+		Figure:  fig,
+		Metrics: metrics,
+	}, nil
+}
+
+// edgeRLModels builds the three §5.2 model instances: an unthrottled
+// local-preferential worm, a throttled local-preferential worm, and a
+// throttled random worm. The random worm's intra-subnet rate is β
+// scaled by the subnet's share of the population (a uniform scanner
+// rarely hits its own subnet); the local-preferential worm keeps the
+// full β1 = 0.8 inside.
+func edgeRLModels() (noRL, localRL, randomRL model.EdgeRL) {
+	const subnetSize, numSubnets = 50, 20
+	noRL = model.EdgeRL{Beta1: 0.8, Beta2: 0.8, SubnetSize: subnetSize, NumSubnets: numSubnets}
+	localRL = model.EdgeRL{Beta1: 0.8, Beta2: 0.01, SubnetSize: subnetSize, NumSubnets: numSubnets}
+	randomRL = model.EdgeRL{Beta1: 0.8 / numSubnets * 2, Beta2: 0.01, SubnetSize: subnetSize, NumSubnets: numSubnets}
+	return noRL, localRL, randomRL
+}
+
+// Fig3a regenerates Figure 3(a): the spread of the worm across subnets
+// under edge-router rate limiting, for local-preferential vs random
+// worms.
+func Fig3a(opt Options) (*Result, error) {
+	noRL, localRL, randomRL := edgeRLModels()
+	for _, v := range []model.Validator{noRL, localRL, randomRL} {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("experiment: fig3a: %w", err)
+		}
+	}
+	ts := numeric.Linspace(0, 300, 301)
+	series := func(label string, m model.EdgeRL) plot.Series {
+		ys := make([]float64, len(ts))
+		for i, t := range ts {
+			ys[i] = m.SubnetFraction(t)
+		}
+		return plot.Series{Label: label, X: ts, Y: ys}
+	}
+	return &Result{
+		ID:    "fig3a",
+		Paper: "Across subnets, edge RL throttles the cross-subnet rate for both worm types",
+		Figure: plot.Figure{
+			Title:  "Fig 3(a): analytical worm spread across subnets with edge-router RL",
+			XLabel: "time",
+			YLabel: "fraction of subnets infected",
+			Series: []plot.Series{
+				series("No RL (local preferential)", noRL),
+				series("Local preferential w/ RL", localRL),
+				series("Random propagation w/ RL", randomRL),
+			},
+		},
+		Metrics: map[string]float64{
+			"t50_subnets_noRL": numeric.LogisticTimeToLevel(0.5, noRL.Beta2, numeric.LogisticC(1/noRL.NumSubnets)),
+			"t50_subnets_RL":   numeric.LogisticTimeToLevel(0.5, localRL.Beta2, numeric.LogisticC(1/localRL.NumSubnets)),
+		},
+	}, nil
+}
+
+// Fig3b regenerates Figure 3(b): the spread within an infected subnet.
+// Edge rate limiting cannot touch the intra-subnet rate, so the
+// local-preferential worm is unaffected while the random worm crawls.
+func Fig3b(opt Options) (*Result, error) {
+	noRL, localRL, randomRL := edgeRLModels()
+	ts := numeric.Linspace(0, 300, 301)
+	series := func(label string, m model.EdgeRL) plot.Series {
+		ys := make([]float64, len(ts))
+		for i, t := range ts {
+			ys[i] = m.WithinFraction(t)
+		}
+		return plot.Series{Label: label, X: ts, Y: ys}
+	}
+	tLocal := 0.0
+	tRandom := 0.0
+	for _, t := range ts {
+		if localRL.WithinFraction(t) < 0.5 {
+			tLocal = t
+		}
+		if randomRL.WithinFraction(t) < 0.5 {
+			tRandom = t
+		}
+	}
+	return &Result{
+		ID:    "fig3b",
+		Paper: "Within subnets, edge RL leaves local-preferential worms untouched",
+		Figure: plot.Figure{
+			Title:  "Fig 3(b): analytical worm spread within a subnet with edge-router RL",
+			XLabel: "time",
+			YLabel: "fraction of subnet infected",
+			Series: []plot.Series{
+				series("No RL (local preferential)", noRL),
+				series("Local preferential w/ RL", localRL),
+				series("Random propagation w/ RL", randomRL),
+			},
+		},
+		Metrics: map[string]float64{
+			"t50_within_localpref": tLocal,
+			"t50_within_random":    tRandom,
+		},
+	}, nil
+}
+
+// Fig7a regenerates Figure 7(a): the analytical delayed-immunization
+// model (β=0.8, µ=0.1, N=1000) with immunization starting when the
+// baseline epidemic reaches 20/50/80% infection.
+func Fig7a(opt Options) (*Result, error) {
+	base := model.Homogeneous{Beta: 0.8, N: 1000, I0: 1}
+	ts := numeric.Linspace(0, 80, 401)
+	fig := plot.Figure{
+		Title:  "Fig 7(a): analytical delayed immunization (β=0.8, µ=0.1)",
+		XLabel: "time",
+		YLabel: "fraction infected",
+		Series: []plot.Series{curveSeries("No immunization", base, ts)},
+	}
+	metrics := make(map[string]float64)
+	for _, level := range []float64{0.2, 0.5, 0.8} {
+		m := model.DelayedImmunization{Beta: 0.8, Mu: 0.1, N: 1000, I0: 1}
+		m.Delay = m.DelayForLevel(level)
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("experiment: fig7a: %w", err)
+		}
+		fig.Series = append(fig.Series,
+			curveSeries(fmt.Sprintf("Immunization at %.0f%%", level*100), m, ts))
+		ever, err := m.EverInfected(200, 0.01)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig7a: %w", err)
+		}
+		metrics[fmt.Sprintf("ever_start%02.0f", level*100)] = ever
+		metrics[fmt.Sprintf("delay%02.0f", level*100)] = m.Delay
+	}
+	return &Result{
+		ID:      "fig7a",
+		Paper:   "Earlier immunization caps the epidemic lower; peaks then decline",
+		Figure:  fig,
+		Metrics: metrics,
+	}, nil
+}
+
+// Fig7b regenerates Figure 7(b): delayed immunization combined with
+// backbone rate limiting (γ = β(1−α), α = 0.5), with immunization
+// starting at the wall-clock ticks (≈6/8/10) at which the *unlimited*
+// epidemic would have reached 20/50/80% — showing that rate limiting
+// buys the patchers time.
+func Fig7b(opt Options) (*Result, error) {
+	const alpha = 0.5
+	ts := numeric.Linspace(0, 50, 401)
+	noImm := model.BackboneRL{Beta: 0.8, Alpha: alpha, R: 0, N: 1000, I0: 1}
+	fig := plot.Figure{
+		Title:  "Fig 7(b): analytical delayed immunization with backbone rate limiting",
+		XLabel: "time",
+		YLabel: "fraction infected",
+		Series: []plot.Series{curveSeries("No immunization", noImm, ts)},
+	}
+	metrics := make(map[string]float64)
+	for _, d := range []float64{6, 8, 10} {
+		m := model.BackboneRLImmunization{
+			Beta: 0.8, Alpha: alpha, R: 0, Mu: 0.1, Delay: d, N: 1000, I0: 1,
+		}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("experiment: fig7b: %w", err)
+		}
+		fig.Series = append(fig.Series,
+			curveSeries(fmt.Sprintf("Immunization at tick %.0f", d), m, ts))
+		ever, err := m.EverInfected(200, 0.01)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig7b: %w", err)
+		}
+		metrics[fmt.Sprintf("ever_d%.0f", d)] = ever
+	}
+	return &Result{
+		ID:      "fig7b",
+		Paper:   "With backbone RL the same immunization delays catch the epidemic earlier",
+		Figure:  fig,
+		Metrics: metrics,
+	}, nil
+}
+
+// Fig10 regenerates Figure 10: the trace-derived rate limits plugged
+// into the hub model (Equations 4/5 approximating aggregate edge-router
+// limiting of one subnet). γ is the per-host rate; the DNS-based scheme
+// yields a lower aggregate (γ:β = 1:2) than pure IP throttling (1:6);
+// host-based RL alone lets all N hosts use their full slot.
+func Fig10(opt Options) (*Result, error) {
+	const (
+		n     = 1128 // the monitored subnet's host count
+		gamma = 0.05 // normalized per-host allowed rate
+	)
+	noRL := model.Homogeneous{Beta: 0.8, N: n, I0: 1}
+	dns := model.HubRL{Beta: 2 * gamma, Gamma: gamma, N: n, I0: 1} // 1:2
+	ip := model.HubRL{Beta: 6 * gamma, Gamma: gamma, N: n, I0: 1}  // 1:6
+	host := model.Homogeneous{Beta: gamma, N: n, I0: 1}            // per-host limit only
+	for _, v := range []model.Validator{noRL, dns, ip, host} {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("experiment: fig10: %w", err)
+		}
+	}
+	// Log-spaced times 1..10000 (the paper plots log x).
+	ts := make([]float64, 0, 201)
+	for i := 0; i <= 200; i++ {
+		ts = append(ts, math.Pow(10, float64(i)/50))
+	}
+	return &Result{
+		ID:    "fig10",
+		Paper: "Trace-derived limits: DNS-based (1:2) beats IP throttling (1:6); both beat per-host limits",
+		Figure: plot.Figure{
+			Title:  "Fig 10: effect of rate limits from the trace study (log time)",
+			XLabel: "time",
+			YLabel: "fraction infected",
+			LogX:   true,
+			Series: []plot.Series{
+				curveSeries("No RL", noRL, ts),
+				curveSeries("1:2 (rate) RL — DNS-based", dns, ts),
+				curveSeries("1:6 (rate) RL — IP throttle", ip, ts),
+				curveSeries("Host-based RL", host, ts),
+			},
+		},
+		Metrics: map[string]float64{
+			"t50_noRL": noRL.TimeToLevel(0.5),
+			"t50_dns":  dns.TimeToLevel(0.5),
+			"t50_ip":   ip.TimeToLevel(0.5),
+			"t50_host": host.TimeToLevel(0.5),
+		},
+	}, nil
+}

@@ -1,0 +1,187 @@
+// Package experiment is the figure-regeneration harness: one entry per
+// figure of the paper's evaluation, each producing the figure's labelled
+// series plus the headline metrics recorded in EXPERIMENTS.md. The
+// parameter choices per figure (and the reasoning behind the ones the
+// paper leaves unspecified) are documented on each builder.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/plot"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Options tunes cost vs fidelity of a figure run.
+type Options struct {
+	// Runs is the number of simulation replicas to average (paper: 10).
+	// 0 means 10.
+	Runs int
+	// Seed is the base random seed (0 means the default, 4).
+	Seed int64
+	// TraceDuration is the synthetic trace length for the Section 7
+	// figures (0 means 2 hours; the full calibration bench uses 6).
+	TraceDuration int64
+	// Quick shrinks populations/horizons for fast tests.
+	Quick bool
+}
+
+func (o Options) runs() int {
+	if o.Runs <= 0 {
+		return 10
+	}
+	return o.Runs
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 4
+	}
+	return o.Seed
+}
+
+func (o Options) traceDuration() int64 {
+	if o.TraceDuration > 0 {
+		return o.TraceDuration
+	}
+	if o.Quick {
+		return 20 * trace.Minute
+	}
+	return 2 * trace.Hour
+}
+
+// Result is one regenerated figure.
+type Result struct {
+	// ID is the figure identifier (fig1a ... fig10, tbl-rates,
+	// tbl-claims).
+	ID string
+	// Paper describes what the paper's version of the figure shows.
+	Paper string
+	// Figure holds the regenerated series.
+	Figure plot.Figure
+	// Metrics are the headline numbers for the EXPERIMENTS.md
+	// paper-vs-measured table, keyed by a short name.
+	Metrics map[string]float64
+}
+
+// runner builds one figure.
+type runner func(Options) (*Result, error)
+
+// registry maps figure IDs to builders in presentation order.
+func registry() []struct {
+	id string
+	fn runner
+} {
+	return []struct {
+		id string
+		fn runner
+	}{
+		{"fig1a", Fig1a},
+		{"fig1b", Fig1b},
+		{"fig2", Fig2},
+		{"fig3a", Fig3a},
+		{"fig3b", Fig3b},
+		{"fig4", Fig4},
+		{"fig5", Fig5},
+		{"fig6", Fig6},
+		{"fig7a", Fig7a},
+		{"fig7b", Fig7b},
+		{"fig8a", Fig8a},
+		{"fig8b", Fig8b},
+		{"fig9a", Fig9a},
+		{"fig9b", Fig9b},
+		{"fig10", Fig10},
+		{"tbl-rates", TableRates},
+		{"tbl-claims", TableClaims},
+		{"abl-targeting", AblTargeting},
+		{"abl-queue", AblQueueVsDrop},
+		{"abl-weights", AblLinkWeights},
+		{"abl-patch", AblPatchInfected},
+		{"abl-probe", AblProbeFirst},
+		{"abl-topology", AblTopology},
+		{"abl-hybrid", AblHybridWindow},
+	}
+}
+
+// newRand builds a seeded source for topology generation.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// IDs returns all known experiment IDs in order.
+func IDs() []string {
+	reg := registry()
+	out := make([]string, len(reg))
+	for i, r := range reg {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Run regenerates one figure by ID.
+func Run(id string, opt Options) (*Result, error) {
+	for _, r := range registry() {
+		if r.id == id {
+			return r.fn(opt)
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiment: unknown id %q (known: %v)", id, known)
+}
+
+// powerLawTopology builds the shared 1000-node AS-like graph of the
+// Section 5.4 experiments, with the degree-ranked role split and the
+// induced subnet partition. The paper used a BRITE-generated 1000-node
+// power-law graph; we use preferential attachment with m=1, which gives
+// the sparse, core-concentrated routing of an AS topology (nearly all
+// inter-subnet shortest paths transit the top-degree core — the
+// property the backbone-deployment result depends on).
+func powerLawTopology(opt Options) (*topology.Graph, []topology.Role, []int, error) {
+	n := 1000
+	if opt.Quick {
+		n = 300
+	}
+	g, err := topology.BarabasiAlbert(n, 1, rand.New(rand.NewSource(opt.seed())))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("experiment: topology: %w", err)
+	}
+	roles, err := topology.AssignRoles(g, topology.PaperRoles)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("experiment: roles: %w", err)
+	}
+	subnet := topology.Subnets(g, roles)
+	return g, roles, subnet, nil
+}
+
+// overrideFor builds the host-level rate-limit map: filtered hosts scan
+// at the model's β2 = 0.01 instead of β.
+func overrideFor(hosts []int) map[int]float64 {
+	o := make(map[int]float64, len(hosts))
+	for _, h := range hosts {
+		o[h] = hostFilteredRate
+	}
+	return o
+}
+
+// backboneCaps gives every backbone node a node-level forwarding cap.
+func backboneCaps(roles []topology.Role, cap int) map[int]int {
+	m := make(map[int]int)
+	for _, b := range sim.DeployBackbone(roles) {
+		m[b] = cap
+	}
+	return m
+}
+
+// Shared simulation parameters (see DESIGN.md §5 and the calibration
+// notes in EXPERIMENTS.md).
+const (
+	simBeta          = 0.8  // the paper's β
+	hostFilteredRate = 0.01 // the paper's β2
+	congestedScans   = 10   // scan attempts/tick for the congestion figures
+	dropTailQueue    = 50   // ns-2 default DropTail buffer
+	limitedLinkRate  = 0.4  // packets/tick through a rate-limited link
+	immunizeMu       = 0.05 // per-tick patch probability in the sims
+)

@@ -1,0 +1,419 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/plot"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/worm"
+)
+
+// simSeries converts a per-tick fraction series to a plot series
+// (tick i is time i+1).
+func simSeries(label string, ys []float64) plot.Series {
+	xs := make([]float64, len(ys))
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	return plot.Series{Label: label, X: xs, Y: ys}
+}
+
+// Fig1b regenerates Figure 1(b): the simulated 200-node star. Leaf
+// filters cut a filtered leaf's scan rate to β2 = 0.01 (Williamson-style
+// host throttling); hub rate limiting caps the hub's forwarding at 2
+// packets/tick (the paper's hub rate 0.01 × N).
+func Fig1b(opt Options) (*Result, error) {
+	n := 200
+	ticks := 150
+	if opt.Quick {
+		ticks = 60
+	}
+	star, err := topology.Star(n)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig1b: %w", err)
+	}
+	base := sim.Config{
+		Graph: star, Beta: simBeta, Strategy: worm.NewRandomFactory(),
+		InitialInfected: 1, Ticks: ticks, Seed: opt.seed(),
+	}
+	leafOverride := func(frac float64) (map[int]float64, error) {
+		hosts, err := sim.DeployHostFraction(star, nil, frac, opt.seed())
+		if err != nil {
+			return nil, err
+		}
+		o := make(map[int]float64, len(hosts))
+		for _, h := range hosts {
+			if h != topology.Hub {
+				o[h] = hostFilteredRate
+			}
+		}
+		return o, nil
+	}
+	o10, err := leafOverride(0.1)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig1b: %w", err)
+	}
+	o30, err := leafOverride(0.3)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig1b: %w", err)
+	}
+
+	cases := []struct {
+		label string
+		mod   func(*sim.Config)
+	}{
+		{"No RL", func(c *sim.Config) {}},
+		{"10% leaf nodes RL", func(c *sim.Config) { c.ScanRateOverride = o10 }},
+		{"30% leaf nodes RL", func(c *sim.Config) { c.ScanRateOverride = o30 }},
+		{"Hub node RL", func(c *sim.Config) { c.NodeCaps = map[int]int{topology.Hub: 2} }},
+	}
+	fig := plot.Figure{
+		Title:  "Fig 1(b): simulated rate limiting on a 200-node star (avg of runs)",
+		XLabel: "time (ticks)",
+		YLabel: "fraction infected",
+	}
+	metrics := make(map[string]float64)
+	var t60leaf30 float64
+	for _, cse := range cases {
+		cfg := base
+		cse.mod(&cfg)
+		res, err := sim.MultiRun(cfg, opt.runs())
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig1b %q: %w", cse.label, err)
+		}
+		fig.Series = append(fig.Series, simSeries(cse.label, res.Infected))
+		t60 := res.TimeToLevel(0.6)
+		metrics["t60_"+cse.label] = t60
+		if cse.label == "30% leaf nodes RL" {
+			t60leaf30 = t60
+		}
+		if cse.label == "Hub node RL" {
+			metrics["hub_over_leaf30"] = t60 / t60leaf30
+		}
+	}
+	return &Result{
+		ID:      "fig1b",
+		Paper:   "Simulated star: 10% leaf RL negligible, 30% slight, hub RL ~3x slower to 60%",
+		Figure:  fig,
+		Metrics: metrics,
+	}, nil
+}
+
+// Fig4 regenerates Figure 4: random-propagation worm on the 1000-node
+// power-law graph under no RL / 5% host RL / edge-router RL / backbone
+// RL. Congestion parameters (10 scans per tick against 0.4-packet/tick
+// limited links with 50-packet DropTail buffers) are calibrated so the
+// backbone deployment reproduces the paper's ~5x time-to-50% gap; see
+// EXPERIMENTS.md.
+func Fig4(opt Options) (*Result, error) {
+	g, roles, _, err := powerLawTopology(opt)
+	if err != nil {
+		return nil, err
+	}
+	ticks := 150
+	if opt.Quick {
+		ticks = 100
+	}
+	base := sim.Config{
+		Graph: g, Roles: roles, Beta: simBeta,
+		Strategy:        worm.NewRandomFactory(),
+		InitialInfected: 5, Ticks: ticks, Seed: opt.seed(),
+		ScansPerTick: congestedScans, MaxQueue: dropTailQueue, BaseRate: limitedLinkRate,
+	}
+	hosts5, err := sim.DeployHostFraction(g, roles, 0.05, opt.seed())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig4: %w", err)
+	}
+	cases := []struct {
+		label string
+		mod   func(*sim.Config)
+	}{
+		{"No RL", func(c *sim.Config) {}},
+		{"5% end host RL", func(c *sim.Config) { c.ScanRateOverride = overrideFor(hosts5) }},
+		{"Edge router RL", func(c *sim.Config) { c.LimitedNodes = sim.DeployEdgeRouters(roles) }},
+		{"Backbone RL", func(c *sim.Config) { c.LimitedNodes = sim.DeployBackbone(roles) }},
+	}
+	fig := plot.Figure{
+		Title:  "Fig 4: simulated rate limiting on a 1000-node power-law graph",
+		XLabel: "time (ticks)",
+		YLabel: "fraction infected",
+	}
+	metrics := make(map[string]float64)
+	for _, cse := range cases {
+		cfg := base
+		cse.mod(&cfg)
+		res, err := sim.MultiRun(cfg, opt.runs())
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig4 %q: %w", cse.label, err)
+		}
+		fig.Series = append(fig.Series, simSeries(cse.label, res.Infected))
+		metrics["t50_"+cse.label] = res.TimeToLevel(0.5)
+	}
+	metrics["backbone_over_noRL"] = metrics["t50_Backbone RL"] / metrics["t50_No RL"]
+	metrics["edge_over_noRL"] = metrics["t50_Edge router RL"] / metrics["t50_No RL"]
+	metrics["host5_over_noRL"] = metrics["t50_5% end host RL"] / metrics["t50_No RL"]
+	// Tie the simulation to Equation 6: measure the backbone's actual
+	// path coverage α on this topology.
+	alpha, err := routing.Build(g).PathCoverage(sim.DeployBackbone(roles))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig4: %w", err)
+	}
+	metrics["alpha_measured"] = alpha
+	return &Result{
+		ID:      "fig4",
+		Paper:   "Power-law sim: 5% host RL negligible, edge slight, backbone ~5x slower to 50%",
+		Figure:  fig,
+		Metrics: metrics,
+	}, nil
+}
+
+// Fig5 regenerates Figure 5: edge-router rate limiting against random
+// vs local-preferential worms. This figure is about subnet structure,
+// so it runs on the explicit enterprise topology (backbone mesh, edge
+// routers, subnets) where "edge filter" unambiguously means the subnet
+// uplink: a local-preferential worm (95% of scans inside the subnet)
+// barely notices the filters, while a random scanner's traffic almost
+// always crosses two of them.
+func Fig5(opt Options) (*Result, error) {
+	hier := topology.HierarchicalConfig{Backbones: 4, EdgesPer: 5, HostsPerSubnet: 48}
+	if opt.Quick {
+		hier.HostsPerSubnet = 16
+	}
+	g, roles, subnet, err := topology.Hierarchical(hier)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig5: %w", err)
+	}
+	lp, err := worm.NewLocalPreferentialFactory(0.95)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig5: %w", err)
+	}
+	uplinks := sim.DeployEdgeUplinks(g, roles, subnet)
+	ticks := 200
+	if opt.Quick {
+		ticks = 120
+	}
+	base := sim.Config{
+		Graph: g, Roles: roles, Subnet: subnet, Beta: simBeta,
+		InitialInfected: 10, Ticks: ticks, Seed: opt.seed(),
+		ScansPerTick: congestedScans, MaxQueue: dropTailQueue, BaseRate: 0.2,
+	}
+	cases := []struct {
+		label    string
+		strategy worm.Factory
+		limited  bool
+	}{
+		{"No RL random propagation", worm.NewRandomFactory(), false},
+		{"Edge router RL for random propagation", worm.NewRandomFactory(), true},
+		{"No RL local preferential", lp, false},
+		{"Edge router RL for local preferential", lp, true},
+	}
+	fig := plot.Figure{
+		Title:  "Fig 5: edge-router RL vs worm targeting strategy (simulation)",
+		XLabel: "time (ticks)",
+		YLabel: "fraction infected",
+	}
+	metrics := make(map[string]float64)
+	for _, cse := range cases {
+		cfg := base
+		cfg.Strategy = cse.strategy
+		if cse.limited {
+			cfg.LimitedLinks = uplinks
+		}
+		res, err := sim.MultiRun(cfg, opt.runs())
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig5 %q: %w", cse.label, err)
+		}
+		fig.Series = append(fig.Series, simSeries(cse.label, res.Infected))
+		metrics["t50_"+cse.label] = res.TimeToLevel(0.5)
+	}
+	metrics["random_slowdown"] =
+		metrics["t50_Edge router RL for random propagation"] / metrics["t50_No RL random propagation"]
+	metrics["localpref_slowdown"] =
+		metrics["t50_Edge router RL for local preferential"] / metrics["t50_No RL local preferential"]
+	return &Result{
+		ID:      "fig5",
+		Paper:   "Edge RL slows random worms (~50%) but gives little benefit vs local-preferential worms",
+		Figure:  fig,
+		Metrics: metrics,
+	}, nil
+}
+
+// Fig6 regenerates Figure 6: a local-preferential worm under end-host
+// (5%/30%) vs backbone rate limiting.
+func Fig6(opt Options) (*Result, error) {
+	g, roles, subnet, err := powerLawTopology(opt)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := worm.NewLocalPreferentialFactory(0.8)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig6: %w", err)
+	}
+	ticks := 150
+	if opt.Quick {
+		ticks = 100
+	}
+	base := sim.Config{
+		Graph: g, Roles: roles, Subnet: subnet, Beta: simBeta, Strategy: lp,
+		InitialInfected: 5, Ticks: ticks, Seed: opt.seed(),
+		ScansPerTick: congestedScans, MaxQueue: dropTailQueue, BaseRate: limitedLinkRate,
+	}
+	hosts5, err := sim.DeployHostFraction(g, roles, 0.05, opt.seed())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig6: %w", err)
+	}
+	hosts30, err := sim.DeployHostFraction(g, roles, 0.30, opt.seed())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig6: %w", err)
+	}
+	cases := []struct {
+		label string
+		mod   func(*sim.Config)
+	}{
+		{"No RL", func(c *sim.Config) {}},
+		{"5% end host RL", func(c *sim.Config) { c.ScanRateOverride = overrideFor(hosts5) }},
+		{"30% end host RL", func(c *sim.Config) { c.ScanRateOverride = overrideFor(hosts30) }},
+		{"Backbone RL", func(c *sim.Config) { c.LimitedNodes = sim.DeployBackbone(roles) }},
+	}
+	fig := plot.Figure{
+		Title:  "Fig 6: local-preferential worm: host vs backbone RL (simulation)",
+		XLabel: "time (ticks)",
+		YLabel: "fraction infected",
+	}
+	metrics := make(map[string]float64)
+	for _, cse := range cases {
+		cfg := base
+		cse.mod(&cfg)
+		res, err := sim.MultiRun(cfg, opt.runs())
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig6 %q: %w", cse.label, err)
+		}
+		fig.Series = append(fig.Series, simSeries(cse.label, res.Infected))
+		metrics["t50_"+cse.label] = res.TimeToLevel(0.5)
+	}
+	metrics["host30_over_noRL"] = metrics["t50_30% end host RL"] / metrics["t50_No RL"]
+	metrics["backbone_over_noRL"] = metrics["t50_Backbone RL"] / metrics["t50_No RL"]
+	return &Result{
+		ID:      "fig6",
+		Paper:   "Even 30% host RL is negligible for local-pref worms; backbone RL is substantially better",
+		Figure:  fig,
+		Metrics: metrics,
+	}, nil
+}
+
+// Fig8a regenerates Figure 8(a): simulated delayed immunization
+// (µ = 0.05/tick) triggered when the infection reaches 20/50/80%,
+// reporting the total ever-infected population.
+func Fig8a(opt Options) (*Result, error) {
+	g, roles, _, err := powerLawTopology(opt)
+	if err != nil {
+		return nil, err
+	}
+	ticks := 150
+	if opt.Quick {
+		ticks = 100
+	}
+	base := sim.Config{
+		Graph: g, Roles: roles, Beta: simBeta, Strategy: worm.NewRandomFactory(),
+		InitialInfected: 5, Ticks: ticks, Seed: opt.seed(),
+	}
+	fig := plot.Figure{
+		Title:  "Fig 8(a): simulated delayed immunization (total ever infected)",
+		XLabel: "time (ticks)",
+		YLabel: "fraction ever infected",
+	}
+	metrics := make(map[string]float64)
+	cases := []struct {
+		label string
+		level float64
+	}{
+		{"No immunization", 0},
+		{"Immunization at 20%", 0.2},
+		{"Immunization at 50%", 0.5},
+		{"Immunization at 80%", 0.8},
+	}
+	for _, cse := range cases {
+		cfg := base
+		if cse.level > 0 {
+			cfg.Immunize = &sim.Immunization{StartTick: -1, StartLevel: cse.level, Mu: immunizeMu}
+		}
+		res, err := sim.MultiRun(cfg, opt.runs())
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig8a %q: %w", cse.label, err)
+		}
+		fig.Series = append(fig.Series, simSeries(cse.label, res.EverInfected))
+		metrics[fmt.Sprintf("ever_%s", cse.label)] = res.FinalEverInfected()
+	}
+	return &Result{
+		ID:      "fig8a",
+		Paper:   "Total infected caps at ~80/90/98% for immunization starting at 20/50/80%",
+		Figure:  fig,
+		Metrics: metrics,
+	}, nil
+}
+
+// Fig8b regenerates Figure 8(b): the same immunization delays combined
+// with backbone rate limiting (node caps on the core), starting at the
+// wall-clock ticks where the *unlimited* epidemic reached 20/50/80%
+// (≈20/25/30 here), as the paper does with its ticks 6/8/10.
+func Fig8b(opt Options) (*Result, error) {
+	g, roles, _, err := powerLawTopology(opt)
+	if err != nil {
+		return nil, err
+	}
+	ticks := 200
+	if opt.Quick {
+		ticks = 120
+	}
+	// Find the unlimited epidemic's times to 20/50/80%.
+	probe := sim.Config{
+		Graph: g, Roles: roles, Beta: simBeta, Strategy: worm.NewRandomFactory(),
+		InitialInfected: 5, Ticks: ticks, Seed: opt.seed(),
+	}
+	probeRes, err := sim.MultiRun(probe, opt.runs())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig8b probe: %w", err)
+	}
+	caps := backboneCaps(roles, 40)
+	fig := plot.Figure{
+		Title:  "Fig 8(b): simulated delayed immunization with backbone RL (total ever infected)",
+		XLabel: "time (ticks)",
+		YLabel: "fraction ever infected",
+	}
+	metrics := make(map[string]float64)
+	cases := []struct {
+		label string
+		level float64
+	}{
+		{"No immunization", 0},
+		{"Immunization at 20%-tick", 0.2},
+		{"Immunization at 50%-tick", 0.5},
+		{"Immunization at 80%-tick", 0.8},
+	}
+	for _, cse := range cases {
+		cfg := probe
+		cfg.NodeCaps = caps
+		if cse.level > 0 {
+			start := int(probeRes.TimeToLevel(cse.level))
+			if start < 1 {
+				start = 1
+			}
+			cfg.Immunize = &sim.Immunization{StartTick: start, Mu: immunizeMu}
+			metrics[fmt.Sprintf("start_%s", cse.label)] = float64(start)
+		}
+		res, err := sim.MultiRun(cfg, opt.runs())
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig8b %q: %w", cse.label, err)
+		}
+		fig.Series = append(fig.Series, simSeries(cse.label, res.EverInfected))
+		metrics[fmt.Sprintf("ever_%s", cse.label)] = res.FinalEverInfected()
+	}
+	return &Result{
+		ID:      "fig8b",
+		Paper:   "Backbone RL drops the 20%-start total infected by ~10% (80% -> 72% in the paper)",
+		Figure:  fig,
+		Metrics: metrics,
+	}, nil
+}

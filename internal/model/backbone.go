@@ -1,0 +1,85 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// IPv4Space is the size of the IPv4 address space, the normalizer in the
+// paper's residual-rate term δ = min(I·β·α, r·N/2³²).
+const IPv4Space = 1 << 32
+
+// BackboneRL models rate limiting at core routers covering a fraction α
+// of all IP-to-IP paths (Section 5.3):
+//
+//	dI/dt = I·β·(1−α)·(N−I)/N + δ·(N−I)/N     (Equation 6)
+//	δ = min(I·β·α, r·N/2³²)
+//
+// where r is the aggregate rate still allowed through the limited
+// routers. When r is small the first term dominates and the solution is
+// ≈ logistic with λ = β(1−α) — a slowdown factor 1/(1−α), i.e. covering
+// most paths is comparable to rate limiting every host.
+type BackboneRL struct {
+	Beta  float64 // contact rate of one infected host
+	Alpha float64 // fraction of IP-to-IP paths covered by limited routers
+	R     float64 // aggregate allowed rate through the limited routers
+	N     float64 // population size
+	I0    float64 // initially infected hosts
+}
+
+// Validate checks the parameters.
+func (m BackboneRL) Validate() error {
+	if err := checkPopulation(m.N, m.I0); err != nil {
+		return err
+	}
+	if m.Beta < 0 || m.R < 0 {
+		return errNegativeRate
+	}
+	if m.Alpha < 0 || m.Alpha > 1 {
+		return fmt.Errorf("%w: alpha=%v", errBadFraction, m.Alpha)
+	}
+	return nil
+}
+
+// Lambda returns the approximate epidemic exponent λ = β(1−α) used by
+// the paper's small-r closed form.
+func (m BackboneRL) Lambda() float64 { return m.Beta * (1 - m.Alpha) }
+
+// Delta returns the residual-rate term δ = min(I·β·α, r·N/2³²) at
+// infected count i.
+func (m BackboneRL) Delta(i float64) float64 {
+	return math.Min(i*m.Beta*m.Alpha, m.R*m.N/IPv4Space)
+}
+
+// Fraction returns the paper's small-r closed form
+// I/N = e^{λt}/(c+e^{λt}) with λ = β(1−α).
+func (m BackboneRL) Fraction(t float64) float64 {
+	return numeric.Logistic(t, m.Lambda(), numeric.LogisticC(m.I0/m.N))
+}
+
+// TimeToLevel inverts the closed form.
+func (m BackboneRL) TimeToLevel(level float64) float64 {
+	return numeric.LogisticTimeToLevel(level, m.Lambda(), numeric.LogisticC(m.I0/m.N))
+}
+
+// RHS returns the exact Equation 6 including the δ term. State: [I].
+func (m BackboneRL) RHS() numeric.RHS {
+	return func(t float64, y, dst []float64) {
+		i := y[0]
+		dst[0] = i*m.Beta*(1-m.Alpha)*(m.N-i)/m.N + m.Delta(i)*(m.N-i)/m.N
+	}
+}
+
+// InitialState returns [I0].
+func (m BackboneRL) InitialState() []float64 { return []float64{m.I0} }
+
+// N0 returns the population size.
+func (m BackboneRL) N0() float64 { return m.N }
+
+var (
+	_ Curve     = BackboneRL{}
+	_ Validator = BackboneRL{}
+	_ ODE       = BackboneRL{}
+)

@@ -1,0 +1,102 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBackboneRLValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		m       BackboneRL
+		wantErr bool
+	}{
+		{"ok", BackboneRL{Beta: 0.8, Alpha: 0.9, R: 100, N: 1000, I0: 1}, false},
+		{"alpha over 1", BackboneRL{Beta: 0.8, Alpha: 1.5, R: 100, N: 1000, I0: 1}, true},
+		{"negative r", BackboneRL{Beta: 0.8, Alpha: 0.9, R: -1, N: 1000, I0: 1}, true},
+		{"bad pop", BackboneRL{Beta: 0.8, Alpha: 0.9, R: 100, N: -5, I0: 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.m.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err=%v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBackboneRLLambdaAndDelta(t *testing.T) {
+	m := BackboneRL{Beta: 0.8, Alpha: 0.75, R: 1e10, N: 1000, I0: 1}
+	if got := m.Lambda(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Lambda = %v, want 0.2", got)
+	}
+	// With small I the I·β·α term is the min (rN/2^32 ≈ 2328 here).
+	if got := m.Delta(1); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("Delta(1) = %v, want 0.6", got)
+	}
+	// With huge I the rN/2^32 cap binds.
+	cap32 := m.R * m.N / IPv4Space
+	if got := m.Delta(1e12); math.Abs(got-cap32) > 1e-15 {
+		t.Errorf("Delta(huge) = %v, want %v", got, cap32)
+	}
+}
+
+func TestBackboneRLClosedFormVsODE(t *testing.T) {
+	// Small r: closed form (which drops δ) should track the exact ODE.
+	m := BackboneRL{Beta: 0.8, Alpha: 0.9, R: 10, N: 1000, I0: 1}
+	crossValidate(t, m, 200, 0.02)
+}
+
+func TestBackboneRLSlowdownFactor(t *testing.T) {
+	// Covering α of paths slows the epidemic by 1/(1-α) in the small-r
+	// approximation — at α=0.9 reaching 50% takes 10x as long.
+	base := Homogeneous{Beta: 0.8, N: 1000, I0: 1}
+	rl := BackboneRL{Beta: 0.8, Alpha: 0.9, R: 0, N: 1000, I0: 1}
+	ratio := rl.TimeToLevel(0.5) / base.TimeToLevel(0.5)
+	if math.Abs(ratio-10) > 0.01 {
+		t.Errorf("slowdown = %v, want 10", ratio)
+	}
+}
+
+func TestBackboneRLResidualTermMatters(t *testing.T) {
+	// With a big residual rate r, the exact ODE runs ahead of the
+	// small-r closed form: δ injects extra cross-path infections.
+	m := BackboneRL{Beta: 0.8, Alpha: 0.95, R: 5e8, N: 1000, I0: 1}
+	ts, frac, err := Integrate(m, 120, 0.05)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	ahead := false
+	for k := range ts {
+		if frac[k] > m.Fraction(ts[k])+0.02 {
+			ahead = true
+			break
+		}
+	}
+	if !ahead {
+		t.Error("large-r ODE should outrun the small-r closed form")
+	}
+}
+
+// Property: infected fraction is monotone in t and decreasing in α.
+func TestBackboneRLAlphaMonotoneProperty(t *testing.T) {
+	f := func(a1Raw, a2Raw uint8) bool {
+		a1 := float64(a1Raw) / 260 // keep < 1
+		a2 := float64(a2Raw) / 260
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		lo := BackboneRL{Beta: 0.8, Alpha: a1, R: 0, N: 1000, I0: 1}
+		hi := BackboneRL{Beta: 0.8, Alpha: a2, R: 0, N: 1000, I0: 1}
+		for tt := 0.0; tt <= 100; tt += 5 {
+			if hi.Fraction(tt) > lo.Fraction(tt)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

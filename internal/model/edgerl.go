@@ -1,0 +1,84 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/numeric"
+)
+
+// EdgeRL is the two-level subnet model of Section 5.2 for rate limiting
+// at edge routers. Worms spread fast within a subnet (rate β1) and
+// slower across subnets (rate β2 ≤ β1, throttled by the edge filter):
+//
+//	x = e^{β1·t}/(C1 + e^{β1·t})   infected fraction within a subnet
+//	y = e^{β2·t}/(C2 + e^{β2·t})   fraction of subnets infected
+//
+// For a local-preferential worm β1 is substantially larger than for a
+// random-propagation worm, which is why edge rate limiting loses its
+// effectiveness against such worms: the cross-subnet throttle only
+// touches β2, and the within-subnet rate dominates.
+type EdgeRL struct {
+	Beta1      float64 // intra-subnet contact rate β1
+	Beta2      float64 // cross-subnet (Internet) contact rate β2 ≤ β1
+	SubnetSize float64 // hosts per subnet (sets C1 via the seed host)
+	NumSubnets float64 // number of subnets (sets C2 via the seed subnet)
+}
+
+// Validate checks the parameters.
+func (m EdgeRL) Validate() error {
+	if m.Beta1 < 0 || m.Beta2 < 0 {
+		return errNegativeRate
+	}
+	if m.Beta2 > m.Beta1 {
+		return fmt.Errorf("model: edge RL requires β2 (%v) <= β1 (%v)", m.Beta2, m.Beta1)
+	}
+	if m.SubnetSize < 2 || m.NumSubnets < 2 {
+		return fmt.Errorf("model: need >= 2 hosts/subnet and >= 2 subnets, got %v/%v",
+			m.SubnetSize, m.NumSubnets)
+	}
+	return nil
+}
+
+// WithinFraction returns x(t), the infected fraction within an infected
+// subnet, seeded with one infected host.
+func (m EdgeRL) WithinFraction(t float64) float64 {
+	return numeric.Logistic(t, m.Beta1, numeric.LogisticC(1/m.SubnetSize))
+}
+
+// SubnetFraction returns y(t), the fraction of subnets with at least one
+// infection, seeded with one infected subnet.
+func (m EdgeRL) SubnetFraction(t float64) float64 {
+	return numeric.Logistic(t, m.Beta2, numeric.LogisticC(1/m.NumSubnets))
+}
+
+// Fraction returns the overall infected fraction x(t)·y(t): the product
+// of infected-subnet coverage and within-subnet penetration. (The paper
+// plots x and y separately in Figures 3(a) and 3(b); the product is a
+// convenient summary for tests and Curve compatibility.)
+func (m EdgeRL) Fraction(t float64) float64 {
+	return m.WithinFraction(t) * m.SubnetFraction(t)
+}
+
+// RHS returns the uncoupled two-level dynamics. State: [I, Y] where I is
+// the infected host count within one subnet and Y the infected subnet
+// count. Note state[0] is within-subnet infected hosts to keep the
+// convention that component 0 is an infected count.
+func (m EdgeRL) RHS() numeric.RHS {
+	return func(t float64, y, dst []float64) {
+		i, s := y[0], y[1]
+		dst[0] = m.Beta1 * i * (m.SubnetSize - i) / m.SubnetSize
+		dst[1] = m.Beta2 * s * (m.NumSubnets - s) / m.NumSubnets
+	}
+}
+
+// InitialState returns [1 infected host, 1 infected subnet].
+func (m EdgeRL) InitialState() []float64 { return []float64{1, 1} }
+
+// N0 returns the subnet size (the normalizer for state[0]).
+func (m EdgeRL) N0() float64 { return m.SubnetSize }
+
+var (
+	_ Curve     = EdgeRL{}
+	_ Validator = EdgeRL{}
+	_ ODE       = EdgeRL{}
+)

@@ -1,0 +1,94 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEdgeRLValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		m       EdgeRL
+		wantErr bool
+	}{
+		{"ok", EdgeRL{Beta1: 0.8, Beta2: 0.01, SubnetSize: 50, NumSubnets: 20}, false},
+		{"beta2 > beta1", EdgeRL{Beta1: 0.01, Beta2: 0.8, SubnetSize: 50, NumSubnets: 20}, true},
+		{"negative", EdgeRL{Beta1: -0.8, Beta2: -0.9, SubnetSize: 50, NumSubnets: 20}, true},
+		{"tiny subnet", EdgeRL{Beta1: 0.8, Beta2: 0.01, SubnetSize: 1, NumSubnets: 20}, true},
+		{"one subnet", EdgeRL{Beta1: 0.8, Beta2: 0.01, SubnetSize: 50, NumSubnets: 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.m.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err=%v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEdgeRLTwoLevels(t *testing.T) {
+	m := EdgeRL{Beta1: 0.8, Beta2: 0.01, SubnetSize: 50, NumSubnets: 20}
+	// Within-subnet saturates long before subnets do (β1 >> β2).
+	tWithin := 20.0
+	if got := m.WithinFraction(tWithin); got < 0.95 {
+		t.Errorf("within fraction at t=%v = %v, want near saturation", tWithin, got)
+	}
+	if got := m.SubnetFraction(tWithin); got > 0.1 {
+		t.Errorf("subnet fraction at t=%v = %v, want still small", tWithin, got)
+	}
+	// Overall fraction is the product and bounded by both.
+	f := m.Fraction(tWithin)
+	if f > m.WithinFraction(tWithin) || f > m.SubnetFraction(tWithin) {
+		t.Error("overall fraction must be bounded by both levels")
+	}
+}
+
+func TestEdgeRLClosedFormVsODE(t *testing.T) {
+	m := EdgeRL{Beta1: 0.8, Beta2: 0.05, SubnetSize: 50, NumSubnets: 20}
+	// Check the within-subnet component (state[0]) against WithinFraction.
+	ts, frac, err := Integrate(m, 30, 0.01)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	for k := 0; k < len(ts); k += 50 {
+		want := frac[k]
+		got := m.WithinFraction(ts[k])
+		if math.Abs(got-want) > 1e-4 {
+			t.Fatalf("t=%v: within closed form %v vs ODE %v", ts[k], got, want)
+		}
+	}
+}
+
+// The paper's §5.2 conclusion: edge-router rate limiting is more
+// effective against random worms than local-preferential worms, because
+// the local-preferential worm's large β1 is untouched by the filter.
+func TestEdgeRLLocalPreferentialDefeatsEdgeFilter(t *testing.T) {
+	// Same throttled cross-subnet rate; the local-pref worm scans its own
+	// subnet at 0.8 while a random scanner hits its own /24-sized subnet
+	// only rarely.
+	localPref := EdgeRL{Beta1: 0.8, Beta2: 0.01, SubnetSize: 50, NumSubnets: 20}
+	random := EdgeRL{Beta1: 0.08, Beta2: 0.01, SubnetSize: 50, NumSubnets: 20}
+	// At a mid horizon the local-pref worm has saturated its subnets;
+	// the random worm has not.
+	const horizon = 40
+	lp := localPref.WithinFraction(horizon)
+	rd := random.WithinFraction(horizon)
+	if lp < 2*rd {
+		t.Errorf("local-pref within %v vs random %v: want local-pref >> random", lp, rd)
+	}
+}
+
+func TestEdgeRLFractionMonotone(t *testing.T) {
+	m := EdgeRL{Beta1: 0.8, Beta2: 0.01, SubnetSize: 50, NumSubnets: 20}
+	prev := -1.0
+	for tt := 0.0; tt <= 600; tt += 5 {
+		v := m.Fraction(tt)
+		if v < prev-1e-12 || v < 0 || v > 1 {
+			t.Fatalf("non-monotone or out of range at t=%v: %v", tt, v)
+		}
+		prev = v
+	}
+	if got := m.Fraction(1e5); math.Abs(got-1) > 1e-6 {
+		t.Errorf("saturation = %v, want 1", got)
+	}
+}

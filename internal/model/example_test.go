@@ -1,0 +1,66 @@
+package model_test
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// The baseline homogeneous epidemic (Equation 1): how long until half
+// the population is infected at β = 0.8?
+func ExampleHomogeneous() {
+	m := model.Homogeneous{Beta: 0.8, N: 1000, I0: 1}
+	fmt.Printf("t50 = %.1f ticks\n", m.TimeToLevel(0.5))
+	// Output: t50 = 8.6 ticks
+}
+
+// Host-based rate limiting (Equation 3) slows the worm linearly in the
+// unfiltered fraction: even 80% deployment only buys ~5x.
+func ExampleHostRL() {
+	base := model.HostRL{Q: 0, Beta1: 0.8, Beta2: 0.01, N: 1000, I0: 1}
+	deployed := base
+	deployed.Q = 0.8
+	fmt.Printf("slowdown at 80%% deployment: %.1fx\n",
+		deployed.TimeToLevel(0.5)/base.TimeToLevel(0.5))
+	// Output: slowdown at 80% deployment: 4.8x
+}
+
+// Backbone rate limiting (Equation 6): covering α of the paths divides
+// the epidemic exponent by 1/(1−α).
+func ExampleBackboneRL() {
+	m := model.BackboneRL{Beta: 0.8, Alpha: 0.9, R: 0, N: 1000, I0: 1}
+	fmt.Printf("effective exponent λ = %.2f\n", m.Lambda())
+	// Output: effective exponent λ = 0.08
+}
+
+// Delayed immunization (Section 6.1): patching from the moment the
+// epidemic hits 20% caps the total infected population near 80%.
+func ExampleDelayedImmunization_EverInfected() {
+	m := model.DelayedImmunization{Beta: 0.8, Mu: 0.1, N: 1000, I0: 1}
+	m.Delay = m.DelayForLevel(0.2)
+	ever, err := m.EverInfected(200, 0.01)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("total ever infected: %.0f%%\n", ever*100)
+	// Output: total ever infected: 83%
+}
+
+// FitLogistic recovers the effective epidemic exponent from an observed
+// curve — here the rate-limited exponent β(1−α) without knowing α.
+func ExampleFitLogistic() {
+	m := model.BackboneRL{Beta: 0.8, Alpha: 0.75, R: 0, N: 1000, I0: 1}
+	var ts, fracs []float64
+	for t := 0.0; t <= 120; t += 0.5 {
+		ts = append(ts, t)
+		fracs = append(fracs, m.Fraction(t))
+	}
+	fit, err := model.FitLogistic(ts, fracs, 0, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("fitted λ = %.2f (true β(1−α) = %.2f)\n", fit.Lambda, m.Lambda())
+	// Output: fitted λ = 0.20 (true β(1−α) = 0.20)
+}

@@ -1,0 +1,92 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogisticFit is the result of fitting the logistic epidemic form
+// i(t) = e^{λt}/(c+e^{λt}) to an observed infection curve.
+type LogisticFit struct {
+	// Lambda is the fitted epidemic exponent (the models' λ).
+	Lambda float64
+	// C is the fitted initial-condition constant.
+	C float64
+	// R2 is the coefficient of determination of the logit regression.
+	R2 float64
+	// Points is how many samples entered the fit.
+	Points int
+}
+
+// Curve returns the fitted curve as a model.
+func (f LogisticFit) Curve() Curve { return fittedLogistic(f) }
+
+type fittedLogistic LogisticFit
+
+func (f fittedLogistic) Fraction(t float64) float64 {
+	x := f.Lambda * t
+	if x > 500 {
+		return 1
+	}
+	e := math.Exp(x)
+	return e / (f.C + e)
+}
+
+// FitLogistic estimates λ and c from observed (times, fracs) by linear
+// regression on the logit: ln(i/(1−i)) = λt − ln c. Samples outside
+// (lo, hi) are discarded (the logit blows up near 0 and 1; the defaults
+// 0.01/0.99 apply when lo >= hi). Use it to recover the effective
+// epidemic exponent of a simulated or measured curve and compare it
+// against a model's prediction (e.g. β(1−α) under backbone limiting).
+//
+// Fit the growth phase only: noisy samples from the saturated plateau
+// that wobble back below hi carry a flat logit and bias λ low. Truncate
+// the series near saturation before fitting.
+func FitLogistic(times, fracs []float64, lo, hi float64) (LogisticFit, error) {
+	if len(times) != len(fracs) {
+		return LogisticFit{}, fmt.Errorf("model: fit: %d times vs %d fracs", len(times), len(fracs))
+	}
+	if lo >= hi {
+		lo, hi = 0.01, 0.99
+	}
+	var xs, ys []float64
+	for i, f := range fracs {
+		if f > lo && f < hi {
+			xs = append(xs, times[i])
+			ys = append(ys, math.Log(f/(1-f)))
+		}
+	}
+	if len(xs) < 3 {
+		return LogisticFit{}, fmt.Errorf("model: fit: only %d usable samples in (%v,%v)", len(xs), lo, hi)
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LogisticFit{}, fmt.Errorf("model: fit: degenerate time samples")
+	}
+	lambda := (n*sxy - sx*sy) / den
+	intercept := (sy - lambda*sx) / n
+	// intercept = −ln c.
+	c := math.Exp(-intercept)
+	// R² of the logit regression.
+	var ssRes, ssTot float64
+	meanY := sy / n
+	for i := range xs {
+		pred := lambda*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LogisticFit{Lambda: lambda, C: c, R2: r2, Points: len(xs)}, nil
+}

@@ -1,0 +1,90 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestFitLogisticRecoversParameters(t *testing.T) {
+	m := Homogeneous{Beta: 0.8, N: 1000, I0: 1}
+	ts := numeric.Linspace(0, 30, 120)
+	fracs := Series(m, ts)
+	fit, err := FitLogistic(ts, fracs, 0, 0) // defaults
+	if err != nil {
+		t.Fatalf("FitLogistic: %v", err)
+	}
+	if math.Abs(fit.Lambda-0.8) > 1e-6 {
+		t.Errorf("lambda = %v, want 0.8", fit.Lambda)
+	}
+	if math.Abs(fit.C-999) > 1e-3 {
+		t.Errorf("c = %v, want 999", fit.C)
+	}
+	if fit.R2 < 0.9999 {
+		t.Errorf("R2 = %v, want ~1 for exact data", fit.R2)
+	}
+	// The fitted curve reproduces the original.
+	curve := fit.Curve()
+	for _, tt := range []float64{5, 10, 15} {
+		if math.Abs(curve.Fraction(tt)-m.Fraction(tt)) > 1e-9 {
+			t.Errorf("fitted curve deviates at t=%v", tt)
+		}
+	}
+}
+
+func TestFitLogisticRecoversRateLimitedExponent(t *testing.T) {
+	// The point of the fit: recover λ = β(1−α) from a backbone-limited
+	// curve without knowing α.
+	m := BackboneRL{Beta: 0.8, Alpha: 0.75, R: 0, N: 1000, I0: 1}
+	ts := numeric.Linspace(0, 120, 400)
+	fit, err := FitLogistic(ts, Series(m, ts), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Lambda-0.2) > 1e-6 {
+		t.Errorf("lambda = %v, want β(1−α) = 0.2", fit.Lambda)
+	}
+}
+
+func TestFitLogisticErrors(t *testing.T) {
+	if _, err := FitLogistic([]float64{1, 2}, []float64{0.5}, 0, 0); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	// All samples saturated: nothing in the usable band.
+	ts := []float64{1, 2, 3, 4}
+	ones := []float64{1, 1, 1, 1}
+	if _, err := FitLogistic(ts, ones, 0, 0); err == nil {
+		t.Error("saturated data should fail")
+	}
+	// Degenerate times.
+	same := []float64{5, 5, 5, 5}
+	mid := []float64{0.3, 0.4, 0.5, 0.6}
+	if _, err := FitLogistic(same, mid, 0, 0); err == nil {
+		t.Error("constant time samples should fail")
+	}
+}
+
+func TestFitLogisticNoisyData(t *testing.T) {
+	// Fit the growth phase only (t <= 16): noisy samples from the
+	// saturated tail wobble back under the hi cutoff with a flat logit
+	// and would bias the slope — the standard practice the FitLogistic
+	// doc prescribes.
+	m := Homogeneous{Beta: 0.5, N: 500, I0: 2}
+	ts := numeric.Linspace(0, 16, 60)
+	fracs := Series(m, ts)
+	// Deterministic multiplicative wobble.
+	for i := range fracs {
+		fracs[i] *= 1 + 0.03*math.Sin(float64(i))
+	}
+	fit, err := FitLogistic(ts, fracs, 0.02, 0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Lambda-0.5) > 0.05 {
+		t.Errorf("lambda = %v, want ~0.5 under noise", fit.Lambda)
+	}
+	if fit.R2 < 0.95 {
+		t.Errorf("R2 = %v, want high on the growth phase", fit.R2)
+	}
+}

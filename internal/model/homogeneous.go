@@ -1,0 +1,76 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// Homogeneous is the baseline homogeneous-mixing epidemic of Section 3:
+//
+//	dI/dt = β·I·(N−I)/N            (Equation 1)
+//
+// with solution I/N = e^{βt}/(c+e^{βt}) and time-to-level
+// t ≐ ln(α)/β for low initial infection (Equation 2).
+type Homogeneous struct {
+	Beta float64 // average per-host contact (infection) rate β
+	N    float64 // population size
+	I0   float64 // initially infected hosts (0 < I0 < N)
+}
+
+// Validate checks the parameters.
+func (m Homogeneous) Validate() error {
+	if err := checkPopulation(m.N, m.I0); err != nil {
+		return err
+	}
+	if m.Beta <= 0 {
+		return errNonPositiveRate
+	}
+	return nil
+}
+
+// C returns the logistic constant fixed by the initial condition,
+// c = (N − I0)/I0. For low initial infection c → N − 1 (paper, §3).
+func (m Homogeneous) C() float64 { return numeric.LogisticC(m.I0 / m.N) }
+
+// Fraction returns I(t)/N from the closed form.
+func (m Homogeneous) Fraction(t float64) float64 {
+	return numeric.Logistic(t, m.Beta, m.C())
+}
+
+// TimeToLevel returns the exact time at which the infected fraction
+// reaches level ∈ (0,1). The paper's Equation 2 approximation
+// t ≐ ln(αN... )/β is recovered for small levels and low I0.
+func (m Homogeneous) TimeToLevel(level float64) float64 {
+	return numeric.LogisticTimeToLevel(level, m.Beta, m.C())
+}
+
+// ApproxTimeToLevel is the paper's Equation 2: t ≐ ln(α)/β where α is
+// the target infection level expressed as a multiple of the initial
+// level (I/I0). It is the low-infection approximation of TimeToLevel.
+func (m Homogeneous) ApproxTimeToLevel(alpha float64) float64 {
+	if alpha <= 0 || m.Beta == 0 {
+		return math.NaN()
+	}
+	return math.Log(alpha) / m.Beta
+}
+
+// RHS returns Equation 1. State: [I].
+func (m Homogeneous) RHS() numeric.RHS {
+	return func(t float64, y, dst []float64) {
+		i := y[0]
+		dst[0] = m.Beta * i * (m.N - i) / m.N
+	}
+}
+
+// InitialState returns [I0].
+func (m Homogeneous) InitialState() []float64 { return []float64{m.I0} }
+
+// N0 returns the (fixed) population size.
+func (m Homogeneous) N0() float64 { return m.N }
+
+var (
+	_ Curve     = Homogeneous{}
+	_ Validator = Homogeneous{}
+	_ ODE       = Homogeneous{}
+)

@@ -1,0 +1,122 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+// crossValidate checks a model's closed form against RK4 integration of
+// its exact ODE over [0, t1] at tolerance tol.
+func crossValidate(t *testing.T, m interface {
+	Curve
+	ODE
+	N0() float64
+}, t1, tol float64) {
+	t.Helper()
+	ts, frac, err := Integrate(m, t1, 0.01)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	for k := 0; k < len(ts); k += 10 {
+		want := frac[k]
+		got := m.Fraction(ts[k])
+		if math.Abs(got-want) > tol {
+			t.Fatalf("t=%.2f: closed form %.5f vs ODE %.5f (tol %v)", ts[k], got, want, tol)
+		}
+	}
+}
+
+func TestHomogeneousValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		m       Homogeneous
+		wantErr bool
+	}{
+		{"ok", Homogeneous{Beta: 0.8, N: 1000, I0: 1}, false},
+		{"zero beta", Homogeneous{Beta: 0, N: 1000, I0: 1}, true},
+		{"zero N", Homogeneous{Beta: 0.8, N: 0, I0: 1}, true},
+		{"I0 zero", Homogeneous{Beta: 0.8, N: 1000, I0: 0}, true},
+		{"I0 = N", Homogeneous{Beta: 0.8, N: 10, I0: 10}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.m.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err=%v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestHomogeneousClosedFormVsODE(t *testing.T) {
+	m := Homogeneous{Beta: 0.8, N: 1000, I0: 1}
+	crossValidate(t, m, 40, 1e-4)
+}
+
+func TestHomogeneousInitialAndSaturation(t *testing.T) {
+	m := Homogeneous{Beta: 0.8, N: 200, I0: 2}
+	if got := m.Fraction(0); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("Fraction(0) = %v, want 0.01", got)
+	}
+	if got := m.Fraction(1e4); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Fraction(inf) = %v, want 1", got)
+	}
+}
+
+func TestHomogeneousTimeToLevel(t *testing.T) {
+	m := Homogeneous{Beta: 0.8, N: 1000, I0: 1}
+	for _, level := range []float64{0.2, 0.5, 0.8} {
+		tt := m.TimeToLevel(level)
+		if got := m.Fraction(tt); math.Abs(got-level) > 1e-9 {
+			t.Errorf("roundtrip %v: got %v", level, got)
+		}
+	}
+	// Paper's Eq 2 approximation: growing to α× initial count takes
+	// ~ln(α)/β while infection is low.
+	exact := m.TimeToLevel(0.05) // 50 infected = 50x initial
+	approx := m.ApproxTimeToLevel(50)
+	if math.Abs(exact-approx) > 0.3 {
+		t.Errorf("Eq2 approx %v too far from exact %v", approx, exact)
+	}
+	if !math.IsNaN(m.ApproxTimeToLevel(0)) {
+		t.Error("ApproxTimeToLevel(0) should be NaN")
+	}
+}
+
+// Property: the infected fraction is non-decreasing in time and bounded
+// by [0, 1] for any valid parameters.
+func TestHomogeneousMonotoneProperty(t *testing.T) {
+	f := func(betaRaw, i0Raw uint8) bool {
+		beta := 0.05 + float64(betaRaw%100)/50 // (0.05, 2.05)
+		i0 := 1 + float64(i0Raw%50)            // [1, 50]
+		m := Homogeneous{Beta: beta, N: 1000, I0: i0}
+		prev := -1.0
+		for tt := 0.0; tt <= 60; tt += 0.5 {
+			v := m.Fraction(tt)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeriesHelper(t *testing.T) {
+	m := Homogeneous{Beta: 0.8, N: 100, I0: 1}
+	ts := numeric.Linspace(0, 10, 11)
+	s := Series(m, ts)
+	if len(s) != 11 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i, tt := range ts {
+		if s[i] != m.Fraction(tt) {
+			t.Fatalf("series[%d] mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/numeric"
+)
+
+// HostRL models rate limiting at a fraction q of individual hosts (or,
+// equivalently, leaf nodes of the star in Section 4):
+//
+//	dI/dt = x1·β1·(N−I)/N + x2·β2·(N−I)/N     (Equation 3)
+//
+// with x1 = I(1−q) unfiltered infected hosts at rate β1 and x2 = I·q
+// filtered hosts at rate β2. The solution is logistic with effective
+// exponent λ = q·β2 + (1−q)·β1; when β1 >> β2 this is ≈ β1(1−q), the
+// paper's "linear slowdown proportional to the unfiltered fraction".
+type HostRL struct {
+	Q     float64 // fraction of hosts with the rate-limiting filter
+	Beta1 float64 // contact rate of an unfiltered infected host
+	Beta2 float64 // contact rate allowed by the filter (β2 << β1)
+	N     float64 // population size
+	I0    float64 // initially infected hosts
+}
+
+// Validate checks the parameters.
+func (m HostRL) Validate() error {
+	if err := checkPopulation(m.N, m.I0); err != nil {
+		return err
+	}
+	if m.Beta1 < 0 || m.Beta2 < 0 {
+		return errNegativeRate
+	}
+	if m.Q < 0 || m.Q > 1 {
+		return fmt.Errorf("%w: q=%v", errBadFraction, m.Q)
+	}
+	return nil
+}
+
+// Lambda returns the effective epidemic exponent λ = qβ2 + (1−q)β1.
+func (m HostRL) Lambda() float64 { return m.Q*m.Beta2 + (1-m.Q)*m.Beta1 }
+
+// C returns the logistic constant fixed by the initial condition.
+func (m HostRL) C() float64 { return numeric.LogisticC(m.I0 / m.N) }
+
+// Fraction returns I(t)/N from the closed form.
+func (m HostRL) Fraction(t float64) float64 {
+	return numeric.Logistic(t, m.Lambda(), m.C())
+}
+
+// TimeToLevel returns the exact time to reach an infected fraction.
+// The paper's approximation t = ln(α)/(β1(1−q)) follows for β1 >> β2.
+func (m HostRL) TimeToLevel(level float64) float64 {
+	return numeric.LogisticTimeToLevel(level, m.Lambda(), m.C())
+}
+
+// Slowdown returns the multiplicative slowdown in time-to-level relative
+// to the unfiltered epidemic: λ(q=0)/λ(q) = β1/λ. Linear in 1/(1−q) for
+// β1 >> β2 — the headline "linear slowdown" result.
+func (m HostRL) Slowdown() float64 {
+	l := m.Lambda()
+	if l == 0 {
+		return 0
+	}
+	return m.Beta1 / l
+}
+
+// RHS returns Equation 3. State: [I].
+func (m HostRL) RHS() numeric.RHS {
+	return func(t float64, y, dst []float64) {
+		i := y[0]
+		x1 := i * (1 - m.Q)
+		x2 := i * m.Q
+		dst[0] = (x1*m.Beta1 + x2*m.Beta2) * (m.N - i) / m.N
+	}
+}
+
+// InitialState returns [I0].
+func (m HostRL) InitialState() []float64 { return []float64{m.I0} }
+
+// N0 returns the population size.
+func (m HostRL) N0() float64 { return m.N }
+
+var (
+	_ Curve     = HostRL{}
+	_ Validator = HostRL{}
+	_ ODE       = HostRL{}
+)

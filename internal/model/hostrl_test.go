@@ -1,0 +1,124 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHostRLValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		m       HostRL
+		wantErr bool
+	}{
+		{"ok", HostRL{Q: 0.5, Beta1: 0.8, Beta2: 0.01, N: 1000, I0: 1}, false},
+		{"q over 1", HostRL{Q: 1.5, Beta1: 0.8, Beta2: 0.01, N: 1000, I0: 1}, true},
+		{"q negative", HostRL{Q: -0.1, Beta1: 0.8, Beta2: 0.01, N: 1000, I0: 1}, true},
+		{"negative rate", HostRL{Q: 0.5, Beta1: -1, Beta2: 0.01, N: 1000, I0: 1}, true},
+		{"bad pop", HostRL{Q: 0.5, Beta1: 0.8, Beta2: 0.01, N: 0, I0: 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.m.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err=%v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestHostRLLambda(t *testing.T) {
+	m := HostRL{Q: 0.3, Beta1: 0.8, Beta2: 0.01, N: 1000, I0: 1}
+	want := 0.3*0.01 + 0.7*0.8
+	if got := m.Lambda(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Lambda = %v, want %v", got, want)
+	}
+}
+
+func TestHostRLClosedFormVsODE(t *testing.T) {
+	for _, q := range []float64{0, 0.05, 0.5, 0.8, 1} {
+		m := HostRL{Q: q, Beta1: 0.8, Beta2: 0.01, N: 1000, I0: 1}
+		crossValidate(t, m, 60, 1e-4)
+	}
+}
+
+func TestHostRLReducesToHomogeneous(t *testing.T) {
+	// q = 0 must match the baseline model exactly.
+	h := Homogeneous{Beta: 0.8, N: 1000, I0: 1}
+	m := HostRL{Q: 0, Beta1: 0.8, Beta2: 0.01, N: 1000, I0: 1}
+	for tt := 0.0; tt < 40; tt += 1 {
+		if math.Abs(h.Fraction(tt)-m.Fraction(tt)) > 1e-12 {
+			t.Fatalf("q=0 deviates from homogeneous at t=%v", tt)
+		}
+	}
+	// q = 1: everyone filtered, epidemic runs at β2.
+	full := HostRL{Q: 1, Beta1: 0.8, Beta2: 0.01, N: 1000, I0: 1}
+	slow := Homogeneous{Beta: 0.01, N: 1000, I0: 1}
+	for tt := 0.0; tt < 40; tt += 1 {
+		if math.Abs(full.Fraction(tt)-slow.Fraction(tt)) > 1e-12 {
+			t.Fatalf("q=1 deviates from β2 epidemic at t=%v", tt)
+		}
+	}
+}
+
+// The paper's headline: the slowdown is linear in (1-q) — i.e.
+// time-to-level scales as 1/(1-q) when β1 >> β2. Figure 2's observation
+// that 80% deployment is barely 5x and only 100% is dramatic.
+func TestHostRLLinearSlowdown(t *testing.T) {
+	base := HostRL{Q: 0, Beta1: 0.8, Beta2: 0.001, N: 1000, I0: 1}
+	t0 := base.TimeToLevel(0.5)
+	for _, q := range []float64{0.05, 0.5, 0.8} {
+		m := base
+		m.Q = q
+		ratio := m.TimeToLevel(0.5) / t0
+		wantApprox := 1 / (1 - q) // linear slowdown
+		if math.Abs(ratio-wantApprox)/wantApprox > 0.05 {
+			t.Errorf("q=%v: slowdown %v, want ~%v", q, ratio, wantApprox)
+		}
+	}
+	// 5% deployment is negligible (<6% slowdown)...
+	m5 := base
+	m5.Q = 0.05
+	if s := m5.TimeToLevel(0.5) / t0; s > 1.06 {
+		t.Errorf("5%% deployment slowdown %v, want negligible", s)
+	}
+	// ...while 100% is enormous (β1/β2 = 800x).
+	m100 := base
+	m100.Q = 1
+	if s := m100.TimeToLevel(0.5) / t0; s < 100 {
+		t.Errorf("100%% deployment slowdown %v, want >> 100x", s)
+	}
+}
+
+func TestHostRLSlowdownAccessor(t *testing.T) {
+	m := HostRL{Q: 0.5, Beta1: 0.8, Beta2: 0, N: 1000, I0: 1}
+	if got := m.Slowdown(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Slowdown = %v, want 2", got)
+	}
+	z := HostRL{Q: 1, Beta1: 0.8, Beta2: 0, N: 1000, I0: 1}
+	if got := z.Slowdown(); got != 0 {
+		t.Errorf("Slowdown with λ=0 = %v, want 0", got)
+	}
+}
+
+// Property: increasing q never speeds up the epidemic.
+func TestHostRLMonotoneInQ(t *testing.T) {
+	f := func(q1Raw, q2Raw uint8) bool {
+		q1 := float64(q1Raw) / 255
+		q2 := float64(q2Raw) / 255
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		a := HostRL{Q: q1, Beta1: 0.8, Beta2: 0.01, N: 1000, I0: 1}
+		b := HostRL{Q: q2, Beta1: 0.8, Beta2: 0.01, N: 1000, I0: 1}
+		for tt := 0.0; tt <= 50; tt += 2.5 {
+			if b.Fraction(tt) > a.Fraction(tt)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// HubRL models rate limiting at the hub of a star topology (Section 4),
+// with both link-level and node-level limits. While the combined leaf
+// demand is below the hub budget (γ·I ≤ β) the links limit propagation:
+//
+//	dI/dt = γ·I·(N−I)/N,   γI ≤ β     (Equation 4)
+//
+// once demand exceeds the hub budget the hub node rate limits:
+//
+//	dI/dt = β·(N−I)/N,     γI > β     (Equation 5)
+//
+// The closed form is the logistic e^{γt}/(c+e^{γt}) glued at the regime
+// boundary I* = β/γ to the saturating exponential 1 − c′e^{−β(t−t*)/N}.
+// This is also the model used (per §7) to approximate aggregate edge-
+// router rate limiting of a single subnet in Figure 10.
+type HubRL struct {
+	Beta  float64 // hub node-level rate limit β (packets per tick through the hub)
+	Gamma float64 // per-link rate limit γ
+	N     float64 // number of leaf nodes
+	I0    float64 // initially infected leaves
+}
+
+// Validate checks the parameters.
+func (m HubRL) Validate() error {
+	if err := checkPopulation(m.N, m.I0); err != nil {
+		return err
+	}
+	if m.Beta < 0 || m.Gamma < 0 {
+		return errNegativeRate
+	}
+	return nil
+}
+
+// SwitchFraction returns the infected fraction I*/N = β/(γN) at which
+// the dynamics switch from link-limited to node-limited. +Inf when γ = 0
+// (the node limit never binds).
+func (m HubRL) SwitchFraction() float64 {
+	if m.Gamma == 0 {
+		return math.Inf(1)
+	}
+	return m.Beta / (m.Gamma * m.N)
+}
+
+// c returns the phase-1 logistic constant.
+func (m HubRL) c() float64 { return numeric.LogisticC(m.I0 / m.N) }
+
+// SwitchTime returns the time at which the link-limited logistic reaches
+// the regime boundary, or +Inf if it never does (boundary ≥ 1), or 0 if
+// the initial infection already exceeds it.
+func (m HubRL) SwitchTime() float64 {
+	istar := m.SwitchFraction()
+	if m.I0/m.N >= istar {
+		return 0
+	}
+	if istar >= 1 || m.Gamma == 0 {
+		return math.Inf(1)
+	}
+	return numeric.LogisticTimeToLevel(istar, m.Gamma, m.c())
+}
+
+// Fraction returns I(t)/N from the glued closed form.
+func (m HubRL) Fraction(t float64) float64 {
+	ts := m.SwitchTime()
+	if ts == 0 {
+		// Node-limited from the start: anchor phase 2 at the initial
+		// fraction, which may exceed the regime boundary.
+		return m.phase2(t, 0, m.I0/m.N)
+	}
+	if t <= ts {
+		return numeric.Logistic(t, m.Gamma, m.c())
+	}
+	istar := math.Min(m.SwitchFraction(), 1)
+	return m.phase2(t, ts, istar)
+}
+
+// phase2 evaluates the node-limited regime anchored at (t0, i0):
+// i(t) = 1 − (1−i0)·e^{−β(t−t0)/N}.
+func (m HubRL) phase2(t, t0, i0 float64) float64 {
+	return 1 - (1-i0)*math.Exp(-m.Beta*(t-t0)/m.N)
+}
+
+// TimeToLevel inverts the glued closed form.
+func (m HubRL) TimeToLevel(level float64) float64 {
+	if level <= 0 || level >= 1 {
+		return math.NaN()
+	}
+	if level <= m.I0/m.N {
+		return 0
+	}
+	ts := m.SwitchTime()
+	istar := m.SwitchFraction()
+	if level < istar || math.IsInf(ts, 1) {
+		// Reached within the link-limited logistic.
+		if m.Gamma == 0 {
+			return math.Inf(1) // frozen epidemic never reaches the level
+		}
+		return numeric.LogisticTimeToLevel(level, m.Gamma, m.c())
+	}
+	// Node-limited: level = 1 − (1−anchor)e^{−β(t−ts)/N}.
+	anchor := math.Min(istar, 1)
+	if ts == 0 {
+		anchor = m.I0 / m.N
+	}
+	if m.Beta == 0 {
+		return math.Inf(1)
+	}
+	return ts + m.N/m.Beta*math.Log((1-anchor)/(1-level))
+}
+
+// RHS returns the exact piecewise dynamics (Equations 4 and 5).
+// State: [I].
+func (m HubRL) RHS() numeric.RHS {
+	return numeric.PiecewiseRHS([]numeric.Piece{
+		{
+			While: func(t float64, y []float64) bool { return m.Gamma*y[0] <= m.Beta },
+			F: func(t float64, y, dst []float64) {
+				dst[0] = m.Gamma * y[0] * (m.N - y[0]) / m.N
+			},
+		},
+		{
+			F: func(t float64, y, dst []float64) {
+				dst[0] = m.Beta * (m.N - y[0]) / m.N
+			},
+		},
+	})
+}
+
+// InitialState returns [I0].
+func (m HubRL) InitialState() []float64 { return []float64{m.I0} }
+
+// N0 returns the population size.
+func (m HubRL) N0() float64 { return m.N }
+
+var (
+	_ Curve     = HubRL{}
+	_ Validator = HubRL{}
+	_ ODE       = HubRL{}
+)

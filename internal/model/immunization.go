@@ -1,0 +1,229 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// DelayedImmunization is the dynamic-immunization model of Section 6.1.
+// Immunization (patching) starts at time d; thereafter every host —
+// susceptible or infected — is patched with probability µ per unit time:
+//
+//	dI/dt = β·I·(N−I)/N                 t ≤ d
+//	dI/dt = β·I·(N−I)/N − µ·I           t > d
+//	dN/dt = −µ·N                        t > d
+//
+// Closed form (paper, §6.1), with N0 the initial susceptible population:
+//
+//	I/N0 = e^{βt}/(c+e^{βt})                      t ≤ d
+//	I/N0 = e^{(β−µ)(t−d)} / (c0 + e^{β(t−d)})     t > d
+//
+// where c0 is fixed by continuity at t = d.
+type DelayedImmunization struct {
+	Beta  float64 // contact rate β
+	Mu    float64 // per-tick patch probability µ after the delay
+	Delay float64 // immunization start time d
+	N     float64 // initial susceptible population N0
+	I0    float64 // initially infected hosts
+}
+
+// Validate checks the parameters.
+func (m DelayedImmunization) Validate() error {
+	if err := checkPopulation(m.N, m.I0); err != nil {
+		return err
+	}
+	if m.Beta <= 0 {
+		return errNonPositiveRate
+	}
+	if m.Mu < 0 || m.Mu > 1 {
+		return fmt.Errorf("%w: mu=%v", errBadFraction, m.Mu)
+	}
+	if m.Delay < 0 {
+		return fmt.Errorf("model: delay must be non-negative, got %v", m.Delay)
+	}
+	return nil
+}
+
+// DelayForLevel returns the start time d at which the *un-immunized*
+// epidemic reaches the given infected fraction — the paper specifies
+// immunization starts "at 20% infection" and derives the corresponding
+// tick from the baseline model (e.g. ≈ tick 6 for 20% at β=0.8,N=1000).
+func (m DelayedImmunization) DelayForLevel(level float64) float64 {
+	base := Homogeneous{Beta: m.Beta, N: m.N, I0: m.I0}
+	return base.TimeToLevel(level)
+}
+
+// fractionAtDelay returns I(d)/N0 from the pre-immunization logistic.
+func (m DelayedImmunization) fractionAtDelay() float64 {
+	return numeric.Logistic(m.Delay, m.Beta, numeric.LogisticC(m.I0/m.N))
+}
+
+// Fraction returns I(t)/N0 from the piecewise closed form.
+func (m DelayedImmunization) Fraction(t float64) float64 {
+	c := numeric.LogisticC(m.I0 / m.N)
+	if t <= m.Delay {
+		return numeric.Logistic(t, m.Beta, c)
+	}
+	fd := m.fractionAtDelay()
+	c0 := 1/fd - 1 // continuity: e^0/(c0+e^0) = fd
+	dt := t - m.Delay
+	num := math.Exp((m.Beta - m.Mu) * dt)
+	den := c0 + math.Exp(m.Beta*dt)
+	if math.IsInf(den, 1) {
+		// Large t: ratio tends to e^{−µ·dt} → 0 for µ>0.
+		return math.Exp(-m.Mu * dt)
+	}
+	return num / den
+}
+
+// RHS returns the exact dynamics. State: [I, N, E] where E is the
+// cumulative ever-infected count (dE/dt = rate of new infections), used
+// to reproduce the "total percentage of nodes ever infected" metric of
+// Figure 8.
+func (m DelayedImmunization) RHS() numeric.RHS {
+	return func(t float64, y, dst []float64) {
+		i, n := y[0], y[1]
+		if n <= 0 {
+			dst[0], dst[1], dst[2] = 0, 0, 0
+			return
+		}
+		newInf := m.Beta * i * (n - i) / n
+		if newInf < 0 {
+			newInf = 0
+		}
+		dst[2] = newInf
+		if t <= m.Delay {
+			dst[0] = newInf
+			dst[1] = 0
+			return
+		}
+		dst[0] = newInf - m.Mu*i
+		dst[1] = -m.Mu * n
+	}
+}
+
+// InitialState returns [I0, N0, I0].
+func (m DelayedImmunization) InitialState() []float64 {
+	return []float64{m.I0, m.N, m.I0}
+}
+
+// N0 returns the initial susceptible population.
+func (m DelayedImmunization) N0() float64 { return m.N }
+
+// EverInfected integrates the exact dynamics to t1 and returns the final
+// ever-infected fraction E(t1)/N0 — the saturation value plotted in
+// Figure 8(a) (≈ 0.80/0.90/0.98 for starts at 20/50/80% infection).
+func (m DelayedImmunization) EverInfected(t1, dt float64) (float64, error) {
+	sol, err := numeric.RK4(m.RHS(), m.InitialState(), 0, t1, dt)
+	if err != nil {
+		return 0, fmt.Errorf("model: ever-infected: %w", err)
+	}
+	e := sol.States[len(sol.States)-1][2]
+	return math.Min(e/m.N, 1), nil
+}
+
+var (
+	_ Curve     = DelayedImmunization{}
+	_ Validator = DelayedImmunization{}
+	_ ODE       = DelayedImmunization{}
+)
+
+// BackboneRLImmunization combines backbone rate limiting with delayed
+// immunization (Section 6.2):
+//
+//	dI/dt = I·β(1−α)·(N−I)/N + δ(N−I)/N          t ≤ d
+//	dI/dt = I·β(1−α)·(N−I)/N + δ(N−I)/N − µI     t > d
+//	dN/dt = −µN                                   t > d
+//
+// with δ = min(Iβα, rN/2³²). For small r the closed form is the delayed-
+// immunization solution with γ = β(1−α) in place of β.
+type BackboneRLImmunization struct {
+	Beta  float64 // raw contact rate β
+	Alpha float64 // fraction of paths covered by backbone rate limiting
+	R     float64 // aggregate allowed rate through limited routers
+	Mu    float64 // per-tick patch probability after the delay
+	Delay float64 // immunization start time d
+	N     float64 // initial susceptible population
+	I0    float64 // initially infected hosts
+}
+
+// Validate checks the parameters.
+func (m BackboneRLImmunization) Validate() error {
+	if err := (BackboneRL{Beta: m.Beta, Alpha: m.Alpha, R: m.R, N: m.N, I0: m.I0}).Validate(); err != nil {
+		return err
+	}
+	if m.Mu < 0 || m.Mu > 1 {
+		return fmt.Errorf("%w: mu=%v", errBadFraction, m.Mu)
+	}
+	if m.Delay < 0 {
+		return fmt.Errorf("model: delay must be non-negative, got %v", m.Delay)
+	}
+	return nil
+}
+
+// Gamma returns the rate-limited epidemic exponent γ = β(1−α).
+func (m BackboneRLImmunization) Gamma() float64 { return m.Beta * (1 - m.Alpha) }
+
+// asDelayed returns the equivalent small-r delayed-immunization model
+// with γ substituted for β.
+func (m BackboneRLImmunization) asDelayed() DelayedImmunization {
+	return DelayedImmunization{Beta: m.Gamma(), Mu: m.Mu, Delay: m.Delay, N: m.N, I0: m.I0}
+}
+
+// Fraction returns the small-r piecewise closed form with γ = β(1−α).
+func (m BackboneRLImmunization) Fraction(t float64) float64 {
+	return m.asDelayed().Fraction(t)
+}
+
+// RHS returns the exact dynamics including the δ term.
+// State: [I, N, E] as for DelayedImmunization.
+func (m BackboneRLImmunization) RHS() numeric.RHS {
+	bb := BackboneRL{Beta: m.Beta, Alpha: m.Alpha, R: m.R, N: m.N, I0: m.I0}
+	return func(t float64, y, dst []float64) {
+		i, n := y[0], y[1]
+		if n <= 0 {
+			dst[0], dst[1], dst[2] = 0, 0, 0
+			return
+		}
+		newInf := i*m.Beta*(1-m.Alpha)*(n-i)/n + bb.Delta(i)*(n-i)/n
+		if newInf < 0 {
+			newInf = 0
+		}
+		dst[2] = newInf
+		if t <= m.Delay {
+			dst[0] = newInf
+			dst[1] = 0
+			return
+		}
+		dst[0] = newInf - m.Mu*i
+		dst[1] = -m.Mu * n
+	}
+}
+
+// InitialState returns [I0, N0, I0].
+func (m BackboneRLImmunization) InitialState() []float64 {
+	return []float64{m.I0, m.N, m.I0}
+}
+
+// N0 returns the initial susceptible population.
+func (m BackboneRLImmunization) N0() float64 { return m.N }
+
+// EverInfected integrates the exact dynamics and returns E(t1)/N0 —
+// e.g. ≈ 0.72 for the Figure 8(b) 20%-start scenario, vs 0.80 without
+// rate limiting.
+func (m BackboneRLImmunization) EverInfected(t1, dt float64) (float64, error) {
+	sol, err := numeric.RK4(m.RHS(), m.InitialState(), 0, t1, dt)
+	if err != nil {
+		return 0, fmt.Errorf("model: ever-infected: %w", err)
+	}
+	e := sol.States[len(sol.States)-1][2]
+	return math.Min(e/m.N, 1), nil
+}
+
+var (
+	_ Curve     = BackboneRLImmunization{}
+	_ Validator = BackboneRLImmunization{}
+	_ ODE       = BackboneRLImmunization{}
+)

@@ -1,0 +1,100 @@
+// Package model implements the paper's analytical worm-propagation
+// models. Every model exposes two faces:
+//
+//   - a closed form (the solution printed in the paper, often an
+//     approximation valid when β1 >> β2 or when the backbone residual
+//     rate r is small), via Fraction and Series, and
+//   - the exact differential equation, via RHS and InitialState, which
+//     can be integrated with the numeric package.
+//
+// Tests cross-validate the two faces; the experiment harness uses
+// whichever face the corresponding paper figure used.
+//
+// Model inventory (paper section → type):
+//
+//	§3  Eq 1–2   Homogeneous        — baseline logistic epidemic
+//	§4/5.1 Eq 3  HostRL             — rate limiting at q of hosts/leaves
+//	§4  Eq 4–5   HubRL              — hub/link rate limiting on a star
+//	§5.2         EdgeRL             — two-level subnet growth
+//	§5.3 Eq 6    BackboneRL         — rate limiting on α of paths
+//	§6.1         DelayedImmunization
+//	§6.2         BackboneRLImmunization
+//	extension    VariableImmunization — bell-curve µ(t) (§6.1 remark)
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/numeric"
+)
+
+// Curve is the common read surface of every analytical model: the
+// infected fraction as a function of time.
+type Curve interface {
+	// Fraction returns the infected fraction I/N at time t according to
+	// the model's closed form.
+	Fraction(t float64) float64
+}
+
+// Validator is implemented by all models; Validate reports parameter
+// errors before any evaluation.
+type Validator interface {
+	Validate() error
+}
+
+// Series evaluates curve c at each time in ts.
+func Series(c Curve, ts []float64) []float64 {
+	out := make([]float64, len(ts))
+	for i, t := range ts {
+		out[i] = c.Fraction(t)
+	}
+	return out
+}
+
+// ODE is the exact-dynamics face of a model.
+type ODE interface {
+	// RHS returns the model's differential equation. The state layout is
+	// model-specific; state[0] is always the infected count I.
+	RHS() numeric.RHS
+	// InitialState returns the ODE initial condition.
+	InitialState() []float64
+}
+
+// Integrate solves a model's exact ODE over [0, t1] with step dt and
+// returns the times and the infected fraction I/N0 at each sample, where
+// N0 is the model's initial susceptible population.
+func Integrate(m interface {
+	ODE
+	N0() float64
+}, t1, dt float64) (ts, frac []float64, err error) {
+	sol, err := numeric.RK4(m.RHS(), m.InitialState(), 0, t1, dt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("model: integrate: %w", err)
+	}
+	n0 := m.N0()
+	frac = sol.Component(0)
+	for i := range frac {
+		frac[i] /= n0
+	}
+	return sol.Times, frac, nil
+}
+
+// Common parameter errors.
+var (
+	errNonPositiveN    = errors.New("model: population N must be positive")
+	errBadInitial      = errors.New("model: initial infected must be in (0, N)")
+	errNegativeRate    = errors.New("model: contact rates must be non-negative")
+	errBadFraction     = errors.New("model: fraction parameter must be in [0, 1]")
+	errNonPositiveRate = errors.New("model: contact rate must be positive")
+)
+
+func checkPopulation(n, i0 float64) error {
+	if n <= 0 {
+		return errNonPositiveN
+	}
+	if i0 <= 0 || i0 >= n {
+		return fmt.Errorf("%w: I0=%v N=%v", errBadInitial, i0, n)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// Peak describes the maximum of an infection curve: when the infected
+// population tops out and how high it gets. For the immunization models
+// the peak marks the turning point where patching overtakes spreading
+// (dI/dt = 0 ⇔ β(N−I)/N = µ in the delayed model).
+type Peak struct {
+	Time     float64
+	Fraction float64
+}
+
+// PeakInfection integrates a model's exact dynamics over [0, t1] and
+// returns the highest instantaneous infected fraction and when it
+// occurs. For monotone (no-removal) models the peak is the final point.
+func PeakInfection(m interface {
+	ODE
+	N0() float64
+}, t1, dt float64) (Peak, error) {
+	sol, err := numeric.RK4(m.RHS(), m.InitialState(), 0, t1, dt)
+	if err != nil {
+		return Peak{}, fmt.Errorf("model: peak: %w", err)
+	}
+	n0 := m.N0()
+	best := Peak{Time: math.NaN(), Fraction: -1}
+	for i, tt := range sol.Times {
+		if f := sol.States[i][0] / n0; f > best.Fraction {
+			best = Peak{Time: tt, Fraction: f}
+		}
+	}
+	return best, nil
+}
+
+// AnalyticPeak returns the delayed-immunization model's peak from the
+// turning-point condition of its ODE: after the delay, dI/dt = 0 when
+// β·(N−I)/N = µ, i.e. I*/N = 1 − µ/β (taking N ≈ N0 at the peak, valid
+// while few hosts have been patched). If the epidemic already exceeds
+// that level at the delay, the peak is at the delay itself.
+func (m DelayedImmunization) AnalyticPeak() Peak {
+	turn := 1 - m.Mu/m.Beta
+	atDelay := m.fractionAtDelay()
+	if turn <= atDelay {
+		return Peak{Time: m.Delay, Fraction: atDelay}
+	}
+	// Invert the pre-turn branch: before patching bites hard the curve
+	// still follows roughly the logistic; find the crossing numerically
+	// on the closed form.
+	t := m.Delay
+	peak := atDelay
+	for step := 0.25; t < m.Delay+1000; t += step {
+		f := m.Fraction(t)
+		if f < peak {
+			break
+		}
+		peak = f
+	}
+	return Peak{Time: t, Fraction: peak}
+}

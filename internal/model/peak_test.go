@@ -1,0 +1,75 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPeakInfectionMonotoneModel(t *testing.T) {
+	m := Homogeneous{Beta: 0.8, N: 1000, I0: 1}
+	p, err := PeakInfection(m, 40, 0.01)
+	if err != nil {
+		t.Fatalf("PeakInfection: %v", err)
+	}
+	// No removal: peak is the end of the horizon at ~full saturation.
+	if math.Abs(p.Time-40) > 0.02 {
+		t.Errorf("peak time = %v, want ~40", p.Time)
+	}
+	if p.Fraction < 0.99 {
+		t.Errorf("peak fraction = %v, want ~1", p.Fraction)
+	}
+}
+
+func TestPeakInfectionImmunization(t *testing.T) {
+	m := DelayedImmunization{Beta: 0.8, Mu: 0.1, Delay: 7, N: 1000, I0: 1}
+	p, err := PeakInfection(m, 120, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The peak must come after the delay and below full saturation.
+	if p.Time <= m.Delay {
+		t.Errorf("peak at %v, want after delay %v", p.Time, m.Delay)
+	}
+	if p.Fraction >= 1 || p.Fraction <= m.Fraction(m.Delay) {
+		t.Errorf("peak fraction %v implausible", p.Fraction)
+	}
+	// The ODE turning point is where β(N−I)/N ≈ µ, i.e. I/N ≈ 1−µ/β =
+	// 0.875 — but N shrinks as patching proceeds, so the realized peak
+	// sits below that bound.
+	bound := 1 - m.Mu/m.Beta
+	if p.Fraction > bound+0.02 {
+		t.Errorf("peak %v exceeds turning-point bound %v", p.Fraction, bound)
+	}
+}
+
+func TestPeakInfectionBadStep(t *testing.T) {
+	m := Homogeneous{Beta: 0.8, N: 100, I0: 1}
+	if _, err := PeakInfection(m, 10, 0); err == nil {
+		t.Error("zero step should fail")
+	}
+}
+
+func TestAnalyticPeakAgreesWithODE(t *testing.T) {
+	m := DelayedImmunization{Beta: 0.8, Mu: 0.1, Delay: 7, N: 1000, I0: 1}
+	ap := m.AnalyticPeak()
+	op, err := PeakInfection(m, 120, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ap.Fraction-op.Fraction) > 0.1 {
+		t.Errorf("analytic peak %v vs ODE peak %v", ap.Fraction, op.Fraction)
+	}
+	if math.Abs(ap.Time-op.Time) > 5 {
+		t.Errorf("analytic peak time %v vs ODE %v", ap.Time, op.Time)
+	}
+}
+
+func TestAnalyticPeakLateDelay(t *testing.T) {
+	// If immunization starts after the epidemic passed the turning
+	// level, the peak is at the delay itself.
+	m := DelayedImmunization{Beta: 0.8, Mu: 0.7, Delay: 20, N: 1000, I0: 1}
+	p := m.AnalyticPeak()
+	if p.Time != m.Delay {
+		t.Errorf("late-delay peak time = %v, want %v", p.Time, m.Delay)
+	}
+}

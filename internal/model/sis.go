@@ -1,0 +1,110 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// KephartWhite is the traditional epidemiological baseline the paper
+// contrasts its dynamic-immunization model against (its refs [6,7]):
+// the Kephart–White SIS-style model in which cure/immunization happens
+// at a constant rate δ from the very start of the outbreak:
+//
+//	dI/dt = β·I·(N−I)/N − δ·I
+//
+// Closed form: a logistic with effective exponent β−δ saturating at the
+// endemic level 1−δ/β (for δ < β), or exponential decay to extinction
+// (for δ ≥ β — the epidemic threshold). The paper's point is that real
+// immunization is *not* constant: nothing is patched until the worm is
+// noticed, which is what DelayedImmunization models.
+type KephartWhite struct {
+	Beta  float64 // contact rate β
+	Delta float64 // constant cure/immunization rate δ
+	N     float64 // population size
+	I0    float64 // initially infected hosts
+}
+
+// Validate checks the parameters.
+func (m KephartWhite) Validate() error {
+	if err := checkPopulation(m.N, m.I0); err != nil {
+		return err
+	}
+	if m.Beta <= 0 {
+		return errNonPositiveRate
+	}
+	if m.Delta < 0 {
+		return fmt.Errorf("%w: delta=%v", errNegativeRate, m.Delta)
+	}
+	return nil
+}
+
+// EndemicLevel returns the steady-state infected fraction 1−δ/β (0 when
+// the epidemic is below threshold).
+func (m KephartWhite) EndemicLevel() float64 {
+	if m.Delta >= m.Beta {
+		return 0
+	}
+	return 1 - m.Delta/m.Beta
+}
+
+// BelowThreshold reports whether δ ≥ β, i.e. the infection dies out
+// regardless of the initial level — the classic epidemic threshold.
+func (m KephartWhite) BelowThreshold() bool { return m.Delta >= m.Beta }
+
+// Fraction returns I(t)/N. Substituting i = I/N turns the ODE into
+// di/dt = (β−δ)·i·(1 − i/s) with s = EndemicLevel, whose solution is a
+// rescaled logistic; at threshold (β = δ) the decay is algebraic.
+func (m KephartWhite) Fraction(t float64) float64 {
+	i0 := m.I0 / m.N
+	r := m.Beta - m.Delta
+	if math.Abs(r) < 1e-9*m.Beta {
+		// At (or within float noise of) the epidemic threshold the
+		// logistic form degenerates (s → 0 cancels r → 0); use the
+		// exact threshold solution di/dt = −β i² ⇒ i(t) = i0/(1+β·i0·t).
+		return i0 / (1 + m.Beta*i0*t)
+	}
+	s := 1 - m.Delta/m.Beta
+	// i(t) = s / (1 + (s/i0 − 1)·e^{−rt}); valid for r < 0 too (s < 0
+	// cancels signs and the curve decays to 0).
+	e := math.Exp(-r * t)
+	return s / (1 + (s/i0-1)*e)
+}
+
+// TimeToLevel inverts the closed form for levels strictly between i0
+// and the endemic level (NaN if unreachable).
+func (m KephartWhite) TimeToLevel(level float64) float64 {
+	i0 := m.I0 / m.N
+	s := m.EndemicLevel()
+	if level <= 0 || level >= 1 || m.BelowThreshold() || level >= s || level <= i0 {
+		if level > i0 || level <= 0 {
+			return math.NaN()
+		}
+		return 0
+	}
+	r := m.Beta - m.Delta
+	// level = s / (1 + (s/i0 − 1) e^{−rt}).
+	x := (s/level - 1) / (s/i0 - 1)
+	return -math.Log(x) / r
+}
+
+// RHS returns the exact dynamics. State: [I].
+func (m KephartWhite) RHS() numeric.RHS {
+	return func(t float64, y, dst []float64) {
+		i := y[0]
+		dst[0] = m.Beta*i*(m.N-i)/m.N - m.Delta*i
+	}
+}
+
+// InitialState returns [I0].
+func (m KephartWhite) InitialState() []float64 { return []float64{m.I0} }
+
+// N0 returns the population size.
+func (m KephartWhite) N0() float64 { return m.N }
+
+var (
+	_ Curve     = KephartWhite{}
+	_ Validator = KephartWhite{}
+	_ ODE       = KephartWhite{}
+)

@@ -1,0 +1,134 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKephartWhiteValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		m       KephartWhite
+		wantErr bool
+	}{
+		{"ok", KephartWhite{Beta: 0.8, Delta: 0.1, N: 1000, I0: 1}, false},
+		{"zero beta", KephartWhite{Beta: 0, Delta: 0.1, N: 1000, I0: 1}, true},
+		{"negative delta", KephartWhite{Beta: 0.8, Delta: -0.1, N: 1000, I0: 1}, true},
+		{"bad pop", KephartWhite{Beta: 0.8, Delta: 0.1, N: 1000, I0: 0}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.m.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err=%v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestKephartWhiteClosedFormVsODE(t *testing.T) {
+	tests := []struct {
+		name string
+		m    KephartWhite
+	}{
+		{"above threshold", KephartWhite{Beta: 0.8, Delta: 0.1, N: 1000, I0: 1}},
+		{"near threshold", KephartWhite{Beta: 0.8, Delta: 0.75, N: 1000, I0: 50}},
+		{"at threshold", KephartWhite{Beta: 0.8, Delta: 0.8, N: 1000, I0: 100}},
+		{"below threshold", KephartWhite{Beta: 0.4, Delta: 0.8, N: 1000, I0: 200}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			crossValidate(t, tt.m, 80, 1e-3)
+		})
+	}
+}
+
+func TestKephartWhiteEndemicLevel(t *testing.T) {
+	m := KephartWhite{Beta: 0.8, Delta: 0.2, N: 1000, I0: 1}
+	if got := m.EndemicLevel(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("endemic level = %v, want 0.75", got)
+	}
+	if got := m.Fraction(1e4); math.Abs(got-0.75) > 1e-6 {
+		t.Errorf("long-run fraction = %v, want 0.75", got)
+	}
+	sub := KephartWhite{Beta: 0.2, Delta: 0.8, N: 1000, I0: 500}
+	if !sub.BelowThreshold() || sub.EndemicLevel() != 0 {
+		t.Error("δ>β should be below threshold")
+	}
+	if got := sub.Fraction(200); got > 1e-6 {
+		t.Errorf("below-threshold infection should die out, got %v", got)
+	}
+}
+
+func TestKephartWhiteReducesToHomogeneous(t *testing.T) {
+	sis := KephartWhite{Beta: 0.8, Delta: 0, N: 1000, I0: 1}
+	h := Homogeneous{Beta: 0.8, N: 1000, I0: 1}
+	for tt := 0.0; tt <= 40; tt += 1 {
+		if math.Abs(sis.Fraction(tt)-h.Fraction(tt)) > 1e-9 {
+			t.Fatalf("δ=0 deviates from homogeneous at t=%v", tt)
+		}
+	}
+}
+
+func TestKephartWhiteTimeToLevel(t *testing.T) {
+	m := KephartWhite{Beta: 0.8, Delta: 0.2, N: 1000, I0: 1}
+	for _, level := range []float64{0.1, 0.5, 0.7} {
+		tt := m.TimeToLevel(level)
+		if got := m.Fraction(tt); math.Abs(got-level) > 1e-9 {
+			t.Errorf("roundtrip %v: got %v at t=%v", level, got, tt)
+		}
+	}
+	if !math.IsNaN(m.TimeToLevel(0.8)) {
+		t.Error("level above endemic should be NaN")
+	}
+	if got := m.TimeToLevel(0.0005); got != 0 {
+		t.Errorf("level below initial = %v, want 0", got)
+	}
+}
+
+// The paper's §1 contrast with the traditional constant-rate model:
+// before anyone patches, the real (delayed) epidemic grows at the full
+// exponent β rather than β−δ, and after patching starts it declines to
+// extinction, while the constant-δ model settles into a permanent
+// endemic level. Both differences matter for defense planning.
+func TestConstantVsDelayedImmunization(t *testing.T) {
+	constant := KephartWhite{Beta: 0.8, Delta: 0.1, N: 1000, I0: 1}
+	delayed := DelayedImmunization{Beta: 0.8, Mu: 0.1, Delay: 9, N: 1000, I0: 1}
+	// Early on, the delayed epidemic runs ahead of the constant one.
+	for tt := 2.0; tt <= 9; tt += 1 {
+		if delayed.Fraction(tt) <= constant.Fraction(tt) {
+			t.Fatalf("at t=%v delayed %v should exceed constant %v",
+				tt, delayed.Fraction(tt), constant.Fraction(tt))
+		}
+	}
+	// In the long run the constant model persists at its endemic level
+	// while the delayed epidemic burns out.
+	if got := constant.Fraction(500); math.Abs(got-constant.EndemicLevel()) > 1e-6 {
+		t.Errorf("constant model long-run %v, want endemic %v", got, constant.EndemicLevel())
+	}
+	if got := delayed.Fraction(500); got > 1e-6 {
+		t.Errorf("delayed model long-run %v, want extinction", got)
+	}
+}
+
+// Property: the closed form stays within [0, max(i0, endemic)] and is
+// monotone toward the endemic level.
+func TestKephartWhiteBoundedProperty(t *testing.T) {
+	f := func(bRaw, dRaw, i0Raw uint8) bool {
+		beta := 0.1 + float64(bRaw%80)/100 // (0.1, 0.9)
+		delta := float64(dRaw%100) / 100   // [0, 1)
+		i0 := 1 + float64(i0Raw%200)       // [1, 200]
+		m := KephartWhite{Beta: beta, Delta: delta, N: 1000, I0: i0}
+		upper := math.Max(i0/1000, m.EndemicLevel()) + 1e-9
+		for tt := 0.0; tt <= 200; tt += 2 {
+			v := m.Fraction(tt)
+			if v < -1e-9 || v > upper {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

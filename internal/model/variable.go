@@ -1,0 +1,100 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// VariableImmunization is the extension sketched in Section 6.1's
+// closing remark: in reality the patch rate is not constant — it rises
+// as the worm becomes publicized and falls as the infection becomes
+// rare. The paper conjectures "the rate of immunization observes a bell
+// curve" but keeps µ constant for lack of data; this model implements
+// the bell-curve variant so the two can be compared:
+//
+//	µ(t) = Peak · exp(−(t − TPeak)² / (2·Width²))   for t > Delay, else 0
+//
+// Only the exact ODE face is provided (there is no simple closed form).
+type VariableImmunization struct {
+	Beta  float64 // contact rate β
+	Peak  float64 // maximum patch probability (the bell's height)
+	TPeak float64 // time of maximum patching activity
+	Width float64 // bell standard deviation
+	Delay float64 // no patching before this time
+	N     float64 // initial susceptible population
+	I0    float64 // initially infected hosts
+}
+
+// Validate checks the parameters.
+func (m VariableImmunization) Validate() error {
+	if err := checkPopulation(m.N, m.I0); err != nil {
+		return err
+	}
+	if m.Beta <= 0 {
+		return errNonPositiveRate
+	}
+	if m.Peak < 0 || m.Peak > 1 {
+		return fmt.Errorf("%w: peak=%v", errBadFraction, m.Peak)
+	}
+	if m.Width <= 0 {
+		return fmt.Errorf("model: bell width must be positive, got %v", m.Width)
+	}
+	if m.Delay < 0 {
+		return fmt.Errorf("model: delay must be non-negative, got %v", m.Delay)
+	}
+	return nil
+}
+
+// Mu returns the instantaneous patch probability µ(t).
+func (m VariableImmunization) Mu(t float64) float64 {
+	if t <= m.Delay {
+		return 0
+	}
+	d := t - m.TPeak
+	return m.Peak * math.Exp(-d*d/(2*m.Width*m.Width))
+}
+
+// RHS returns the exact dynamics. State: [I, N, E] as for
+// DelayedImmunization.
+func (m VariableImmunization) RHS() numeric.RHS {
+	return func(t float64, y, dst []float64) {
+		i, n := y[0], y[1]
+		if n <= 0 {
+			dst[0], dst[1], dst[2] = 0, 0, 0
+			return
+		}
+		newInf := m.Beta * i * (n - i) / n
+		if newInf < 0 {
+			newInf = 0
+		}
+		mu := m.Mu(t)
+		dst[0] = newInf - mu*i
+		dst[1] = -mu * n
+		dst[2] = newInf
+	}
+}
+
+// InitialState returns [I0, N0, I0].
+func (m VariableImmunization) InitialState() []float64 {
+	return []float64{m.I0, m.N, m.I0}
+}
+
+// N0 returns the initial susceptible population.
+func (m VariableImmunization) N0() float64 { return m.N }
+
+// EverInfected integrates the dynamics and returns E(t1)/N0.
+func (m VariableImmunization) EverInfected(t1, dt float64) (float64, error) {
+	sol, err := numeric.RK4(m.RHS(), m.InitialState(), 0, t1, dt)
+	if err != nil {
+		return 0, fmt.Errorf("model: ever-infected: %w", err)
+	}
+	e := sol.States[len(sol.States)-1][2]
+	return math.Min(e/m.N, 1), nil
+}
+
+var (
+	_ Validator = VariableImmunization{}
+	_ ODE       = VariableImmunization{}
+)

@@ -1,0 +1,98 @@
+package numeric
+
+import (
+	"math"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution function built from a
+// sample. The zero value is unusable; construct with NewCDF.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from the sample xs. The input is copied.
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the sample size.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// P returns the empirical P(X <= x), i.e. the fraction of samples that
+// are <= x. NaN for an empty sample.
+func (c *CDF) P(x float64) float64 {
+	n := len(c.sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	// First index with value > x.
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(n)
+}
+
+// Quantile returns the smallest sample value v such that P(X <= v) >= q,
+// i.e. the inverse CDF at q (the value to use as a rate limit so that a
+// fraction q of observed windows are unaffected). NaN for an empty
+// sample or q outside (0, 1].
+func (c *CDF) Quantile(q float64) float64 {
+	n := len(c.sorted)
+	if n == 0 || q <= 0 || q > 1 {
+		return math.NaN()
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return c.sorted[idx]
+}
+
+// Max returns the largest sample value (NaN for an empty sample).
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Min returns the smallest sample value (NaN for an empty sample).
+func (c *CDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[0]
+}
+
+// Points returns up to max (x, P(X<=x)) pairs suitable for plotting the
+// CDF as a step curve. Duplicate x values are collapsed to their final
+// cumulative probability. If max <= 0 all distinct points are returned.
+func (c *CDF) Points(max int) (xs, ps []float64) {
+	n := len(c.sorted)
+	if n == 0 {
+		return nil, nil
+	}
+	for i := 0; i < n; i++ {
+		if i+1 < n && c.sorted[i+1] == c.sorted[i] {
+			continue
+		}
+		xs = append(xs, c.sorted[i])
+		ps = append(ps, float64(i+1)/float64(n))
+	}
+	if max > 0 && len(xs) > max {
+		step := float64(len(xs)-1) / float64(max-1)
+		oxs := make([]float64, 0, max)
+		ops := make([]float64, 0, max)
+		for i := 0; i < max; i++ {
+			j := int(math.Round(float64(i) * step))
+			oxs = append(oxs, xs[j])
+			ops = append(ops, ps[j])
+		}
+		return oxs, ops
+	}
+	return xs, ps
+}

@@ -1,0 +1,112 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3, 10})
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", c.Len())
+	}
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0}, {1, 0.2}, {2, 0.6}, {2.5, 0.6}, {3, 0.8}, {10, 1}, {99, 1},
+	}
+	for _, tt := range tests {
+		if got := c.P(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("P(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if c.Min() != 1 || c.Max() != 10 {
+		t.Errorf("Min/Max = %v/%v, want 1/10", c.Min(), c.Max())
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	tests := []struct {
+		q, want float64
+	}{
+		{0.1, 1}, {0.5, 5}, {0.9, 9}, {0.999, 10}, {1, 10},
+	}
+	for _, tt := range tests {
+		if got := c.Quantile(tt.q); got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if !math.IsNaN(c.Quantile(0)) || !math.IsNaN(c.Quantile(1.1)) {
+		t.Error("bad q should give NaN")
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if !math.IsNaN(c.P(1)) || !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Max()) || !math.IsNaN(c.Min()) {
+		t.Error("empty CDF should return NaN everywhere")
+	}
+	xs, ps := c.Points(10)
+	if xs != nil || ps != nil {
+		t.Error("empty CDF should have no points")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 1, 2, 3})
+	xs, ps := c.Points(0)
+	wantX := []float64{1, 2, 3}
+	wantP := []float64{0.5, 0.75, 1}
+	if len(xs) != len(wantX) {
+		t.Fatalf("points = %v", xs)
+	}
+	for i := range wantX {
+		if xs[i] != wantX[i] || math.Abs(ps[i]-wantP[i]) > 1e-12 {
+			t.Errorf("point %d = (%v, %v), want (%v, %v)", i, xs[i], ps[i], wantX[i], wantP[i])
+		}
+	}
+	// Downsampling keeps endpoints.
+	big := make([]float64, 1000)
+	for i := range big {
+		big[i] = float64(i)
+	}
+	xs, ps = NewCDF(big).Points(10)
+	if len(xs) != 10 || xs[0] != 0 || xs[9] != 999 || ps[9] != 1 {
+		t.Errorf("downsampled points = %v %v", xs, ps)
+	}
+}
+
+// Property: P is monotone non-decreasing and within [0, 1]; Quantile and
+// P are approximate inverses.
+func TestCDFProperties(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(n%60) + 1
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = math.Floor(rng.Float64() * 20)
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for x := -1.0; x <= 21; x += 0.5 {
+			p := c.P(x)
+			if p < prev-1e-12 || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		for q := 0.05; q <= 1.0; q += 0.05 {
+			v := c.Quantile(q)
+			if c.P(v) < q-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

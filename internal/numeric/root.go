@@ -1,0 +1,69 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket reports that a root-finding call was given an interval on
+// which the function does not change sign.
+var ErrNoBracket = errors.New("numeric: root is not bracketed")
+
+// Bisect finds x in [a, b] with f(x) ≈ 0 by bisection. f(a) and f(b) must
+// have opposite signs (or one endpoint must itself be a root). The result
+// is accurate to tol in x.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	switch {
+	case fa == 0:
+		return a, nil
+	case fb == 0:
+		return b, nil
+	case fa*fb > 0:
+		return 0, ErrNoBracket
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	for b-a > tol {
+		mid := a + (b-a)/2
+		if mid == a || mid == b {
+			break // interval at floating-point resolution
+		}
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if fa*fm < 0 {
+			b, fb = mid, fm
+		} else {
+			a, fa = mid, fm
+		}
+	}
+	_ = fb
+	return a + (b-a)/2, nil
+}
+
+// FirstCrossing returns the first time t at which the monotone-enough
+// series (times, values) crosses level, using linear interpolation
+// between the bracketing samples. It returns NaN if the series never
+// reaches level.
+func FirstCrossing(times, values []float64, level float64) float64 {
+	if len(times) == 0 || len(times) != len(values) {
+		return math.NaN()
+	}
+	if values[0] >= level {
+		return times[0]
+	}
+	for i := 1; i < len(values); i++ {
+		if values[i] >= level {
+			v0, v1 := values[i-1], values[i]
+			if v1 == v0 {
+				return times[i]
+			}
+			w := (level - v0) / (v1 - v0)
+			return times[i-1] + w*(times[i]-times[i-1])
+		}
+	}
+	return math.NaN()
+}

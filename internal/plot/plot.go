@@ -1,0 +1,148 @@
+// Package plot renders labelled data series as terminal ASCII plots and
+// writes them as gnuplot-style .dat files, the output format of the
+// experiment harness (cmd/figures) and the benchmark reports.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labelled curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Validate checks that X and Y are parallel and non-empty.
+func (s *Series) Validate() error {
+	if len(s.X) == 0 || len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d/%d points", s.Label, len(s.X), len(s.Y))
+	}
+	return nil
+}
+
+// Figure is a set of series sharing axes.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX renders the x axis on a log10 scale (Figure 10 in the paper).
+	LogX   bool
+	Series []Series
+}
+
+// WriteDat writes the figure in gnuplot-friendly form: a comment header,
+// then one block per series ("# label" followed by "x y" lines)
+// separated by blank lines.
+func (f *Figure) WriteDat(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n# x: %s\n# y: %s\n", f.Title, f.XLabel, f.YLabel); err != nil {
+		return fmt.Errorf("plot: write header: %w", err)
+	}
+	for i := range f.Series {
+		s := &f.Series[i]
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "\n# %s\n", s.Label); err != nil {
+			return fmt.Errorf("plot: write series %q: %w", s.Label, err)
+		}
+		for k := range s.X {
+			if _, err := fmt.Fprintf(w, "%g %g\n", s.X[k], s.Y[k]); err != nil {
+				return fmt.Errorf("plot: write series %q: %w", s.Label, err)
+			}
+		}
+	}
+	return nil
+}
+
+// glyphs mark the successive series of an ASCII plot.
+var glyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// RenderASCII draws the figure as a width x height character plot with a
+// legend, suitable for terminal inspection of curve shapes.
+func (f *Figure) RenderASCII(width, height int) (string, error) {
+	if width < 16 || height < 4 {
+		return "", fmt.Errorf("plot: canvas %dx%d too small", width, height)
+	}
+	if len(f.Series) == 0 {
+		return "", fmt.Errorf("plot: figure %q has no series", f.Title)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := range f.Series {
+		s := &f.Series[i]
+		if err := s.Validate(); err != nil {
+			return "", err
+		}
+		for k := range s.X {
+			x := f.xval(s.X[k])
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(s.Y[k]) {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, s.Y[k]), math.Max(maxY, s.Y[k])
+		}
+	}
+	if minX > maxX || minY > maxY {
+		return "", fmt.Errorf("plot: figure %q has no finite points", f.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range f.Series {
+		s := &f.Series[i]
+		g := glyphs[i%len(glyphs)]
+		for k := range s.X {
+			x := f.xval(s.X[k])
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(s.Y[k]) {
+				continue
+			}
+			col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((s.Y[k]-minY)/(maxY-minY)*float64(height-1)))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				canvas[row][col] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	for r, rowBytes := range canvas {
+		yv := maxY - (maxY-minY)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.3f |%s|\n", yv, rowBytes)
+	}
+	xAxis := fmt.Sprintf("%-*s", width, fmt.Sprintf("%.6g%s%.6g", minX,
+		strings.Repeat(" ", max(1, width-24)), maxX))
+	fmt.Fprintf(&b, "%8s  %s\n", "", xAxis[:width])
+	scale := ""
+	if f.LogX {
+		scale = " (log10)"
+	}
+	fmt.Fprintf(&b, "%8s  x: %s%s, y: %s\n", "", f.XLabel, scale, f.YLabel)
+	for i := range f.Series {
+		fmt.Fprintf(&b, "%8s  %c %s\n", "", glyphs[i%len(glyphs)], f.Series[i].Label)
+	}
+	return b.String(), nil
+}
+
+// xval applies the x-axis transform.
+func (f *Figure) xval(x float64) float64 {
+	if f.LogX {
+		if x <= 0 {
+			return math.NaN()
+		}
+		return math.Log10(x)
+	}
+	return x
+}

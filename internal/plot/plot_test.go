@@ -1,0 +1,100 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() Figure {
+	return Figure{
+		Title:  "test figure",
+		XLabel: "time",
+		YLabel: "fraction",
+		Series: []Series{
+			{Label: "a", X: []float64{0, 1, 2}, Y: []float64{0, 0.5, 1}},
+			{Label: "b", X: []float64{0, 1, 2}, Y: []float64{0, 0.2, 0.4}},
+		},
+	}
+}
+
+func TestWriteDat(t *testing.T) {
+	f := sampleFigure()
+	var b strings.Builder
+	if err := f.WriteDat(&b); err != nil {
+		t.Fatalf("WriteDat: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"# test figure", "# a", "# b", "1 0.5", "2 0.4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDatBadSeries(t *testing.T) {
+	f := Figure{Series: []Series{{Label: "bad", X: []float64{1}, Y: nil}}}
+	var b strings.Builder
+	if err := f.WriteDat(&b); err == nil {
+		t.Error("mismatched series should fail")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	f := sampleFigure()
+	out, err := f.RenderASCII(60, 12)
+	if err != nil {
+		t.Fatalf("RenderASCII: %v", err)
+	}
+	if !strings.Contains(out, "test figure") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no points plotted")
+	}
+}
+
+func TestRenderASCIIErrors(t *testing.T) {
+	f := sampleFigure()
+	if _, err := f.RenderASCII(4, 2); err == nil {
+		t.Error("tiny canvas should fail")
+	}
+	empty := Figure{Title: "empty"}
+	if _, err := empty.RenderASCII(60, 10); err == nil {
+		t.Error("empty figure should fail")
+	}
+}
+
+func TestRenderASCIILogX(t *testing.T) {
+	f := Figure{
+		Title:  "log",
+		XLabel: "t",
+		YLabel: "v",
+		LogX:   true,
+		Series: []Series{{Label: "s", X: []float64{1, 10, 100, 1000}, Y: []float64{0, 1, 2, 3}}},
+	}
+	out, err := f.RenderASCII(60, 10)
+	if err != nil {
+		t.Fatalf("RenderASCII: %v", err)
+	}
+	if !strings.Contains(out, "(log10)") {
+		t.Error("log scale not indicated")
+	}
+	// A zero x must not break the log transform.
+	f.Series[0].X[0] = 0
+	if _, err := f.RenderASCII(60, 10); err != nil {
+		t.Errorf("log plot with zero x: %v", err)
+	}
+}
+
+func TestRenderASCIIFlatSeries(t *testing.T) {
+	f := Figure{
+		Title:  "flat",
+		Series: []Series{{Label: "c", X: []float64{1, 1}, Y: []float64{2, 2}}},
+	}
+	if _, err := f.RenderASCII(40, 6); err != nil {
+		t.Errorf("degenerate ranges should still render: %v", err)
+	}
+}

@@ -1,0 +1,403 @@
+// Package ratelimit implements the contact-rate limiting mechanisms the
+// paper analyzes and measures: Williamson's virus throttle (a working
+// set of recent destinations plus a delay queue), Ganger's DNS-based
+// throttle (only contacts to addresses without a valid DNS translation
+// and that did not initiate contact count against the budget), plain
+// unique-IP window limits, the hybrid short+long window scheme the paper
+// proposes as future work, and a token bucket.
+//
+// All limiters are driven by an explicit tick clock (no wall time) so
+// simulations and trace replays are deterministic.
+package ratelimit
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+)
+
+// IP is an IPv4 address in host byte order. The trace substrate uses
+// anonymized addresses, so this is just an opaque 32-bit key.
+type IP uint32
+
+// ContactLimiter is the common decision surface: may a contact to dst be
+// initiated at tick now? Implementations track their own history.
+type ContactLimiter interface {
+	// Allow reports whether a contact to dst at tick now passes the
+	// limiter. A false result means the contact is blocked or delayed
+	// this tick (the caller decides whether to retry later).
+	Allow(now int64, dst IP) bool
+}
+
+// ErrBadConfig reports an invalid limiter configuration.
+var ErrBadConfig = errors.New("ratelimit: invalid configuration")
+
+// UniqueIPWindow allows at most Max *distinct* destination addresses per
+// tumbling window of Window ticks. Contacts to an address already seen
+// in the current window are always allowed — this is the "number of
+// unique IP addresses contacted in a given period" limit of the paper's
+// trace study (e.g. 16 per 5 seconds at the edge router, 4 per 5 seconds
+// per host).
+type UniqueIPWindow struct {
+	max    int
+	window int64
+
+	winStart int64
+	seen     map[IP]struct{}
+}
+
+// NewUniqueIPWindow builds the limiter; max >= 1 and window >= 1.
+func NewUniqueIPWindow(max int, window int64) (*UniqueIPWindow, error) {
+	if max < 1 || window < 1 {
+		return nil, fmt.Errorf("%w: max=%d window=%d", ErrBadConfig, max, window)
+	}
+	return &UniqueIPWindow{
+		max:    max,
+		window: window,
+		seen:   make(map[IP]struct{}, max),
+	}, nil
+}
+
+// roll advances the tumbling window to contain now.
+func (l *UniqueIPWindow) roll(now int64) {
+	if now-l.winStart >= l.window {
+		l.winStart = now - (now-l.winStart)%l.window
+		clear(l.seen)
+	}
+}
+
+// Allow implements ContactLimiter.
+func (l *UniqueIPWindow) Allow(now int64, dst IP) bool {
+	l.roll(now)
+	if _, ok := l.seen[dst]; ok {
+		return true
+	}
+	if len(l.seen) >= l.max {
+		return false
+	}
+	l.seen[dst] = struct{}{}
+	return true
+}
+
+// WouldAllow reports whether Allow would admit dst at tick now, without
+// recording the contact. Used by composite limiters so a denial in one
+// component does not consume budget in another.
+func (l *UniqueIPWindow) WouldAllow(now int64, dst IP) bool {
+	l.roll(now)
+	if _, ok := l.seen[dst]; ok {
+		return true
+	}
+	return len(l.seen) < l.max
+}
+
+// Distinct returns the number of distinct destinations contacted in the
+// current window.
+func (l *UniqueIPWindow) Distinct(now int64) int {
+	l.roll(now)
+	return len(l.seen)
+}
+
+var _ ContactLimiter = (*UniqueIPWindow)(nil)
+
+// SlidingUniqueIPWindow allows at most Max distinct destinations per
+// *sliding* window of Window ticks: a contact is admitted if fewer than
+// Max distinct other destinations were admitted in the preceding Window
+// ticks. Unlike the tumbling UniqueIPWindow it has no reset boundary a
+// worm could straddle for a double burst, at the cost of remembering
+// recent admissions.
+type SlidingUniqueIPWindow struct {
+	max    int
+	window int64
+
+	// admissions holds (tick, dst) of admitted contacts, oldest first.
+	admissions []slidingEntry
+	// lastSeen maps admitted destinations to their latest admission
+	// tick, so repeats refresh instead of recount.
+	lastSeen map[IP]int64
+}
+
+type slidingEntry struct {
+	tick int64
+	dst  IP
+}
+
+// NewSlidingUniqueIPWindow builds the limiter; max >= 1, window >= 1.
+func NewSlidingUniqueIPWindow(max int, window int64) (*SlidingUniqueIPWindow, error) {
+	if max < 1 || window < 1 {
+		return nil, fmt.Errorf("%w: max=%d window=%d", ErrBadConfig, max, window)
+	}
+	return &SlidingUniqueIPWindow{
+		max:      max,
+		window:   window,
+		lastSeen: make(map[IP]int64, max),
+	}, nil
+}
+
+// expire drops admissions older than the window.
+func (l *SlidingUniqueIPWindow) expire(now int64) {
+	cut := 0
+	for cut < len(l.admissions) && now-l.admissions[cut].tick >= l.window {
+		e := l.admissions[cut]
+		if l.lastSeen[e.dst] == e.tick {
+			delete(l.lastSeen, e.dst)
+		}
+		cut++
+	}
+	if cut > 0 {
+		l.admissions = append(l.admissions[:0], l.admissions[cut:]...)
+	}
+}
+
+// Allow implements ContactLimiter.
+func (l *SlidingUniqueIPWindow) Allow(now int64, dst IP) bool {
+	l.expire(now)
+	if _, ok := l.lastSeen[dst]; ok {
+		// Refresh recency of an already-admitted destination.
+		l.lastSeen[dst] = now
+		l.admissions = append(l.admissions, slidingEntry{tick: now, dst: dst})
+		return true
+	}
+	if len(l.lastSeen) >= l.max {
+		return false
+	}
+	l.lastSeen[dst] = now
+	l.admissions = append(l.admissions, slidingEntry{tick: now, dst: dst})
+	return true
+}
+
+// Distinct returns the number of distinct destinations admitted within
+// the window ending at now.
+func (l *SlidingUniqueIPWindow) Distinct(now int64) int {
+	l.expire(now)
+	return len(l.lastSeen)
+}
+
+var _ ContactLimiter = (*SlidingUniqueIPWindow)(nil)
+
+// WilliamsonThrottle is the virus throttle of HPL-2002-172: a working
+// set of the n most recent distinct destinations. A contact to a
+// destination in the working set proceeds immediately; anything else
+// joins a delay queue drained at a fixed rate (one request per Period
+// ticks), with each dequeue evicting the least-recently-used working-set
+// entry. Legitimate traffic (high locality) rarely queues; scanning
+// worms (no locality) are clamped to the drain rate.
+type WilliamsonThrottle struct {
+	workingSet int
+	period     int64
+
+	lru       *list.List // front = most recent; values are IP
+	inSet     map[IP]*list.Element
+	queue     []IP
+	lastDrain int64
+}
+
+// NewWilliamsonThrottle builds a throttle with the given working-set
+// size (Williamson's default: 5) and drain period in ticks (default:
+// one per second).
+func NewWilliamsonThrottle(workingSet int, period int64) (*WilliamsonThrottle, error) {
+	if workingSet < 1 || period < 1 {
+		return nil, fmt.Errorf("%w: workingSet=%d period=%d", ErrBadConfig, workingSet, period)
+	}
+	return &WilliamsonThrottle{
+		workingSet: workingSet,
+		period:     period,
+		lru:        list.New(),
+		inSet:      make(map[IP]*list.Element, workingSet),
+		lastDrain:  -1,
+	}, nil
+}
+
+// Allow implements ContactLimiter: contacts in the working set pass and
+// refresh recency; new destinations are queued and blocked this tick.
+// Call Tick once per tick to drain the queue.
+func (t *WilliamsonThrottle) Allow(now int64, dst IP) bool {
+	if e, ok := t.inSet[dst]; ok {
+		t.lru.MoveToFront(e)
+		return true
+	}
+	if t.lru.Len() < t.workingSet {
+		// Working set not yet full: admit directly.
+		t.inSet[dst] = t.lru.PushFront(dst)
+		return true
+	}
+	t.queue = append(t.queue, dst)
+	return false
+}
+
+// Tick drains the delay queue: at most one queued destination is
+// admitted per drain period. Returns the destination released this tick
+// and true, or false if none.
+func (t *WilliamsonThrottle) Tick(now int64) (IP, bool) {
+	if len(t.queue) == 0 {
+		return 0, false
+	}
+	if t.lastDrain >= 0 && now-t.lastDrain < t.period {
+		return 0, false
+	}
+	t.lastDrain = now
+	dst := t.queue[0]
+	t.queue = t.queue[1:]
+	// Evict the LRU entry to make room.
+	if t.lru.Len() >= t.workingSet {
+		back := t.lru.Back()
+		t.lru.Remove(back)
+		delete(t.inSet, back.Value.(IP))
+	}
+	t.inSet[dst] = t.lru.PushFront(dst)
+	return dst, true
+}
+
+// QueueLen returns the number of delayed requests — Williamson's worm
+// detection signal (a persistently growing queue indicates scanning).
+func (t *WilliamsonThrottle) QueueLen() int { return len(t.queue) }
+
+var _ ContactLimiter = (*WilliamsonThrottle)(nil)
+
+// DNSThrottle is Ganger et al.'s self-securing NIC policy: contacts to
+// destinations with a valid DNS translation, or that previously
+// initiated contact with us, are free; contacts to "unknown" addresses
+// (pseudo-random 32-bit values picked by scanning worms perform no DNS
+// lookup) are limited to Max per Window ticks.
+type DNSThrottle struct {
+	inner *UniqueIPWindow
+
+	dnsValidUntil map[IP]int64
+	peers         map[IP]struct{} // addresses that initiated contact
+}
+
+// NewDNSThrottle builds the throttle; the paper's default is six unknown
+// addresses per minute per host.
+func NewDNSThrottle(max int, window int64) (*DNSThrottle, error) {
+	inner, err := NewUniqueIPWindow(max, window)
+	if err != nil {
+		return nil, err
+	}
+	return &DNSThrottle{
+		inner:         inner,
+		dnsValidUntil: make(map[IP]int64),
+		peers:         make(map[IP]struct{}),
+	}, nil
+}
+
+// RecordDNS notes a DNS response mapping some name to addr, valid until
+// tick expiry (now + TTL).
+func (t *DNSThrottle) RecordDNS(addr IP, expiry int64) {
+	if cur, ok := t.dnsValidUntil[addr]; !ok || expiry > cur {
+		t.dnsValidUntil[addr] = expiry
+	}
+}
+
+// RecordInbound notes that src initiated contact with us; replying to it
+// later is always legitimate.
+func (t *DNSThrottle) RecordInbound(src IP) {
+	t.peers[src] = struct{}{}
+}
+
+// Known reports whether dst would bypass the unknown-address budget at
+// tick now.
+func (t *DNSThrottle) Known(now int64, dst IP) bool {
+	if _, ok := t.peers[dst]; ok {
+		return true
+	}
+	if exp, ok := t.dnsValidUntil[dst]; ok {
+		if now <= exp {
+			return true
+		}
+		delete(t.dnsValidUntil, dst)
+	}
+	return false
+}
+
+// Allow implements ContactLimiter.
+func (t *DNSThrottle) Allow(now int64, dst IP) bool {
+	if t.Known(now, dst) {
+		return true
+	}
+	return t.inner.Allow(now, dst)
+}
+
+var _ ContactLimiter = (*DNSThrottle)(nil)
+
+// HybridWindow combines a short window (prevents long post-burst stalls)
+// with a long window (enforces a tight long-term rate), the scheme the
+// paper floats in Section 7: "one short window to prevent long delays
+// and one longer window to provide better rate-limiting". A contact
+// passes only if both windows pass.
+type HybridWindow struct {
+	short *UniqueIPWindow
+	long  *UniqueIPWindow
+}
+
+// NewHybridWindow builds the combined limiter.
+func NewHybridWindow(shortMax int, shortWindow int64, longMax int, longWindow int64) (*HybridWindow, error) {
+	if longWindow <= shortWindow {
+		return nil, fmt.Errorf("%w: long window %d must exceed short window %d",
+			ErrBadConfig, longWindow, shortWindow)
+	}
+	s, err := NewUniqueIPWindow(shortMax, shortWindow)
+	if err != nil {
+		return nil, err
+	}
+	l, err := NewUniqueIPWindow(longMax, longWindow)
+	if err != nil {
+		return nil, err
+	}
+	return &HybridWindow{short: s, long: l}, nil
+}
+
+// Allow implements ContactLimiter. Both windows must admit the contact;
+// a contact denied by either window consumes budget in neither (the
+// contact never happens, so it should not count as seen).
+func (h *HybridWindow) Allow(now int64, dst IP) bool {
+	if !h.short.WouldAllow(now, dst) || !h.long.WouldAllow(now, dst) {
+		return false
+	}
+	return h.short.Allow(now, dst) && h.long.Allow(now, dst)
+}
+
+var _ ContactLimiter = (*HybridWindow)(nil)
+
+// TokenBucket is a classic token bucket: Rate tokens per tick up to
+// Burst capacity; each allowed contact costs one token. It is the
+// packets-per-tick abstraction used for link-level limits.
+type TokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   int64
+	primed bool
+}
+
+// NewTokenBucket builds a bucket that starts full.
+func NewTokenBucket(rate, burst float64) (*TokenBucket, error) {
+	if rate <= 0 || burst <= 0 {
+		return nil, fmt.Errorf("%w: rate=%v burst=%v", ErrBadConfig, rate, burst)
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}, nil
+}
+
+// Allow implements ContactLimiter (the destination is ignored; the
+// bucket prices every contact equally).
+func (b *TokenBucket) Allow(now int64, _ IP) bool {
+	if !b.primed {
+		b.primed = true
+		b.last = now
+	}
+	if now > b.last {
+		b.tokens += float64(now-b.last) * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// Tokens returns the current token balance (for tests and metrics).
+func (b *TokenBucket) Tokens() float64 { return b.tokens }
+
+var _ ContactLimiter = (*TokenBucket)(nil)

@@ -1,0 +1,103 @@
+package ratelimit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlidingWindowBasics(t *testing.T) {
+	l, err := NewSlidingUniqueIPWindow(2, 10)
+	if err != nil {
+		t.Fatalf("NewSlidingUniqueIPWindow: %v", err)
+	}
+	if !l.Allow(0, 1) || !l.Allow(0, 2) {
+		t.Fatal("first two destinations should pass")
+	}
+	if l.Allow(5, 3) {
+		t.Error("third distinct destination within the window should block")
+	}
+	// Repeats are free and refresh recency.
+	if !l.Allow(5, 1) {
+		t.Error("repeat should pass")
+	}
+	if got := l.Distinct(5); got != 2 {
+		t.Errorf("Distinct = %d, want 2", got)
+	}
+	// After 2's admission (tick 0) slides out at tick 10, a new
+	// destination fits; 1 was refreshed at tick 5 so still counts.
+	if !l.Allow(10, 3) {
+		t.Error("expired slot should open up")
+	}
+	if l.Allow(10, 4) {
+		t.Error("window full again")
+	}
+}
+
+func TestSlidingWindowNoBoundaryStraddle(t *testing.T) {
+	// The tumbling window's weakness: a burst just before the reset and
+	// another just after passes 2×max in ~one window length. The
+	// sliding window forbids that.
+	sliding, err := NewSlidingUniqueIPWindow(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tumbling, err := NewUniqueIPWindow(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countAllowed := func(l ContactLimiter) int {
+		n := 0
+		dst := IP(100)
+		// Burst at tick 9, burst at tick 10 (tumbling boundary).
+		for _, tick := range []int64{9, 10} {
+			for k := 0; k < 5; k++ {
+				if l.Allow(tick, dst) {
+					n++
+				}
+				dst++
+			}
+		}
+		return n
+	}
+	if got := countAllowed(tumbling); got != 10 {
+		t.Errorf("tumbling straddle admitted %d, expected the full 10", got)
+	}
+	if got := countAllowed(sliding); got != 5 {
+		t.Errorf("sliding straddle admitted %d, want 5", got)
+	}
+}
+
+func TestSlidingWindowConfigErrors(t *testing.T) {
+	if _, err := NewSlidingUniqueIPWindow(0, 10); err == nil {
+		t.Error("max=0 should fail")
+	}
+	if _, err := NewSlidingUniqueIPWindow(5, 0); err == nil {
+		t.Error("window=0 should fail")
+	}
+}
+
+// Property: at any instant, the number of distinct destinations
+// admitted within the trailing window never exceeds max.
+func TestSlidingWindowCapProperty(t *testing.T) {
+	f := func(seed int64, maxRaw uint8) bool {
+		max := int(maxRaw%8) + 1
+		l, err := NewSlidingUniqueIPWindow(max, 20)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		now := int64(0)
+		for i := 0; i < 200; i++ {
+			now += int64(rng.Intn(4))
+			l.Allow(now, IP(rng.Intn(30)))
+			if l.Distinct(now) > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

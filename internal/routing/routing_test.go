@@ -1,0 +1,219 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func mustStar(t *testing.T, n int) *topology.Graph {
+	t.Helper()
+	g, err := topology.Star(n)
+	if err != nil {
+		t.Fatalf("Star: %v", err)
+	}
+	return g
+}
+
+func TestStarRouting(t *testing.T) {
+	g := mustStar(t, 5)
+	tab := Build(g)
+	if tab.N() != 5 {
+		t.Fatalf("N = %d", tab.N())
+	}
+	// Leaf to leaf goes through the hub.
+	if got := tab.NextHop(1, 2); got != topology.Hub {
+		t.Errorf("NextHop(1,2) = %d, want hub", got)
+	}
+	if got := tab.Dist(1, 2); got != 2 {
+		t.Errorf("Dist(1,2) = %d, want 2", got)
+	}
+	if got := tab.Dist(0, 3); got != 1 {
+		t.Errorf("Dist(hub,3) = %d, want 1", got)
+	}
+	if got := tab.Dist(3, 3); got != 0 {
+		t.Errorf("Dist(3,3) = %d, want 0", got)
+	}
+	path, err := tab.Path(1, 4)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	want := []int{1, 0, 4}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestRoutingOutOfRange(t *testing.T) {
+	tab := Build(mustStar(t, 3))
+	if tab.NextHop(-1, 0) != -1 || tab.NextHop(0, 9) != -1 {
+		t.Error("out-of-range NextHop should be -1")
+	}
+	if tab.Dist(-1, 0) != -1 || tab.Dist(0, 9) != -1 {
+		t.Error("out-of-range Dist should be -1")
+	}
+	if _, err := tab.Path(0, 9); err == nil {
+		t.Error("out-of-range Path should fail")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := topology.New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	tab := Build(g)
+	if tab.Dist(0, 2) != -1 || tab.NextHop(0, 2) != -1 {
+		t.Error("cross-component routing should be -1")
+	}
+	if _, err := tab.Path(0, 3); err == nil {
+		t.Error("cross-component Path should fail")
+	}
+	if tab.Dist(2, 3) != 1 {
+		t.Error("intra-component routing should work")
+	}
+}
+
+func TestLinkLoadsStar(t *testing.T) {
+	// In an n-star, link (hub, v): entries from v to all n-1 others, plus
+	// entries from every other node to v (n-1 of them: hub->v and each
+	// other leaf->v routes via hub, but only hop (hub, v) counts for the
+	// hub's own table). Directed entries using link (v,hub): n-1 (v's
+	// whole table). Directed entries using (hub,v): 1 (hub's entry for v).
+	// Total per link: n.
+	const n = 6
+	tab := Build(mustStar(t, n))
+	loads := tab.LinkLoads()
+	if len(loads) != n-1 {
+		t.Fatalf("links with load = %d, want %d", len(loads), n-1)
+	}
+	for id, l := range loads {
+		if l != n {
+			t.Errorf("link %v load = %d, want %d", id, l, n)
+		}
+	}
+}
+
+func TestLinkWeightsMeanOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, err := topology.BarabasiAlbert(300, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := Build(g)
+	weights := tab.LinkWeights(g)
+	if len(weights) != g.M() {
+		t.Fatalf("weights for %d links, want %d", len(weights), g.M())
+	}
+	var sum float64
+	for _, w := range weights {
+		if w <= 0 {
+			t.Fatalf("non-positive weight %v", w)
+		}
+		sum += w
+	}
+	mean := sum / float64(len(weights))
+	if mean < 0.99 || mean > 1.05 { // floor can push mean slightly above 1
+		t.Errorf("mean weight = %v, want ~1", mean)
+	}
+}
+
+func TestLinkWeightsEmptyGraph(t *testing.T) {
+	g := topology.New(3)
+	tab := Build(g)
+	if w := tab.LinkWeights(g); len(w) != 0 {
+		t.Errorf("weights on edgeless graph = %v", w)
+	}
+}
+
+func TestMakeLinkID(t *testing.T) {
+	if MakeLinkID(5, 2) != (LinkID{U: 2, V: 5}) {
+		t.Error("MakeLinkID should normalize order")
+	}
+	if MakeLinkID(2, 5) != MakeLinkID(5, 2) {
+		t.Error("LinkID should be order-independent")
+	}
+}
+
+// Property: on random connected graphs, distances are symmetric, obey the
+// triangle inequality through the next hop, and every path found is a
+// valid walk of length Dist.
+func TestRoutingProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := topology.ErdosRenyi(30, 0.12, true, rng)
+		if err != nil {
+			return false
+		}
+		tab := Build(g)
+		for u := 0; u < g.N(); u++ {
+			for d := 0; d < g.N(); d++ {
+				du := tab.Dist(u, d)
+				if du != tab.Dist(d, u) {
+					return false // symmetry on undirected graph
+				}
+				if u == d {
+					if du != 0 {
+						return false
+					}
+					continue
+				}
+				if du < 1 {
+					return false // connected graph
+				}
+				nh := tab.NextHop(u, d)
+				if nh < 0 || !g.HasEdge(u, nh) && nh != d {
+					return false
+				}
+				if tab.Dist(nh, d) != du-1 {
+					return false // next hop strictly decreases distance
+				}
+				p, err := tab.Path(u, d)
+				if err != nil || len(p) != du+1 {
+					return false
+				}
+				for i := 1; i < len(p); i++ {
+					if !g.HasEdge(p[i-1], p[i]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total directed routing entries equals n*(n-1) on a connected
+// graph, so link loads sum to that.
+func TestLinkLoadsSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := topology.BarabasiAlbert(40, 2, rng)
+		if err != nil {
+			return false
+		}
+		tab := Build(g)
+		total := 0
+		for _, l := range tab.LinkLoads() {
+			total += l
+		}
+		n := g.N()
+		return total == n*(n-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

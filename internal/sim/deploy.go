@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// DeployHostFraction returns a deterministic random selection of frac of
+// the host nodes (or all nodes if roles is nil) to rate limit —
+// Section 5.1's "q percent of nodes install the filter".
+func DeployHostFraction(g *topology.Graph, roles []topology.Role, frac float64, seed int64) ([]int, error) {
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("sim: host fraction %v out of [0,1]", frac)
+	}
+	var hosts []int
+	if roles == nil {
+		hosts = make([]int, g.N())
+		for i := range hosts {
+			hosts[i] = i
+		}
+	} else {
+		hosts = topology.NodesWithRole(roles, topology.RoleHost)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(hosts), func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
+	k := int(frac * float64(len(hosts)))
+	return hosts[:k], nil
+}
+
+// DeployEdgeRouters returns all edge-router nodes — Section 5.2's
+// deployment set.
+func DeployEdgeRouters(roles []topology.Role) []int {
+	return topology.NodesWithRole(roles, topology.RoleEdge)
+}
+
+// DeployBackbone returns all backbone-router nodes — Section 5.3's
+// deployment set.
+func DeployBackbone(roles []topology.Role) []int {
+	return topology.NodesWithRole(roles, topology.RoleBackbone)
+}
+
+// DeployEdgeUplinks returns the links that carry traffic between an edge
+// router's subnet and the rest of the network: every link from an edge
+// router to a neighbor that is not a host of its own subnet. Limiting
+// these (rather than all edge-router links) leaves intra-subnet traffic
+// unthrottled, matching Section 5.2's model where worms "propagate much
+// faster within the subnet than across the Internet".
+func DeployEdgeUplinks(g *topology.Graph, roles []topology.Role, subnet []int) []routing.LinkID {
+	edges := topology.NodesWithRole(roles, topology.RoleEdge)
+	var out []routing.LinkID
+	for idx, e := range edges {
+		for _, v := range g.Neighbors(e) {
+			if roles[v] == topology.RoleHost && subnet[v] == idx {
+				continue // link into our own subnet
+			}
+			out = append(out, routing.MakeLinkID(e, int(v)))
+		}
+	}
+	return out
+}
+
+// MultiRun executes runs replicas of cfg with seeds cfg.Seed,
+// cfg.Seed+1, ... and returns the element-wise average of their series —
+// the paper averages each simulated curve over 10 runs. Replicas run
+// concurrently (they share no mutable state; each builds its own
+// engine), bounded by GOMAXPROCS; the result is deterministic because
+// each replica's seed is fixed by its index.
+func MultiRun(cfg Config, runs int) (*Result, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("sim: runs %d must be >= 1", runs)
+	}
+	// Validate once up front so workers cannot fail on config errors.
+	probe := cfg
+	probe.Seed = cfg.Seed
+	if err := probe.Validate(); err != nil {
+		return nil, err
+	}
+
+	results := make([]*Result, runs)
+	errs := make([]error, runs)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for r := 0; r < runs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = cfg.Seed + int64(r)
+			eng, err := New(c)
+			if err != nil {
+				errs[r] = fmt.Errorf("sim: run %d: %w", r, err)
+				return
+			}
+			results[r] = eng.Run()
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	agg := &Result{
+		Infected:     make([]float64, cfg.Ticks),
+		EverInfected: make([]float64, cfg.Ticks),
+		Immunized:    make([]float64, cfg.Ticks),
+		Backlog:      make([]int, cfg.Ticks),
+	}
+	if cfg.TrackSubnets {
+		agg.WithinSubnet = make([]float64, cfg.Ticks)
+	}
+	if cfg.TrackLatency {
+		agg.MeanLatency = make([]float64, cfg.Ticks)
+	}
+	for r, res := range results {
+		for i := 0; i < cfg.Ticks; i++ {
+			agg.Infected[i] += res.Infected[i]
+			agg.EverInfected[i] += res.EverInfected[i]
+			agg.Immunized[i] += res.Immunized[i]
+			agg.Backlog[i] += res.Backlog[i]
+			if cfg.TrackSubnets {
+				agg.WithinSubnet[i] += res.WithinSubnet[i]
+			}
+			if cfg.TrackLatency {
+				agg.MeanLatency[i] += res.MeanLatency[i]
+			}
+		}
+		if r == 0 {
+			// Genealogy and activation tick are per-run data; keep the
+			// first run's values.
+			agg.Infections = res.Infections
+			agg.QuarantineTick = res.QuarantineTick
+		}
+	}
+	inv := 1 / float64(runs)
+	for i := 0; i < cfg.Ticks; i++ {
+		agg.Infected[i] *= inv
+		agg.EverInfected[i] *= inv
+		agg.Immunized[i] *= inv
+		agg.Backlog[i] /= runs
+		if cfg.TrackSubnets {
+			agg.WithinSubnet[i] *= inv
+		}
+		if cfg.TrackLatency {
+			agg.MeanLatency[i] *= inv
+		}
+	}
+	return agg, nil
+}

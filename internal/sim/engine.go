@@ -1,0 +1,632 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/ratelimit"
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/worm"
+)
+
+// nodeState is the S/I/R state of one node.
+type nodeState uint8
+
+const (
+	stateSusceptible nodeState = iota
+	stateInfected
+	stateRemoved // patched/immunized
+)
+
+// packetKind distinguishes the stages of a probe-first infection.
+type packetKind uint8
+
+const (
+	// kindExploit is a direct infection attempt (the default worm).
+	kindExploit packetKind = iota
+	// kindProbe is a Welchia-style ICMP echo: the target must reply
+	// before the exploit is sent.
+	kindProbe
+	// kindReply is the probe response travelling back to the scanner.
+	kindReply
+)
+
+// packet is an in-flight worm packet: src is the scanning host (for
+// the infection genealogy), dst the target, birth the tick the packet
+// entered the network (for latency accounting).
+type packet struct {
+	src   int32
+	dst   int32
+	kind  packetKind
+	birth int32
+}
+
+// arrival is a packet that crossed a link this tick and lands at node.
+type arrival struct {
+	node int32
+	pkt  packet
+}
+
+// Engine executes one simulation run. Construct with New; it is not safe
+// for concurrent use (run replicas in separate engines).
+type Engine struct {
+	cfg Config
+	rng *rand.Rand
+	tab *routing.Table
+	n   int
+
+	state   []nodeState
+	pickers []worm.Picker
+	env     *worm.Env
+
+	// sortedAdj[u] is u's neighbor list in ascending order, fixing the
+	// per-tick link iteration order.
+	sortedAdj [][]int32
+	// queues[dirKey(u,v)] holds packets waiting to cross u->v.
+	queues map[int64][]packet
+	// linkRate[dirKey(u,v)] is the per-tick packet rate of a limited
+	// link; absent means unlimited. Fractional rates accumulate in
+	// linkCredit; linkBudget is the whole-packet allowance recomputed at
+	// the start of every tick.
+	linkRate   map[int64]float64
+	linkCredit map[int64]float64
+	linkBudget map[int64]int
+
+	susceptibleMask []bool // which nodes can be infected at all
+	popSize         int    // |susceptibleMask|
+
+	// rrPos[u] is the round-robin resume index for node-capped routers.
+	rrPos map[int]int
+
+	infected   int
+	ever       int
+	removed    int
+	immunizing bool
+
+	// Dynamic quarantine state: the configured limits only bite once
+	// defenseActive is set.
+	defenseActive bool
+	triggerTick   int // tick at which activation is scheduled (-1 = not yet)
+	activatedTick int // tick at which the defense engaged (-1 = never)
+	scansThisTick int
+
+	// limiters gates outgoing scans of filtered hosts (HostLimiterNodes).
+	limiters map[int]ratelimit.ContactLimiter
+
+	// subnetSize and subnetInfected track per-subnet infection when
+	// TrackSubnets is on; indexed by subnet id.
+	subnetSize     map[int]int
+	subnetInfected map[int]int
+
+	// infections is the genealogy log when RecordInfections is on.
+	infections []Infection
+	tick       int
+
+	// latSum/latCount accumulate this tick's delivered-packet latency.
+	latSum   int64
+	latCount int64
+
+	arrivals []arrival // staging buffer reused across ticks
+}
+
+func dirKey(u, v int32) int64 { return int64(u)<<32 | int64(v) }
+
+// New builds an engine from cfg. The topology must be connected.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Graph.Connected() {
+		return nil, topology.ErrDisconnected
+	}
+	n := cfg.Graph.N()
+	e := &Engine{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		tab:        routing.Build(cfg.Graph),
+		n:          n,
+		state:      make([]nodeState, n),
+		pickers:    make([]worm.Picker, n),
+		queues:     make(map[int64][]packet),
+		linkRate:   make(map[int64]float64),
+		linkCredit: make(map[int64]float64),
+		linkBudget: make(map[int64]int),
+		rrPos:      make(map[int]int),
+	}
+	if e.cfg.BaseRate == 0 {
+		e.cfg.BaseRate = DefaultBaseRate
+	}
+
+	e.sortedAdj = make([][]int32, n)
+	for u := 0; u < n; u++ {
+		adj := append([]int32(nil), cfg.Graph.Neighbors(u)...)
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		e.sortedAdj[u] = adj
+	}
+
+	e.buildEnv()
+	e.buildSusceptible()
+	e.buildLinkCaps()
+	if len(cfg.HostLimiterNodes) > 0 {
+		e.limiters = make(map[int]ratelimit.ContactLimiter, len(cfg.HostLimiterNodes))
+		for _, u := range cfg.HostLimiterNodes {
+			e.limiters[u] = cfg.HostLimiterFactory()
+		}
+	}
+	if cfg.TrackSubnets {
+		e.subnetSize = make(map[int]int)
+		e.subnetInfected = make(map[int]int)
+		for _, s := range e.env.Subnet {
+			if s >= 0 {
+				e.subnetSize[s]++
+			}
+		}
+	}
+	e.defenseActive = cfg.Quarantine == nil
+	e.triggerTick = -1
+	e.activatedTick = -1
+	if e.defenseActive {
+		e.activatedTick = 0
+	}
+	e.tick = -1 // seed infections predate tick 0
+	if err := e.seedInfections(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// buildEnv assembles the worm.Env the strategy factories consume.
+func (e *Engine) buildEnv() {
+	subnet := e.cfg.Subnet
+	if subnet == nil {
+		if e.cfg.Roles != nil {
+			subnet = topology.Subnets(e.cfg.Graph, e.cfg.Roles)
+		} else {
+			subnet = make([]int, e.n)
+			for i := range subnet {
+				subnet[i] = 0 // one flat subnet
+			}
+		}
+	}
+	members := make(map[int][]int)
+	for u, s := range subnet {
+		if s >= 0 {
+			members[s] = append(members[s], u)
+		}
+	}
+	e.env = &worm.Env{N: e.n, Subnet: subnet, Members: members}
+}
+
+// buildSusceptible marks which nodes can ever be infected.
+func (e *Engine) buildSusceptible() {
+	e.susceptibleMask = make([]bool, e.n)
+	for u := 0; u < e.n; u++ {
+		if e.cfg.HostsOnly && e.cfg.Roles != nil && e.cfg.Roles[u] != topology.RoleHost {
+			continue
+		}
+		e.susceptibleMask[u] = true
+		e.popSize++
+	}
+}
+
+// buildLinkCaps assigns per-tick packet rates to every directed link
+// incident to a rate-limited node.
+func (e *Engine) buildLinkCaps() {
+	limited := make(map[int]bool, len(e.cfg.LimitedNodes))
+	for _, u := range e.cfg.LimitedNodes {
+		limited[u] = true
+	}
+	limitedLinks := make(map[routing.LinkID]bool, len(e.cfg.LimitedLinks))
+	for _, l := range e.cfg.LimitedLinks {
+		limitedLinks[routing.MakeLinkID(l.U, l.V)] = true
+	}
+	for u := 0; u < e.n; u++ {
+		for _, v := range e.sortedAdj[u] {
+			if !limited[u] && !limited[int(v)] && !limitedLinks[routing.MakeLinkID(u, int(v))] {
+				continue
+			}
+			w := 1.0
+			if e.cfg.LinkWeights != nil {
+				if lw, ok := e.cfg.LinkWeights[routing.MakeLinkID(u, int(v))]; ok {
+					w = lw
+				}
+			}
+			rate := e.cfg.BaseRate * w
+			if rate <= 0 {
+				rate = e.cfg.BaseRate
+			}
+			e.linkRate[dirKey(int32(u), v)] = rate
+		}
+	}
+}
+
+// rechargeLinks rebuilds every limited link's whole-packet budget for
+// the coming tick from its accumulated fractional credit.
+func (e *Engine) rechargeLinks() {
+	for key, rate := range e.linkRate {
+		c := e.linkCredit[key] + rate
+		if burst := rate + 1; c > burst {
+			c = burst // minimal bursting: banked credit caps at rate+1
+		}
+		e.linkCredit[key] = c
+		e.linkBudget[key] = int(c)
+	}
+}
+
+// spendLink records n packets sent on a limited link this tick.
+func (e *Engine) spendLink(key int64, n int) {
+	if _, ok := e.linkRate[key]; !ok {
+		return
+	}
+	e.linkBudget[key] -= n
+	e.linkCredit[key] -= float64(n)
+}
+
+// seedInfections infects InitialInfected distinct susceptible nodes.
+func (e *Engine) seedInfections() error {
+	candidates := make([]int, 0, e.popSize)
+	for u := 0; u < e.n; u++ {
+		if e.susceptibleMask[u] {
+			candidates = append(candidates, u)
+		}
+	}
+	if len(candidates) < e.cfg.InitialInfected {
+		return fmt.Errorf("sim: %d susceptible nodes < %d initial infections",
+			len(candidates), e.cfg.InitialInfected)
+	}
+	e.rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	for _, u := range candidates[:e.cfg.InitialInfected] {
+		e.infect(u, -1)
+	}
+	return nil
+}
+
+// infect transitions node u to the infected state; source is the
+// scanning host responsible (-1 for seed infections).
+func (e *Engine) infect(u, source int) {
+	if e.state[u] != stateSusceptible || !e.susceptibleMask[u] {
+		return
+	}
+	e.state[u] = stateInfected
+	e.infected++
+	e.ever++
+	e.pickers[u] = e.cfg.Strategy(e.env, u)
+	if e.cfg.TrackSubnets {
+		if s := e.env.Subnet[u]; s >= 0 {
+			e.subnetInfected[s]++
+		}
+	}
+	if e.cfg.RecordInfections {
+		e.infections = append(e.infections, Infection{Tick: e.tick, Victim: u, Source: source})
+	}
+}
+
+// Run executes the configured number of ticks and returns the series.
+func (e *Engine) Run() *Result {
+	res := &Result{
+		Infected:     make([]float64, 0, e.cfg.Ticks),
+		EverInfected: make([]float64, 0, e.cfg.Ticks),
+		Immunized:    make([]float64, 0, e.cfg.Ticks),
+		Backlog:      make([]int, 0, e.cfg.Ticks),
+	}
+	for tick := 0; tick < e.cfg.Ticks; tick++ {
+		e.tick = tick
+		e.scansThisTick = 0
+		e.generate()
+		e.updateQuarantine()
+		e.rechargeLinks()
+		e.transmit()
+		e.deliver()
+		e.immunize(tick)
+		e.record(res)
+	}
+	res.Infections = e.infections
+	res.QuarantineTick = e.activatedTick
+	return res
+}
+
+// updateQuarantine evaluates the dynamic-defense trigger and activates
+// the configured limits once the detection condition (plus deployment
+// delay) is met.
+func (e *Engine) updateQuarantine() {
+	q := e.cfg.Quarantine
+	if q == nil || e.defenseActive {
+		return
+	}
+	if e.triggerTick < 0 {
+		fired := false
+		if q.TriggerScansPerTick > 0 && e.scansThisTick >= q.TriggerScansPerTick {
+			fired = true
+		}
+		if q.TriggerLevel > 0 && float64(e.infected)/float64(e.popSize) >= q.TriggerLevel {
+			fired = true
+		}
+		if fired {
+			e.triggerTick = e.tick + q.Delay
+		}
+	}
+	if e.triggerTick >= 0 && e.tick >= e.triggerTick {
+		e.defenseActive = true
+		e.activatedTick = e.tick
+	}
+}
+
+// generate lets every infected node attempt one infection.
+func (e *Engine) generate() {
+	scans := e.cfg.ScansPerTick
+	if scans == 0 {
+		scans = 1
+	}
+	for u := 0; u < e.n; u++ {
+		if e.state[u] != stateInfected {
+			continue
+		}
+		beta := e.cfg.Beta
+		if b, ok := e.cfg.ScanRateOverride[u]; ok {
+			beta = b
+		}
+		limiter := e.limiters[u]
+		for s := 0; s < scans; s++ {
+			if beta < 1 && e.rng.Float64() >= beta {
+				continue
+			}
+			target := e.pickers[u].Pick(e.rng, u)
+			if target < 0 || target == u {
+				continue
+			}
+			if e.defenseActive && limiter != nil && !limiter.Allow(int64(e.tick), ratelimit.IP(target)) {
+				continue // throttled: contact blocked this tick
+			}
+			e.scansThisTick++
+			kind := kindExploit
+			if e.cfg.ProbeFirst {
+				kind = kindProbe
+			}
+			e.routePacket(int32(u), packet{
+				src: int32(u), dst: int32(target), kind: kind, birth: int32(e.tick),
+			})
+		}
+	}
+}
+
+// routePacket places a packet at node u heading for its destination:
+// delivery if already there, otherwise the queue of u's next-hop link.
+func (e *Engine) routePacket(u int32, pkt packet) {
+	if u == pkt.dst {
+		e.deliverAt(pkt)
+		return
+	}
+	nh := e.tab.NextHop(int(u), int(pkt.dst))
+	if nh < 0 {
+		return // unreachable: scan packet lost
+	}
+	key := dirKey(u, int32(nh))
+	q := e.queues[key]
+	if e.cfg.MaxQueue > 0 && len(q) >= e.cfg.MaxQueue {
+		return // DropTail: buffer full, packet lost
+	}
+	e.queues[key] = append(q, pkt)
+}
+
+// transmit moves packets across every directed link, respecting link
+// caps and node forwarding caps, staging arrivals for deliver.
+func (e *Engine) transmit() {
+	e.arrivals = e.arrivals[:0]
+	for u := 0; u < e.n; u++ {
+		if limit, ok := e.cfg.NodeCaps[u]; ok && e.defenseActive {
+			e.transmitCapped(u, limit)
+			continue
+		}
+		for _, v := range e.sortedAdj[u] {
+			key := dirKey(int32(u), v)
+			q := e.queues[key]
+			if len(q) == 0 {
+				continue
+			}
+			allowed := len(q)
+			if _, limited := e.linkRate[key]; limited && e.defenseActive && e.linkBudget[key] < allowed {
+				allowed = e.linkBudget[key]
+				if allowed < 0 {
+					allowed = 0
+				}
+			}
+			for _, pkt := range q[:allowed] {
+				e.arrivals = append(e.arrivals, arrival{node: v, pkt: pkt})
+			}
+			e.spendLink(key, allowed)
+			switch {
+			case allowed == len(q):
+				delete(e.queues, key)
+			case e.cfg.Policy == PolicyDrop:
+				delete(e.queues, key) // excess discarded
+			default:
+				e.queues[key] = append(q[:0], q[allowed:]...)
+			}
+		}
+	}
+}
+
+// transmitCapped serves a node-capped router: its per-tick forwarding
+// budget is spread round-robin across its non-empty output queues (one
+// packet per queue per pass, resuming each tick where the last left
+// off), mirroring a fair shared output scheduler. Without this, a
+// strict low-ID-first drain lets one stale queue starve every other
+// destination.
+func (e *Engine) transmitCapped(u, budget int) {
+	adj := e.sortedAdj[u]
+	deg := len(adj)
+	if deg == 0 || budget <= 0 {
+		if e.cfg.Policy == PolicyDrop {
+			for _, v := range adj {
+				delete(e.queues, dirKey(int32(u), v))
+			}
+		}
+		return
+	}
+	// Per-queue packets already sent this tick (also enforces link caps).
+	sent := make(map[int64]int, deg)
+	start := e.rrPos[u]
+	served := true
+	for budget > 0 && served {
+		served = false
+		for k := 0; k < deg && budget > 0; k++ {
+			idx := (start + k) % deg
+			v := adj[idx]
+			key := dirKey(int32(u), v)
+			q := e.queues[key]
+			s := sent[key]
+			if s >= len(q) {
+				continue
+			}
+			if _, limited := e.linkRate[key]; limited && s >= e.linkBudget[key] {
+				continue
+			}
+			e.arrivals = append(e.arrivals, arrival{node: v, pkt: q[s]})
+			sent[key] = s + 1
+			budget--
+			served = true
+			e.rrPos[u] = (idx + 1) % deg
+		}
+	}
+	for _, v := range adj {
+		key := dirKey(int32(u), v)
+		q := e.queues[key]
+		s := sent[key]
+		e.spendLink(key, s)
+		switch {
+		case len(q) == 0:
+		case s >= len(q), e.cfg.Policy == PolicyDrop:
+			delete(e.queues, key)
+		default:
+			e.queues[key] = append(q[:0], q[s:]...)
+		}
+	}
+}
+
+// deliver processes staged arrivals: handling at the destination, or
+// enqueue on the next link (crossing at most one link per tick).
+func (e *Engine) deliver() {
+	staged := e.arrivals
+	for _, a := range staged {
+		if a.node == a.pkt.dst {
+			e.deliverAt(a.pkt)
+			continue
+		}
+		e.routePacket(a.node, a.pkt)
+	}
+}
+
+// deliverAt handles a packet that reached its destination.
+func (e *Engine) deliverAt(pkt packet) {
+	if e.cfg.TrackLatency {
+		e.latSum += int64(e.tick) - int64(pkt.birth)
+		e.latCount++
+	}
+	switch pkt.kind {
+	case kindExploit:
+		e.attemptInfect(int(pkt.dst), int(pkt.src))
+	case kindProbe:
+		// The probed target answers the ping; the echo reply travels
+		// back to the scanner. Patched hosts still answer pings — only
+		// the exploit fails against them.
+		e.routePacket(pkt.dst, packet{
+			src: pkt.dst, dst: pkt.src, kind: kindReply, birth: int32(e.tick),
+		})
+	case kindReply:
+		// The scanner receives the echo reply and fires the exploit —
+		// if it is still infected (it may have been patched meanwhile).
+		scanner := pkt.dst
+		target := pkt.src
+		if e.state[scanner] == stateInfected {
+			e.routePacket(scanner, packet{
+				src: scanner, dst: target, kind: kindExploit, birth: int32(e.tick),
+			})
+		}
+	}
+}
+
+// attemptInfect infects the destination if it is still susceptible.
+func (e *Engine) attemptInfect(u, source int) {
+	if e.state[u] == stateSusceptible && e.susceptibleMask[u] {
+		e.infect(u, source)
+	}
+}
+
+// immunize runs the delayed patching process for this tick.
+func (e *Engine) immunize(tick int) {
+	im := e.cfg.Immunize
+	if im == nil {
+		return
+	}
+	if !e.immunizing {
+		switch {
+		case im.StartTick >= 0 && tick >= im.StartTick:
+			e.immunizing = true
+		case im.StartTick < 0 && float64(e.infected)/float64(e.popSize) >= im.StartLevel:
+			e.immunizing = true
+		default:
+			return
+		}
+	}
+	for u := 0; u < e.n; u++ {
+		if !e.susceptibleMask[u] || e.state[u] == stateRemoved {
+			continue
+		}
+		if im.SusceptibleOnly && e.state[u] == stateInfected {
+			continue
+		}
+		if e.rng.Float64() >= im.Mu {
+			continue
+		}
+		if e.state[u] == stateInfected {
+			e.infected--
+			if e.cfg.TrackSubnets {
+				if s := e.env.Subnet[u]; s >= 0 {
+					e.subnetInfected[s]--
+				}
+			}
+		}
+		e.state[u] = stateRemoved
+		e.removed++
+	}
+}
+
+// record appends this tick's metrics.
+func (e *Engine) record(res *Result) {
+	pop := float64(e.popSize)
+	res.Infected = append(res.Infected, float64(e.infected)/pop)
+	res.EverInfected = append(res.EverInfected, float64(e.ever)/pop)
+	res.Immunized = append(res.Immunized, float64(e.removed)/pop)
+	backlog := 0
+	for _, q := range e.queues {
+		backlog += len(q)
+	}
+	res.Backlog = append(res.Backlog, backlog)
+	if e.cfg.TrackSubnets {
+		var sum float64
+		n := 0
+		for s, inf := range e.subnetInfected {
+			if inf > 0 {
+				sum += float64(inf) / float64(e.subnetSize[s])
+				n++
+			}
+		}
+		within := 0.0
+		if n > 0 {
+			within = sum / float64(n)
+		}
+		res.WithinSubnet = append(res.WithinSubnet, within)
+	}
+	if e.cfg.TrackLatency {
+		lat := 0.0
+		if e.latCount > 0 {
+			lat = float64(e.latSum) / float64(e.latCount)
+		}
+		res.MeanLatency = append(res.MeanLatency, lat)
+		e.latSum, e.latCount = 0, 0
+	}
+}

@@ -1,0 +1,99 @@
+package sim
+
+import "sort"
+
+// TreeStats summarizes an infection genealogy (Config.RecordInfections).
+type TreeStats struct {
+	// Total is the number of ever-infected nodes including seeds.
+	Total int
+	// Seeds is the number of initial infections.
+	Seeds int
+	// MaxDepth is the deepest infection generation (seeds are 0).
+	MaxDepth int
+	// MeanDepth is the average generation over all infections.
+	MeanDepth float64
+	// MaxSecondary is the largest number of victims any single host
+	// infected — the super-spreader count.
+	MaxSecondary int
+	// MeanSecondary is the average number of secondary infections per
+	// *infecting-capable* host (every ever-infected host), the
+	// genealogy's empirical reproduction estimate. In a saturating
+	// epidemic this tends to (Total − Seeds)/Total ≈ 1.
+	MeanSecondary float64
+	// DepthHistogram maps generation -> count.
+	DepthHistogram map[int]int
+}
+
+// AnalyzeTree computes TreeStats from a recorded genealogy. Returns the
+// zero value when no genealogy was recorded.
+func AnalyzeTree(r *Result) TreeStats {
+	if len(r.Infections) == 0 {
+		return TreeStats{}
+	}
+	depths := r.InfectionDepths()
+	stats := TreeStats{
+		Total:          len(r.Infections),
+		DepthHistogram: make(map[int]int),
+	}
+	secondary := make(map[int]int)
+	var depthSum int
+	for _, inf := range r.Infections {
+		d := depths[inf.Victim]
+		stats.DepthHistogram[d]++
+		depthSum += d
+		if d > stats.MaxDepth {
+			stats.MaxDepth = d
+		}
+		if inf.Source < 0 {
+			stats.Seeds++
+			continue
+		}
+		secondary[inf.Source]++
+	}
+	stats.MeanDepth = float64(depthSum) / float64(stats.Total)
+	for _, c := range secondary {
+		if c > stats.MaxSecondary {
+			stats.MaxSecondary = c
+		}
+	}
+	stats.MeanSecondary = float64(stats.Total-stats.Seeds) / float64(stats.Total)
+	return stats
+}
+
+// InfectionsPerTick converts a genealogy into a per-tick new-infection
+// count series over [0, maxTick], the discrete analogue of the models'
+// dI/dt. Seed infections (tick -1) are excluded.
+func InfectionsPerTick(r *Result, maxTick int) []int {
+	out := make([]int, maxTick+1)
+	for _, inf := range r.Infections {
+		if inf.Tick >= 0 && inf.Tick <= maxTick {
+			out[inf.Tick]++
+		}
+	}
+	return out
+}
+
+// TopSpreaders returns the k hosts with the most secondary infections,
+// descending (ties by node ID ascending).
+func TopSpreaders(r *Result, k int) []struct{ Node, Victims int } {
+	secondary := make(map[int]int)
+	for _, inf := range r.Infections {
+		if inf.Source >= 0 {
+			secondary[inf.Source]++
+		}
+	}
+	out := make([]struct{ Node, Victims int }, 0, len(secondary))
+	for node, v := range secondary {
+		out = append(out, struct{ Node, Victims int }{node, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Victims != out[j].Victims {
+			return out[i].Victims > out[j].Victims
+		}
+		return out[i].Node < out[j].Node
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

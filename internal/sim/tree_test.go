@@ -1,0 +1,96 @@
+package sim
+
+import "testing"
+
+func genealogyResult(t *testing.T) *Result {
+	t.Helper()
+	cfg := baseConfig(t, 100)
+	cfg.RecordInfections = true
+	cfg.InitialInfected = 3
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng.Run()
+}
+
+func TestAnalyzeTree(t *testing.T) {
+	res := genealogyResult(t)
+	stats := AnalyzeTree(res)
+	if stats.Total != len(res.Infections) {
+		t.Fatalf("total = %d, want %d", stats.Total, len(res.Infections))
+	}
+	if stats.Seeds != 3 {
+		t.Errorf("seeds = %d, want 3", stats.Seeds)
+	}
+	if stats.MaxDepth < 2 {
+		t.Errorf("max depth = %d, want a real chain", stats.MaxDepth)
+	}
+	if stats.MeanDepth <= 0 || stats.MeanDepth > float64(stats.MaxDepth) {
+		t.Errorf("mean depth = %v out of (0, %d]", stats.MeanDepth, stats.MaxDepth)
+	}
+	if stats.MaxSecondary < 1 {
+		t.Errorf("max secondary = %d, want >= 1", stats.MaxSecondary)
+	}
+	// In a saturated epidemic every non-seed was infected by someone, so
+	// mean secondary = (Total-Seeds)/Total just below 1.
+	if stats.MeanSecondary <= 0.9 || stats.MeanSecondary >= 1 {
+		t.Errorf("mean secondary = %v, want just below 1", stats.MeanSecondary)
+	}
+	// Depth histogram sums to total.
+	sum := 0
+	for _, c := range stats.DepthHistogram {
+		sum += c
+	}
+	if sum != stats.Total {
+		t.Errorf("histogram sum = %d, want %d", sum, stats.Total)
+	}
+	if stats.DepthHistogram[0] != stats.Seeds {
+		t.Errorf("depth-0 count = %d, want %d seeds", stats.DepthHistogram[0], stats.Seeds)
+	}
+}
+
+func TestAnalyzeTreeEmpty(t *testing.T) {
+	stats := AnalyzeTree(&Result{})
+	if stats.Total != 0 || stats.DepthHistogram != nil {
+		t.Errorf("empty genealogy stats = %+v", stats)
+	}
+}
+
+func TestInfectionsPerTick(t *testing.T) {
+	res := genealogyResult(t)
+	series := InfectionsPerTick(res, 59)
+	if len(series) != 60 {
+		t.Fatalf("series length = %d", len(series))
+	}
+	total := 0
+	for _, c := range series {
+		total += c
+	}
+	// Everything except the 3 seeds lands on some tick.
+	if want := len(res.Infections) - 3; total != want {
+		t.Errorf("per-tick total = %d, want %d", total, want)
+	}
+}
+
+func TestTopSpreaders(t *testing.T) {
+	res := genealogyResult(t)
+	top := TopSpreaders(res, 5)
+	if len(top) == 0 || len(top) > 5 {
+		t.Fatalf("top spreaders = %d entries", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Victims > top[i-1].Victims {
+			t.Fatal("spreaders not sorted by victims desc")
+		}
+	}
+	stats := AnalyzeTree(res)
+	if top[0].Victims != stats.MaxSecondary {
+		t.Errorf("top spreader %d != max secondary %d", top[0].Victims, stats.MaxSecondary)
+	}
+	// k <= 0 returns everyone.
+	all := TopSpreaders(res, 0)
+	if len(all) < len(top) {
+		t.Error("k=0 should return all spreaders")
+	}
+}

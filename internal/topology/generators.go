@@ -1,0 +1,210 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Star returns a star graph with one hub (node 0) and n-1 leaves, the
+// topology of Section 4 of the paper. n must be >= 2.
+func Star(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: star needs >= 2 nodes, got %d", n)
+	}
+	g := New(n)
+	for v := 1; v < n; v++ {
+		if err := g.AddEdge(0, v); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Hub is the hub node ID of graphs produced by Star.
+const Hub = 0
+
+// BarabasiAlbert generates a power-law graph over n nodes by preferential
+// attachment: each new node attaches m edges to existing nodes chosen
+// with probability proportional to their current degree. This is the
+// generative model behind BRITE's router-level topologies, which the
+// paper used for its 1000-node AS-like graph. The graph is connected by
+// construction. n must be > m and m >= 1.
+func BarabasiAlbert(n, m int, rng *rand.Rand) (*Graph, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("topology: BA attachment m must be >= 1, got %d", m)
+	}
+	if n <= m {
+		return nil, fmt.Errorf("topology: BA needs n > m, got n=%d m=%d", n, m)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("topology: BA needs a random source")
+	}
+	g := New(n)
+	// Seed: a connected core of m+1 nodes (a clique keeps early degrees
+	// nonzero and the graph connected).
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Repeated-targets list: node u appears Degree(u) times. Drawing
+	// uniformly from it is preferential attachment.
+	targets := make([]int32, 0, 2*m*n)
+	for u := 0; u <= m; u++ {
+		for range g.adj[u] {
+			targets = append(targets, int32(u))
+		}
+	}
+	for u := m + 1; u < n; u++ {
+		added := 0
+		for added < m {
+			v := int(targets[rng.Intn(len(targets))])
+			if v == u || g.HasEdge(u, v) {
+				continue
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, err
+			}
+			targets = append(targets, int32(u), int32(v))
+			added++
+		}
+	}
+	return g, nil
+}
+
+// ErdosRenyi generates a G(n, p) random graph, then (if requested) adds a
+// random spanning chain to guarantee connectivity. It is a test/ablation
+// substrate: the paper's results depend on the heavy-tailed degrees of
+// the BA graph, and ER provides the homogeneous-degree contrast.
+func ErdosRenyi(n int, p float64, connect bool, rng *rand.Rand) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: ER needs >= 1 node, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("topology: ER probability %v out of [0,1]", p)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("topology: ER needs a random source")
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				if err := g.AddEdge(u, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if connect {
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			u, v := perm[i-1], perm[i]
+			if !g.HasEdge(u, v) {
+				if err := g.AddEdge(u, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Ring returns a cycle over n nodes (n >= 3).
+func Ring(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs >= 3 nodes, got %d", n)
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		if err := g.AddEdge(u, (u+1)%n); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Grid returns a rows x cols 2D lattice.
+func Grid(rows, cols int) (*Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("topology: grid needs positive dims, got %dx%d", rows, cols)
+	}
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := g.AddEdge(id(r, c), id(r, c+1)); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := g.AddEdge(id(r, c), id(r+1, c)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// HierarchicalConfig describes an explicit enterprise-style topology:
+// a clique (or ring) of backbone routers, each serving several edge
+// routers, each serving a subnet of hosts. It is the idealized version
+// of the structure the paper induces on the BA graph by degree rank, and
+// is used by the enterprise example and ablation benches.
+type HierarchicalConfig struct {
+	Backbones      int // number of backbone routers (>=1)
+	EdgesPer       int // edge routers per backbone (>=1)
+	HostsPerSubnet int // hosts per edge router (>=1)
+}
+
+// Hierarchical builds the topology described by cfg. Node IDs are
+// assigned backbone-first, then edge routers, then hosts; the returned
+// Roles slice gives the role of each node and Subnet the subnet index of
+// each host (-1 for routers).
+func Hierarchical(cfg HierarchicalConfig) (*Graph, []Role, []int, error) {
+	if cfg.Backbones < 1 || cfg.EdgesPer < 1 || cfg.HostsPerSubnet < 1 {
+		return nil, nil, nil, fmt.Errorf("topology: bad hierarchical config %+v", cfg)
+	}
+	nb := cfg.Backbones
+	ne := nb * cfg.EdgesPer
+	nh := ne * cfg.HostsPerSubnet
+	n := nb + ne + nh
+	g := New(n)
+	roles := make([]Role, n)
+	subnet := make([]int, n)
+	for i := range subnet {
+		subnet[i] = -1
+	}
+	// Backbone mesh (clique; for one backbone there is nothing to mesh).
+	for u := 0; u < nb; u++ {
+		roles[u] = RoleBackbone
+		for v := u + 1; v < nb; v++ {
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+	// Edge routers hang off their backbone.
+	for e := 0; e < ne; e++ {
+		id := nb + e
+		roles[id] = RoleEdge
+		if err := g.AddEdge(id, e/cfg.EdgesPer); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	// Hosts hang off their edge router; subnet index == edge router index.
+	for h := 0; h < nh; h++ {
+		id := nb + ne + h
+		roles[id] = RoleHost
+		sub := h / cfg.HostsPerSubnet
+		subnet[id] = sub
+		if err := g.AddEdge(id, nb+sub); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return g, roles, subnet, nil
+}

@@ -1,0 +1,290 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAddEdge(t *testing.T) {
+	g := New(4)
+	if g.N() != 4 || g.M() != 0 {
+		t.Fatalf("fresh graph N=%d M=%d", g.N(), g.M())
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge should exist in both directions")
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Error("degrees wrong after one edge")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	tests := []struct {
+		name string
+		u, v int
+	}{
+		{"self-loop", 1, 1},
+		{"u out of range", -1, 0},
+		{"v out of range", 0, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.AddEdge(tt.u, tt.v); err == nil {
+				t.Errorf("AddEdge(%d,%d) should fail", tt.u, tt.v)
+			}
+		})
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate (reversed) edge should fail")
+	}
+}
+
+func TestEdgesDeterministicOrder(t *testing.T) {
+	g := New(4)
+	for _, e := range [][2]int{{2, 3}, {0, 1}, {1, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := g.Edges()
+	want := [][2]int{{0, 1}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("edges = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := New(3)
+	if g.Connected() {
+		t.Error("3 isolated nodes are not connected")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected() {
+		t.Error("still disconnected")
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Error("path graph should be connected")
+	}
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Error("trivial graphs are connected")
+	}
+}
+
+func TestDegreeOutOfRange(t *testing.T) {
+	g := New(2)
+	if g.Degree(-1) != 0 || g.Degree(5) != 0 {
+		t.Error("out-of-range degree should be 0")
+	}
+	if g.Neighbors(-1) != nil || g.Neighbors(5) != nil {
+		t.Error("out-of-range neighbors should be nil")
+	}
+	if g.HasEdge(-1, 0) || g.HasEdge(0, 0) {
+		t.Error("degenerate HasEdge should be false")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g, err := Star(200)
+	if err != nil {
+		t.Fatalf("Star: %v", err)
+	}
+	if g.N() != 200 || g.M() != 199 {
+		t.Fatalf("star N=%d M=%d", g.N(), g.M())
+	}
+	if g.Degree(Hub) != 199 {
+		t.Errorf("hub degree = %d, want 199", g.Degree(Hub))
+	}
+	for v := 1; v < 200; v++ {
+		if g.Degree(v) != 1 {
+			t.Fatalf("leaf %d degree = %d, want 1", v, g.Degree(v))
+		}
+	}
+	if !g.Connected() {
+		t.Error("star should be connected")
+	}
+	if _, err := Star(1); err == nil {
+		t.Error("Star(1) should fail")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g, err := BarabasiAlbert(1000, 2, rng)
+	if err != nil {
+		t.Fatalf("BA: %v", err)
+	}
+	if g.N() != 1000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !g.Connected() {
+		t.Error("BA graph should be connected")
+	}
+	// Expected edges: C(3,2)=3 seed + 2*(1000-3) new.
+	wantM := 3 + 2*(1000-3)
+	if g.M() != wantM {
+		t.Errorf("M = %d, want %d", g.M(), wantM)
+	}
+	// Heavy tail: max degree should greatly exceed the mean (~4).
+	if g.MaxDegree() < 20 {
+		t.Errorf("max degree %d too small for a power-law graph", g.MaxDegree())
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := BarabasiAlbert(5, 0, rng); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := BarabasiAlbert(2, 2, rng); err == nil {
+		t.Error("n<=m should fail")
+	}
+	if _, err := BarabasiAlbert(10, 2, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a, err := BarabasiAlbert(200, 2, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BarabasiAlbert(200, 2, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := ErdosRenyi(100, 0.05, true, rng)
+	if err != nil {
+		t.Fatalf("ER: %v", err)
+	}
+	if !g.Connected() {
+		t.Error("connect=true should force connectivity")
+	}
+	if _, err := ErdosRenyi(0, 0.5, false, rng); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := ErdosRenyi(10, 1.5, false, rng); err == nil {
+		t.Error("p>1 should fail")
+	}
+	if _, err := ErdosRenyi(10, 0.5, false, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestRingAndGrid(t *testing.T) {
+	r, err := Ring(10)
+	if err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	if r.M() != 10 || !r.Connected() {
+		t.Errorf("ring M=%d connected=%v", r.M(), r.Connected())
+	}
+	for u := 0; u < 10; u++ {
+		if r.Degree(u) != 2 {
+			t.Fatalf("ring degree(%d) = %d", u, r.Degree(u))
+		}
+	}
+	if _, err := Ring(2); err == nil {
+		t.Error("Ring(2) should fail")
+	}
+
+	g, err := Grid(3, 4)
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	if g.N() != 12 || !g.Connected() {
+		t.Errorf("grid N=%d connected=%v", g.N(), g.Connected())
+	}
+	// Edges in a rows x cols grid: rows*(cols-1) + cols*(rows-1).
+	if want := 3*3 + 4*2; g.M() != want {
+		t.Errorf("grid M=%d, want %d", g.M(), want)
+	}
+	if _, err := Grid(0, 5); err == nil {
+		t.Error("Grid(0,5) should fail")
+	}
+}
+
+// Property: handshake lemma — the degree sum is exactly twice the edge
+// count, for arbitrary generated graphs.
+func TestHandshakeProperty(t *testing.T) {
+	f := func(seed int64, nn uint8, mm uint8) bool {
+		n := int(nn%50) + 5
+		m := int(mm%3) + 1
+		if n <= m {
+			n = m + 2
+		}
+		g, err := BarabasiAlbert(n, m, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, d := range g.DegreeSequence() {
+			sum += d
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NodesByDegreeDesc is a permutation sorted by degree.
+func TestDegreeOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := ErdosRenyi(40, 0.1, true, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		order := g.NodesByDegreeDesc()
+		if len(order) != g.N() {
+			return false
+		}
+		seen := make(map[int]bool, len(order))
+		for i, u := range order {
+			if seen[u] {
+				return false
+			}
+			seen[u] = true
+			if i > 0 && g.Degree(order[i-1]) < g.Degree(u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package topology
+
+import "fmt"
+
+// Role classifies a node in the deployment experiments of Section 5:
+// the paper designates the top 5% of nodes by degree as backbone routers
+// and the next 10% as edge routers; the rest are end hosts.
+type Role uint8
+
+// Node roles. RoleHost is the zero value so that freshly allocated role
+// slices default to "end host".
+const (
+	RoleHost Role = iota
+	RoleEdge
+	RoleBackbone
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleHost:
+		return "host"
+	case RoleEdge:
+		return "edge"
+	case RoleBackbone:
+		return "backbone"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// RoleFractions configures the degree-ranked role split.
+type RoleFractions struct {
+	Backbone float64 // fraction of nodes designated backbone (paper: 0.05)
+	Edge     float64 // fraction designated edge routers (paper: 0.10)
+}
+
+// PaperRoles is the split used throughout Section 5.4 of the paper.
+var PaperRoles = RoleFractions{Backbone: 0.05, Edge: 0.10}
+
+// AssignRoles labels every node of g using the degree-rank rule: the
+// top frac.Backbone of nodes by degree become backbone routers, the next
+// frac.Edge become edge routers, and the remainder are hosts. At least
+// one node becomes backbone and one edge when the fractions are positive
+// and the graph has enough nodes.
+func AssignRoles(g *Graph, frac RoleFractions) ([]Role, error) {
+	if frac.Backbone < 0 || frac.Edge < 0 || frac.Backbone+frac.Edge > 1 {
+		return nil, fmt.Errorf("topology: bad role fractions %+v", frac)
+	}
+	n := g.N()
+	roles := make([]Role, n)
+	order := g.NodesByDegreeDesc()
+	nb := int(frac.Backbone * float64(n))
+	if frac.Backbone > 0 && nb == 0 && n > 0 {
+		nb = 1
+	}
+	ne := int(frac.Edge * float64(n))
+	if frac.Edge > 0 && ne == 0 && n > nb {
+		ne = 1
+	}
+	for i, u := range order {
+		switch {
+		case i < nb:
+			roles[u] = RoleBackbone
+		case i < nb+ne:
+			roles[u] = RoleEdge
+		default:
+			roles[u] = RoleHost
+		}
+	}
+	return roles, nil
+}
+
+// NodesWithRole returns the IDs of all nodes holding role r, ascending.
+func NodesWithRole(roles []Role, r Role) []int {
+	var out []int
+	for u, got := range roles {
+		if got == r {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Subnets assigns every host to the subnet of its nearest edge router
+// (multi-source BFS from all edge routers; ties broken by BFS order,
+// which is deterministic given the adjacency lists). Edge and backbone
+// routers get subnet -1. The subnet index of a host is the index of its
+// edge router within NodesWithRole(roles, RoleEdge).
+//
+// If the graph has no edge routers all hosts land in subnet 0 (one flat
+// subnet), matching the paper's single-subnet approximation in Section 7.
+func Subnets(g *Graph, roles []Role) []int {
+	n := g.N()
+	subnet := make([]int, n)
+	for i := range subnet {
+		subnet[i] = -1
+	}
+	edges := NodesWithRole(roles, RoleEdge)
+	if len(edges) == 0 {
+		for u := 0; u < n; u++ {
+			if roles[u] == RoleHost {
+				subnet[u] = 0
+			}
+		}
+		return subnet
+	}
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	for idx, e := range edges {
+		owner[e] = idx
+		queue = append(queue, int32(e))
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(int(u)) {
+			if owner[v] == -1 {
+				owner[v] = owner[u]
+				queue = append(queue, v)
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if roles[u] == RoleHost && owner[u] >= 0 {
+			subnet[u] = owner[u]
+		}
+	}
+	return subnet
+}
+
+// SubnetMembers groups host IDs by subnet index. Hosts with subnet -1
+// (unreachable from any edge router) are omitted.
+func SubnetMembers(subnet []int, roles []Role) map[int][]int {
+	out := make(map[int][]int)
+	for u, s := range subnet {
+		if s >= 0 && roles[u] == RoleHost {
+			out[s] = append(out[s], u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustBA(t *testing.T, n, m int, seed int64) *Graph {
+	t.Helper()
+	g, err := BarabasiAlbert(n, m, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("BarabasiAlbert: %v", err)
+	}
+	return g
+}
+
+func TestAssignRolesPaperSplit(t *testing.T) {
+	g := mustBA(t, 1000, 2, 1)
+	roles, err := AssignRoles(g, PaperRoles)
+	if err != nil {
+		t.Fatalf("AssignRoles: %v", err)
+	}
+	nb := len(NodesWithRole(roles, RoleBackbone))
+	ne := len(NodesWithRole(roles, RoleEdge))
+	nh := len(NodesWithRole(roles, RoleHost))
+	if nb != 50 || ne != 100 || nh != 850 {
+		t.Fatalf("split = %d/%d/%d, want 50/100/850", nb, ne, nh)
+	}
+	// Every backbone node has degree >= every edge node >= every host.
+	minBackbone := 1 << 30
+	for _, u := range NodesWithRole(roles, RoleBackbone) {
+		if d := g.Degree(u); d < minBackbone {
+			minBackbone = d
+		}
+	}
+	maxEdge := 0
+	for _, u := range NodesWithRole(roles, RoleEdge) {
+		if d := g.Degree(u); d > maxEdge {
+			maxEdge = d
+		}
+	}
+	if maxEdge > minBackbone {
+		t.Errorf("edge degree %d exceeds backbone degree %d", maxEdge, minBackbone)
+	}
+}
+
+func TestAssignRolesSmallGraphGetsAtLeastOne(t *testing.T) {
+	g, err := Star(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles, err := AssignRoles(g, PaperRoles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(NodesWithRole(roles, RoleBackbone)) != 1 {
+		t.Error("want exactly one backbone on a 10-node graph at 5%")
+	}
+	if len(NodesWithRole(roles, RoleEdge)) != 1 {
+		t.Error("want exactly one edge router on a 10-node graph at 10%")
+	}
+	// The hub has the highest degree, so it must be the backbone.
+	if roles[Hub] != RoleBackbone {
+		t.Errorf("hub role = %v, want backbone", roles[Hub])
+	}
+}
+
+func TestAssignRolesBadFractions(t *testing.T) {
+	g, err := Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []RoleFractions{
+		{Backbone: -0.1, Edge: 0.1},
+		{Backbone: 0.6, Edge: 0.6},
+	} {
+		if _, err := AssignRoles(g, frac); err == nil {
+			t.Errorf("fractions %+v should fail", frac)
+		}
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	tests := []struct {
+		r    Role
+		want string
+	}{
+		{RoleHost, "host"},
+		{RoleEdge, "edge"},
+		{RoleBackbone, "backbone"},
+		{Role(99), "Role(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestSubnets(t *testing.T) {
+	g := mustBA(t, 1000, 2, 5)
+	roles, err := AssignRoles(g, PaperRoles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subnet := Subnets(g, roles)
+	edgeCount := len(NodesWithRole(roles, RoleEdge))
+	for u, s := range subnet {
+		switch roles[u] {
+		case RoleHost:
+			if s < 0 || s >= edgeCount {
+				t.Fatalf("host %d has subnet %d (edge routers: %d)", u, s, edgeCount)
+			}
+		default:
+			if s != -1 {
+				t.Fatalf("router %d has subnet %d, want -1", u, s)
+			}
+		}
+	}
+	members := SubnetMembers(subnet, roles)
+	total := 0
+	for _, hosts := range members {
+		total += len(hosts)
+	}
+	if total != len(NodesWithRole(roles, RoleHost)) {
+		t.Errorf("subnet members %d != hosts %d", total, len(NodesWithRole(roles, RoleHost)))
+	}
+}
+
+func TestSubnetsNoEdgeRouters(t *testing.T) {
+	g, err := Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles := make([]Role, 5) // all hosts
+	subnet := Subnets(g, roles)
+	for u, s := range subnet {
+		if s != 0 {
+			t.Errorf("node %d subnet = %d, want 0 (flat)", u, s)
+		}
+	}
+}
+
+func TestHierarchical(t *testing.T) {
+	cfg := HierarchicalConfig{Backbones: 2, EdgesPer: 3, HostsPerSubnet: 10}
+	g, roles, subnet, err := Hierarchical(cfg)
+	if err != nil {
+		t.Fatalf("Hierarchical: %v", err)
+	}
+	wantN := 2 + 6 + 60
+	if g.N() != wantN {
+		t.Fatalf("N = %d, want %d", g.N(), wantN)
+	}
+	if !g.Connected() {
+		t.Error("hierarchical topology should be connected")
+	}
+	if len(NodesWithRole(roles, RoleBackbone)) != 2 ||
+		len(NodesWithRole(roles, RoleEdge)) != 6 ||
+		len(NodesWithRole(roles, RoleHost)) != 60 {
+		t.Error("role counts wrong")
+	}
+	members := SubnetMembers(subnet, roles)
+	if len(members) != 6 {
+		t.Fatalf("subnets = %d, want 6", len(members))
+	}
+	for s, hosts := range members {
+		if len(hosts) != 10 {
+			t.Errorf("subnet %d has %d hosts, want 10", s, len(hosts))
+		}
+	}
+	if _, _, _, err := Hierarchical(HierarchicalConfig{}); err == nil {
+		t.Error("zero config should fail")
+	}
+}

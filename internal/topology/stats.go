@@ -1,0 +1,131 @@
+package topology
+
+import (
+	"math"
+	"sort"
+)
+
+// DegreeHistogram returns degree -> node count.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for u := 0; u < g.n; u++ {
+		h[len(g.adj[u])]++
+	}
+	return h
+}
+
+// DegreeCCDF returns the complementary cumulative degree distribution:
+// for each distinct degree d (ascending), the fraction of nodes with
+// degree >= d. On a power-law graph the CCDF is a straight line in
+// log-log space — the property the paper's BRITE topology shares with
+// the Oregon RouteViews AS graph.
+func (g *Graph) DegreeCCDF() (degrees []int, frac []float64) {
+	if g.n == 0 {
+		return nil, nil
+	}
+	hist := g.DegreeHistogram()
+	degrees = make([]int, 0, len(hist))
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	frac = make([]float64, len(degrees))
+	remaining := g.n
+	for i, d := range degrees {
+		frac[i] = float64(remaining) / float64(g.n)
+		remaining -= hist[d]
+	}
+	return degrees, frac
+}
+
+// PowerLawExponent estimates the tail exponent γ of the degree
+// distribution P(k) ∝ k^{−γ} with the discrete Hill (maximum
+// likelihood) estimator over degrees >= kmin:
+//
+//	γ ≈ 1 + n / Σ ln(k_i / (kmin − 1/2))
+//
+// It returns NaN when fewer than 10 nodes reach kmin. Measured AS
+// graphs have γ ≈ 2.1; Barabási–Albert generates γ ≈ 3.
+func (g *Graph) PowerLawExponent(kmin int) float64 {
+	if kmin < 1 {
+		kmin = 1
+	}
+	var sum float64
+	n := 0
+	for u := 0; u < g.n; u++ {
+		k := len(g.adj[u])
+		if k >= kmin {
+			sum += math.Log(float64(k) / (float64(kmin) - 0.5))
+			n++
+		}
+	}
+	if n < 10 || sum == 0 {
+		return math.NaN()
+	}
+	return 1 + float64(n)/sum
+}
+
+// ClusteringCoefficient returns the global clustering coefficient
+// (3 × triangles / connected triples). Star and tree topologies score
+// 0; cliques score 1.
+func (g *Graph) ClusteringCoefficient() float64 {
+	triangles := 0
+	triples := 0
+	for u := 0; u < g.n; u++ {
+		d := len(g.adj[u])
+		triples += d * (d - 1) / 2
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.HasEdge(int(g.adj[u][i]), int(g.adj[u][j])) {
+					triangles++
+				}
+			}
+		}
+	}
+	if triples == 0 {
+		return 0
+	}
+	// Each triangle is counted once per corner = 3 times.
+	return float64(triangles) / float64(triples)
+}
+
+// MeanDegree returns the average node degree (0 for an empty graph).
+func (g *Graph) MeanDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(g.n)
+}
+
+// AssortativityByDegree returns the Pearson correlation of degrees
+// across edges (Newman's assortativity coefficient r). AS-like graphs
+// are disassortative (r < 0): hubs connect to leaves.
+func (g *Graph) AssortativityByDegree() float64 {
+	m := g.M()
+	if m == 0 {
+		return math.NaN()
+	}
+	var sumProd, sumA, sumB, sumA2, sumB2 float64
+	for _, e := range g.Edges() {
+		// Count each undirected edge in both orientations so the
+		// statistic is symmetric.
+		for _, pair := range [2][2]int{{e[0], e[1]}, {e[1], e[0]}} {
+			a := float64(g.Degree(pair[0]))
+			b := float64(g.Degree(pair[1]))
+			sumProd += a * b
+			sumA += a
+			sumB += b
+			sumA2 += a * a
+			sumB2 += b * b
+		}
+	}
+	n := float64(2 * m)
+	cov := sumProd/n - (sumA/n)*(sumB/n)
+	varA := sumA2/n - (sumA/n)*(sumA/n)
+	varB := sumB2/n - (sumB/n)*(sumB/n)
+	den := math.Sqrt(varA * varB)
+	if den == 0 {
+		return math.NaN()
+	}
+	return cov / den
+}

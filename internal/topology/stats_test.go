@@ -1,0 +1,148 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDegreeHistogramAndCCDF(t *testing.T) {
+	g, err := Star(5) // hub degree 4, four leaves degree 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := g.DegreeHistogram()
+	if h[1] != 4 || h[4] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+	degrees, frac := g.DegreeCCDF()
+	if len(degrees) != 2 || degrees[0] != 1 || degrees[1] != 4 {
+		t.Fatalf("degrees = %v", degrees)
+	}
+	if frac[0] != 1 {
+		t.Errorf("P(deg>=1) = %v, want 1", frac[0])
+	}
+	if math.Abs(frac[1]-0.2) > 1e-12 {
+		t.Errorf("P(deg>=4) = %v, want 0.2", frac[1])
+	}
+	empty := New(0)
+	if d, f := empty.DegreeCCDF(); d != nil || f != nil {
+		t.Error("empty graph CCDF should be nil")
+	}
+}
+
+func TestPowerLawExponentBA(t *testing.T) {
+	g, err := BarabasiAlbert(3000, 2, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := g.PowerLawExponent(4)
+	// BA's theoretical exponent is 3; the Hill estimator on finite
+	// samples lands nearby.
+	if gamma < 2.2 || gamma > 4.0 {
+		t.Errorf("BA exponent = %v, want ≈ 3", gamma)
+	}
+	// An ER graph's exponential tail yields a much larger "exponent".
+	er, err := ErdosRenyi(3000, 4.0/3000, true, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	erGamma := er.PowerLawExponent(4)
+	if !math.IsNaN(erGamma) && erGamma < gamma {
+		t.Errorf("ER tail (%v) should not be heavier than BA (%v)", erGamma, gamma)
+	}
+}
+
+func TestPowerLawExponentDegenerate(t *testing.T) {
+	g, err := Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(g.PowerLawExponent(10)) {
+		t.Error("too few tail nodes should give NaN")
+	}
+	// kmin < 1 is clamped rather than crashing.
+	if v := g.PowerLawExponent(0); math.IsInf(v, 0) {
+		t.Errorf("kmin=0 gave %v", v)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// Triangle: coefficient 1.
+	tri := New(3)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		if err := tri.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tri.ClusteringCoefficient(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("triangle clustering = %v, want 1", got)
+	}
+	// Star: no triangles.
+	star, err := Star(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := star.ClusteringCoefficient(); got != 0 {
+		t.Errorf("star clustering = %v, want 0", got)
+	}
+	// Edgeless graph.
+	if got := New(4).ClusteringCoefficient(); got != 0 {
+		t.Errorf("edgeless clustering = %v, want 0", got)
+	}
+}
+
+func TestMeanDegree(t *testing.T) {
+	g, err := Ring(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MeanDegree(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("ring mean degree = %v, want 2", got)
+	}
+	if New(0).MeanDegree() != 0 {
+		t.Error("empty graph mean degree should be 0")
+	}
+}
+
+func TestAssortativity(t *testing.T) {
+	// Stars are maximally disassortative.
+	star, err := Star(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := star.AssortativityByDegree(); !math.IsNaN(got) && got > -0.99 {
+		// All edges connect degree-19 to degree-1: zero variance on each
+		// side individually... both ends span {1,19} when counted in both
+		// orientations, so r = -1.
+		t.Errorf("star assortativity = %v, want -1", got)
+	}
+	// BA graphs trend disassortative like AS topologies.
+	g, err := BarabasiAlbert(1000, 1, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.AssortativityByDegree(); got > 0 {
+		t.Errorf("BA assortativity = %v, want <= 0 (AS-like)", got)
+	}
+	if v := New(3).AssortativityByDegree(); !math.IsNaN(v) {
+		t.Errorf("edgeless assortativity = %v, want NaN", v)
+	}
+}
+
+// The claim behind the whole Section 5.4 substitution: the generated
+// topology is AS-like — heavy-tailed degrees, short paths, and a core
+// that the degree-ranked backbone captures.
+func TestASLikeness(t *testing.T) {
+	g, err := BarabasiAlbert(1000, 1, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() < 30 {
+		t.Errorf("max degree %d too small for a heavy tail", g.MaxDegree())
+	}
+	gamma := g.PowerLawExponent(3)
+	if math.IsNaN(gamma) || gamma < 1.8 || gamma > 4.5 {
+		t.Errorf("exponent %v outside the power-law band", gamma)
+	}
+}

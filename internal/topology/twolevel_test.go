@@ -1,0 +1,99 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTwoLevelBasics(t *testing.T) {
+	cfg := TwoLevelConfig{ASes: 50, AttachM: 1, TransitFraction: 0.1, HostsPerStub: 8}
+	g, roles, subnet, err := TwoLevel(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("TwoLevel: %v", err)
+	}
+	nTransit := 5
+	nStub := 45
+	wantN := 50 + nStub*8
+	if g.N() != wantN {
+		t.Fatalf("N = %d, want %d", g.N(), wantN)
+	}
+	if !g.Connected() {
+		t.Error("two-level topology should be connected")
+	}
+	if got := len(NodesWithRole(roles, RoleBackbone)); got != nTransit {
+		t.Errorf("transit ASes = %d, want %d", got, nTransit)
+	}
+	if got := len(NodesWithRole(roles, RoleEdge)); got != nStub {
+		t.Errorf("stub ASes = %d, want %d", got, nStub)
+	}
+	if got := len(NodesWithRole(roles, RoleHost)); got != nStub*8 {
+		t.Errorf("hosts = %d, want %d", got, nStub*8)
+	}
+	// Transit ASes are the high-degree core.
+	minTransit := 1 << 30
+	for _, u := range NodesWithRole(roles, RoleBackbone) {
+		if d := g.Degree(u); d < minTransit {
+			minTransit = d
+		}
+	}
+	if minTransit < 2 {
+		t.Errorf("transit min degree = %d, want the core", minTransit)
+	}
+	// Subnets: every host belongs to one; sizes are uniform.
+	members := SubnetMembers(subnet, roles)
+	if len(members) != nStub {
+		t.Fatalf("subnets = %d, want %d", len(members), nStub)
+	}
+	for s, hosts := range members {
+		if len(hosts) != 8 {
+			t.Errorf("subnet %d size = %d, want 8", s, len(hosts))
+		}
+	}
+	// Hosts are leaves (degree 1) hanging off their edge router.
+	for _, h := range NodesWithRole(roles, RoleHost) {
+		if g.Degree(h) != 1 {
+			t.Fatalf("host %d degree = %d, want 1", h, g.Degree(h))
+		}
+		nb := int(g.Neighbors(h)[0])
+		if roles[nb] != RoleEdge {
+			t.Fatalf("host %d attaches to %v, want an edge router", h, roles[nb])
+		}
+	}
+}
+
+func TestTwoLevelErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct {
+		name string
+		cfg  TwoLevelConfig
+	}{
+		{"too few ASes", TwoLevelConfig{ASes: 3, AttachM: 1, HostsPerStub: 2}},
+		{"no hosts", TwoLevelConfig{ASes: 10, AttachM: 1, HostsPerStub: 0}},
+		{"bad transit fraction", TwoLevelConfig{ASes: 10, AttachM: 1, TransitFraction: 1, HostsPerStub: 2}},
+		{"bad attach", TwoLevelConfig{ASes: 10, AttachM: 0, HostsPerStub: 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, _, err := TwoLevel(tt.cfg, rng); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+	if _, _, _, err := TwoLevel(TwoLevelConfig{ASes: 10, AttachM: 1, HostsPerStub: 2}, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestTwoLevelZeroTransit(t *testing.T) {
+	cfg := TwoLevelConfig{ASes: 10, AttachM: 1, TransitFraction: 0, HostsPerStub: 3}
+	_, roles, _, err := TwoLevel(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(NodesWithRole(roles, RoleBackbone)); got != 0 {
+		t.Errorf("zero transit fraction gave %d backbone nodes", got)
+	}
+	if got := len(NodesWithRole(roles, RoleEdge)); got != 10 {
+		t.Errorf("stubs = %d, want 10", got)
+	}
+}

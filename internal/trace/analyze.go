@@ -1,0 +1,323 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ratelimit"
+)
+
+// Histogram is a distribution over non-negative integer counts with
+// explicit accounting of zero samples, so quantiles over mostly-idle
+// windows stay cheap.
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int) {
+	if h.counts == nil {
+		h.counts = make(map[int]int)
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// AddZeros records n zero samples.
+func (h *Histogram) AddZeros(n int) {
+	if n <= 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]int)
+	}
+	h.counts[0] += n
+	h.total += n
+}
+
+// Total returns the number of samples.
+func (h *Histogram) Total() int { return h.total }
+
+// Mean returns the sample mean (NaN if empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	sum := 0
+	for v, c := range h.counts {
+		sum += v * c
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// Max returns the largest sample (0 if empty).
+func (h *Histogram) Max() int {
+	max := 0
+	for v := range h.counts {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Quantile returns the smallest count v with P(X <= v) >= q — the rate
+// limit that would leave a fraction q of windows unaffected. -1 for an
+// empty histogram or q outside (0, 1].
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 || q <= 0 || q > 1 {
+		return -1
+	}
+	keys := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		keys = append(keys, v)
+	}
+	sort.Ints(keys)
+	need := int(math.Ceil(q * float64(h.total)))
+	cum := 0
+	for _, v := range keys {
+		cum += h.counts[v]
+		if cum >= need {
+			return v
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// Points returns the (value, cumulative fraction) pairs of the CDF,
+// value-ascending — the curves of Figure 9.
+func (h *Histogram) Points() (xs []int, ps []float64) {
+	keys := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		keys = append(keys, v)
+	}
+	sort.Ints(keys)
+	cum := 0
+	for _, v := range keys {
+		cum += h.counts[v]
+		xs = append(xs, v)
+		ps = append(ps, float64(cum)/float64(h.total))
+	}
+	return xs, ps
+}
+
+// ContactStats holds the per-window contact-count distributions under
+// the paper's three refinements: all distinct external destinations,
+// those that did not initiate contact first, and those that in addition
+// had no valid DNS translation.
+type ContactStats struct {
+	// Window is the window length in milliseconds.
+	Window int64
+	// All counts distinct external destinations per window.
+	All Histogram
+	// NoPrior excludes destinations that initiated contact with the
+	// monitored network first.
+	NoPrior Histogram
+	// NonDNS further excludes destinations with a valid DNS translation
+	// at contact time.
+	NonDNS Histogram
+}
+
+// RecommendedLimits returns the q-quantile rate limits for the three
+// refinements — e.g. q=0.999 reproduces the paper's "16 / 14 / 9 per
+// five seconds" for normal clients.
+func (s *ContactStats) RecommendedLimits(q float64) (all, noPrior, nonDNS int) {
+	return s.All.Quantile(q), s.NoPrior.Quantile(q), s.NonDNS.Quantile(q)
+}
+
+// analyzer is the shared streaming state of an analysis pass.
+type analyzer struct {
+	window   int64
+	winStart int64
+
+	dnsCache  map[ratelimit.IP]int64 // external addr -> expiry time
+	seenAny   map[ratelimit.IP]struct{}
+	initiated map[ratelimit.IP]struct{} // externals whose first packet was inbound
+}
+
+func newAnalyzer(window int64) *analyzer {
+	return &analyzer{
+		window:    window,
+		dnsCache:  make(map[ratelimit.IP]int64),
+		seenAny:   make(map[ratelimit.IP]struct{}),
+		initiated: make(map[ratelimit.IP]struct{}),
+	}
+}
+
+// observe updates DNS and first-contact state for one record.
+func (a *analyzer) observe(r *Record) {
+	if r.IsDNSResponse() {
+		if exp, ok := a.dnsCache[r.DNSAnswer]; !ok || r.Time+r.DNSTTL > exp {
+			a.dnsCache[r.DNSAnswer] = r.Time + r.DNSTTL
+		}
+	}
+	switch {
+	case r.Inbound():
+		if _, ok := a.seenAny[r.Src]; !ok {
+			a.seenAny[r.Src] = struct{}{}
+			a.initiated[r.Src] = struct{}{}
+		}
+	case r.Outbound():
+		if _, ok := a.seenAny[r.Dst]; !ok {
+			a.seenAny[r.Dst] = struct{}{}
+		}
+	}
+}
+
+// classify reports which refinements an outbound contact falls under.
+func (a *analyzer) classify(r *Record) (noPrior, nonDNS bool) {
+	if _, ok := a.initiated[r.Dst]; ok {
+		return false, false
+	}
+	if exp, ok := a.dnsCache[r.Dst]; ok && r.Time <= exp {
+		return true, false
+	}
+	return true, true
+}
+
+// hostSet is the filter of internal host indices under analysis.
+type hostSet map[int]struct{}
+
+func makeHostSet(hosts []int) hostSet {
+	s := make(hostSet, len(hosts))
+	for _, h := range hosts {
+		s[h] = struct{}{}
+	}
+	return s
+}
+
+// AnalyzeAggregate measures the aggregate (edge-router view) contact
+// counts of the given internal hosts per tumbling window: the union of
+// distinct external destinations contacted by any of them. This is the
+// measurement behind Figure 9 and the edge-router rate limits. The
+// trace must be time-sorted.
+func AnalyzeAggregate(t *Trace, hosts []int, window int64) (*ContactStats, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("trace: window %d must be positive", window)
+	}
+	set := makeHostSet(hosts)
+	a := newAnalyzer(window)
+	stats := &ContactStats{Window: window}
+
+	all := make(map[ratelimit.IP]struct{})
+	noPrior := make(map[ratelimit.IP]struct{})
+	nonDNS := make(map[ratelimit.IP]struct{})
+	flush := func() {
+		stats.All.Add(len(all))
+		stats.NoPrior.Add(len(noPrior))
+		stats.NonDNS.Add(len(nonDNS))
+		clear(all)
+		clear(noPrior)
+		clear(nonDNS)
+	}
+
+	for i := range t.Records {
+		r := &t.Records[i]
+		for r.Time-a.winStart >= window {
+			flush()
+			a.winStart += window
+		}
+		a.observe(r)
+		if !r.Outbound() {
+			continue
+		}
+		if _, ok := set[HostIndex(r.Src)]; !ok {
+			continue
+		}
+		all[r.Dst] = struct{}{}
+		np, nd := a.classify(r)
+		if np {
+			noPrior[r.Dst] = struct{}{}
+		}
+		if nd {
+			nonDNS[r.Dst] = struct{}{}
+		}
+	}
+	flush()
+	return stats, nil
+}
+
+// AnalyzePerHost measures per-host contact counts: each sample is one
+// (host, window) pair, including idle windows as zeros — the basis of
+// the paper's per-host limits ("four unique IP addresses per five
+// seconds ... one unique non-DNS-translated"). The trace must be
+// time-sorted.
+func AnalyzePerHost(t *Trace, hosts []int, window int64) (*ContactStats, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("trace: window %d must be positive", window)
+	}
+	set := makeHostSet(hosts)
+	a := newAnalyzer(window)
+	stats := &ContactStats{Window: window}
+
+	type key struct {
+		host int
+		dst  ratelimit.IP
+	}
+	all := make(map[key]struct{})
+	noPrior := make(map[key]struct{})
+	nonDNS := make(map[key]struct{})
+	perAll := make(map[int]int)
+	perNoPrior := make(map[int]int)
+	perNonDNS := make(map[int]int)
+	windows := 0
+	flush := func() {
+		windows++
+		for _, c := range perAll {
+			stats.All.Add(c)
+		}
+		for _, c := range perNoPrior {
+			stats.NoPrior.Add(c)
+		}
+		for _, c := range perNonDNS {
+			stats.NonDNS.Add(c)
+		}
+		stats.All.AddZeros(len(set) - len(perAll))
+		stats.NoPrior.AddZeros(len(set) - len(perNoPrior))
+		stats.NonDNS.AddZeros(len(set) - len(perNonDNS))
+		clear(all)
+		clear(noPrior)
+		clear(nonDNS)
+		clear(perAll)
+		clear(perNoPrior)
+		clear(perNonDNS)
+	}
+
+	for i := range t.Records {
+		r := &t.Records[i]
+		for r.Time-a.winStart >= window {
+			flush()
+			a.winStart += window
+		}
+		a.observe(r)
+		if !r.Outbound() {
+			continue
+		}
+		h := HostIndex(r.Src)
+		if _, ok := set[h]; !ok {
+			continue
+		}
+		k := key{host: h, dst: r.Dst}
+		if _, dup := all[k]; !dup {
+			all[k] = struct{}{}
+			perAll[h]++
+		}
+		np, nd := a.classify(r)
+		if np {
+			if _, dup := noPrior[k]; !dup {
+				noPrior[k] = struct{}{}
+				perNoPrior[h]++
+			}
+		}
+		if nd {
+			if _, dup := nonDNS[k]; !dup {
+				nonDNS[k] = struct{}{}
+				perNonDNS[h]++
+			}
+		}
+	}
+	flush()
+	return stats, nil
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/ratelimit"
+	"repro/internal/worm"
+)
+
+// handTrace builds a fully deterministic trace for exact analyzer
+// expectations (window = 5 s):
+//
+//	w0: host0 contacts ext1 (DNS-valid), ext2 (which contacted us
+//	    first), ext3 (fresh, non-DNS)      -> all=3 noPrior=2 nonDNS=1
+//	w1: host0 contacts ext3 again          -> all=1 noPrior=1 nonDNS=1
+//	w2, w3: idle                           -> zeros
+//	w4: host0 contacts ext1 after its DNS entry expired
+//	                                       -> all=1 noPrior=1 nonDNS=1
+func handTrace() *Trace {
+	const (
+		ext1     = ratelimit.IP(0x08080801)
+		ext2     = ratelimit.IP(0x08080802)
+		ext3     = ratelimit.IP(0x08080803)
+		upstream = ratelimit.IP(0x08080844)
+	)
+	h0 := HostIP(0)
+	return &Trace{Records: []Record{
+		// DNS response for ext1, valid until t=10000.
+		{Time: 0, Src: upstream, Dst: HostIP(1), Proto: worm.ProtoUDP,
+			SrcPort: 53, DstPort: 32768, DNSAnswer: ext1, DNSTTL: 10 * Second},
+		{Time: 1000, Src: h0, Dst: ext1, Proto: worm.ProtoTCP, DstPort: 80, Flags: FlagSYN},
+		{Time: 2000, Src: ext2, Dst: h0, Proto: worm.ProtoTCP, SrcPort: 80, Flags: FlagSYN},
+		{Time: 3000, Src: h0, Dst: ext2, Proto: worm.ProtoTCP, DstPort: 80, Flags: FlagACK},
+		{Time: 4000, Src: h0, Dst: ext3, Proto: worm.ProtoTCP, DstPort: 80, Flags: FlagSYN},
+		{Time: 6000, Src: h0, Dst: ext3, Proto: worm.ProtoTCP, DstPort: 80, Flags: FlagSYN},
+		{Time: 20000, Src: h0, Dst: ext1, Proto: worm.ProtoTCP, DstPort: 80, Flags: FlagSYN},
+	}}
+}
+
+// histToSlice reconstructs value->count pairs from a histogram's CDF
+// points.
+func histToSlice(h *Histogram) map[int]int {
+	out := make(map[int]int)
+	xs, ps := h.Points()
+	cum := 0
+	for i, x := range xs {
+		c := int(ps[i]*float64(h.Total()) + 0.5)
+		out[x] = c - cum
+		cum = c
+	}
+	return out
+}
+
+func TestAnalyzeAggregateHandTrace(t *testing.T) {
+	stats, err := AnalyzeAggregate(handTrace(), []int{0}, 5*Second)
+	if err != nil {
+		t.Fatalf("AnalyzeAggregate: %v", err)
+	}
+	// 5 windows total (0..4).
+	if got := stats.All.Total(); got != 5 {
+		t.Fatalf("windows = %d, want 5", got)
+	}
+	all := histToSlice(&stats.All)
+	if all[3] != 1 || all[1] != 2 || all[0] != 2 {
+		t.Errorf("all histogram = %v, want {3:1, 1:2, 0:2}", all)
+	}
+	noPrior := histToSlice(&stats.NoPrior)
+	if noPrior[2] != 1 || noPrior[1] != 2 || noPrior[0] != 2 {
+		t.Errorf("noPrior histogram = %v, want {2:1, 1:2, 0:2}", noPrior)
+	}
+	nonDNS := histToSlice(&stats.NonDNS)
+	if nonDNS[1] != 3 || nonDNS[0] != 2 {
+		t.Errorf("nonDNS histogram = %v, want {1:3, 0:2}", nonDNS)
+	}
+}
+
+func TestAnalyzeAggregateHostFilter(t *testing.T) {
+	// Analyzing a different host sees nothing.
+	stats, err := AnalyzeAggregate(handTrace(), []int{5}, 5*Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.All.Max() != 0 {
+		t.Errorf("filtered analysis saw contacts: max=%d", stats.All.Max())
+	}
+}
+
+func TestAnalyzeBadWindow(t *testing.T) {
+	if _, err := AnalyzeAggregate(handTrace(), []int{0}, 0); err == nil {
+		t.Error("zero window should fail")
+	}
+	if _, err := AnalyzePerHost(handTrace(), []int{0}, -5); err == nil {
+		t.Error("negative window should fail")
+	}
+}
+
+func TestAnalyzePerHostHandTrace(t *testing.T) {
+	stats, err := AnalyzePerHost(handTrace(), []int{0, 1}, 5*Second)
+	if err != nil {
+		t.Fatalf("AnalyzePerHost: %v", err)
+	}
+	// 5 windows x 2 hosts = 10 samples; host 1 contributes only zeros.
+	if got := stats.All.Total(); got != 10 {
+		t.Fatalf("samples = %d, want 10", got)
+	}
+	all := histToSlice(&stats.All)
+	if all[3] != 1 || all[1] != 2 || all[0] != 7 {
+		t.Errorf("per-host all = %v, want {3:1, 1:2, 0:7}", all)
+	}
+	if stats.NonDNS.Max() != 1 {
+		t.Errorf("per-host nonDNS max = %d, want 1", stats.NonDNS.Max())
+	}
+}
+
+func TestRecommendedLimits(t *testing.T) {
+	stats, err := AnalyzeAggregate(handTrace(), []int{0}, 5*Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, noPrior, nonDNS := stats.RecommendedLimits(1.0)
+	if all != 3 || noPrior != 2 || nonDNS != 1 {
+		t.Errorf("limits = %d/%d/%d, want 3/2/1", all, noPrior, nonDNS)
+	}
+}
+
+func TestClassDescriptions(t *testing.T) {
+	tests := []struct {
+		c    Class
+		want string
+	}{
+		{ClassNormal, "normal"}, {ClassServer, "server"},
+		{ClassP2P, "p2p"}, {ClassInfected, "infected"}, {Class(9), "Class(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.c, got, tt.want)
+		}
+	}
+	for _, tt := range []struct {
+		w    WormKind
+		want string
+	}{
+		{WormNone, "none"}, {WormBlaster, "blaster"}, {WormWelchia, "welchia"}, {WormKind(9), "worm?"},
+	} {
+		if got := tt.w.String(); got != tt.want {
+			t.Errorf("WormKind(%d).String() = %q, want %q", tt.w, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/ratelimit"
+	"repro/internal/worm"
+)
+
+// WormKind identifies a detected worm infection.
+type WormKind uint8
+
+// Detection outcomes. The paper differentiated the two worms "by
+// looking for a large amount of ICMP echo requests intermixed with TCP
+// SYNs to port 135".
+const (
+	WormNone WormKind = iota
+	WormBlaster
+	WormWelchia
+)
+
+// String implements fmt.Stringer.
+func (w WormKind) String() string {
+	switch w {
+	case WormNone:
+		return "none"
+	case WormBlaster:
+		return "blaster"
+	case WormWelchia:
+		return "welchia"
+	default:
+		return "worm?"
+	}
+}
+
+// Detection thresholds (distinct destinations per minute). Normal
+// clients peak around 4 distinct contacts per 5 seconds ≈ 48/minute;
+// the worms scan in the hundreds to thousands.
+const (
+	blasterScanThreshold = 60  // distinct TCP/135 targets per minute
+	welchiaPingThreshold = 100 // distinct ICMP targets per minute
+)
+
+// HostReport summarizes one internal host's observed behaviour.
+type HostReport struct {
+	Host int
+	// Class is the behavioural classification.
+	Class Class
+	// Worm is the detected infection, if any.
+	Worm WormKind
+	// PeakScanPerMinute is the peak distinct external destinations
+	// contacted in any minute (the paper's footnote metric: Welchia
+	// 7068/min, Blaster 671/min).
+	PeakScanPerMinute int
+	// PeakTCP135PerMinute and PeakICMPPerMinute are the worm-signature
+	// peaks.
+	PeakTCP135PerMinute int
+	PeakICMPPerMinute   int
+	// FreshOutbound and InboundInitiated count distinct external peers
+	// by who initiated.
+	FreshOutbound    int
+	InboundInitiated int
+	// P2PFraction is the fraction of outbound packets on known P2P
+	// ports.
+	P2PFraction float64
+}
+
+// classifier thresholds for non-worm classes.
+const (
+	p2pPortFractionMin = 0.5
+	p2pMinFresh        = 30
+	serverInboundRatio = 5.0
+)
+
+// Classify analyzes a time-sorted trace and reports on every internal
+// host that appears in it, sorted by host index. Classification rules:
+// worm signatures first (TCP/135 or ICMP sweeps above threshold), then
+// servers (inbound-initiated peers dominate), then P2P (sustained fresh
+// contacts mostly on P2P application ports), else normal.
+func Classify(t *Trace) []HostReport {
+	type hostAgg struct {
+		minuteDst   map[ratelimit.IP]struct{}
+		minute135   map[ratelimit.IP]struct{}
+		minuteICMP  map[ratelimit.IP]struct{}
+		curMinute   int64
+		peakAll     int
+		peak135     int
+		peakICMP    int
+		freshOut    map[ratelimit.IP]struct{}
+		inboundInit map[ratelimit.IP]struct{}
+		outPackets  int
+		p2pPackets  int
+	}
+	aggs := make(map[int]*hostAgg)
+	get := func(h int) *hostAgg {
+		a, ok := aggs[h]
+		if !ok {
+			a = &hostAgg{
+				minuteDst:   make(map[ratelimit.IP]struct{}),
+				minute135:   make(map[ratelimit.IP]struct{}),
+				minuteICMP:  make(map[ratelimit.IP]struct{}),
+				freshOut:    make(map[ratelimit.IP]struct{}),
+				inboundInit: make(map[ratelimit.IP]struct{}),
+			}
+			aggs[h] = a
+		}
+		return a
+	}
+	roll := func(a *hostAgg, minute int64) {
+		if minute == a.curMinute {
+			return
+		}
+		if n := len(a.minuteDst); n > a.peakAll {
+			a.peakAll = n
+		}
+		if n := len(a.minute135); n > a.peak135 {
+			a.peak135 = n
+		}
+		if n := len(a.minuteICMP); n > a.peakICMP {
+			a.peakICMP = n
+		}
+		clear(a.minuteDst)
+		clear(a.minute135)
+		clear(a.minuteICMP)
+		a.curMinute = minute
+	}
+
+	seenFirstInbound := make(map[ratelimit.IP]struct{})
+	seenAny := make(map[ratelimit.IP]struct{})
+	isP2PPort := make(map[uint16]bool, len(p2pPorts))
+	for _, p := range p2pPorts {
+		isP2PPort[p] = true
+	}
+
+	for i := range t.Records {
+		r := &t.Records[i]
+		switch {
+		case r.Inbound():
+			if _, ok := seenAny[r.Src]; !ok {
+				seenAny[r.Src] = struct{}{}
+				seenFirstInbound[r.Src] = struct{}{}
+			}
+			a := get(HostIndex(r.Dst))
+			if _, init := seenFirstInbound[r.Src]; init {
+				a.inboundInit[r.Src] = struct{}{}
+			}
+		case r.Outbound():
+			if _, ok := seenAny[r.Dst]; !ok {
+				seenAny[r.Dst] = struct{}{}
+			}
+			a := get(HostIndex(r.Src))
+			roll(a, r.Time/Minute)
+			a.minuteDst[r.Dst] = struct{}{}
+			if r.DstPort == 135 && r.Flags&FlagSYN != 0 {
+				a.minute135[r.Dst] = struct{}{}
+			}
+			if r.Proto == worm.ProtoICMP {
+				a.minuteICMP[r.Dst] = struct{}{}
+			}
+			a.outPackets++
+			if isP2PPort[r.DstPort] {
+				a.p2pPackets++
+			}
+			if _, init := seenFirstInbound[r.Dst]; !init {
+				a.freshOut[r.Dst] = struct{}{}
+			}
+		}
+	}
+
+	reports := make([]HostReport, 0, len(aggs))
+	for h, a := range aggs {
+		roll(a, a.curMinute+1) // final flush
+		rep := HostReport{
+			Host:                h,
+			PeakScanPerMinute:   a.peakAll,
+			PeakTCP135PerMinute: a.peak135,
+			PeakICMPPerMinute:   a.peakICMP,
+			FreshOutbound:       len(a.freshOut),
+			InboundInitiated:    len(a.inboundInit),
+		}
+		if a.outPackets > 0 {
+			rep.P2PFraction = float64(a.p2pPackets) / float64(a.outPackets)
+		}
+		switch {
+		case rep.PeakICMPPerMinute >= welchiaPingThreshold:
+			rep.Worm = WormWelchia
+			rep.Class = ClassInfected
+		case rep.PeakTCP135PerMinute >= blasterScanThreshold:
+			rep.Worm = WormBlaster
+			rep.Class = ClassInfected
+		case rep.FreshOutbound > 0 &&
+			float64(rep.InboundInitiated) >= serverInboundRatio*float64(rep.FreshOutbound):
+			rep.Class = ClassServer
+		case rep.InboundInitiated > 0 && rep.FreshOutbound == 0:
+			rep.Class = ClassServer
+		case rep.P2PFraction >= p2pPortFractionMin && rep.FreshOutbound >= p2pMinFresh:
+			rep.Class = ClassP2P
+		default:
+			rep.Class = ClassNormal
+		}
+		reports = append(reports, rep)
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Host < reports[j].Host })
+	return reports
+}

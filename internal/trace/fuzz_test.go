@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ratelimit"
+	"repro/internal/worm"
+)
+
+// FuzzParseRecord ensures the record parser never panics and that every
+// successfully parsed record round-trips through WriteTo/Read.
+func FuzzParseRecord(f *testing.F) {
+	f.Add("1\t2\t3\t1\t5\t6\t0\t0\t0")
+	f.Add("0\t167772160\t134744072\t2\t53\t32768\t0\t134744073\t7200000")
+	f.Add("")
+	f.Add("x\ty")
+	f.Add("1\t2\t3\t4\t5\t6\t7\t8\t9\t10")
+	f.Add("-1\t2\t3\t4\t5\t6\t7\t8\t9")
+	f.Add("18446744073709551615\t2\t3\t4\t5\t6\t7\t8\t9")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := parseRecord(line)
+		if err != nil {
+			return // malformed input is fine as long as it doesn't panic
+		}
+		// Round trip: serialize and re-parse.
+		tr := &Trace{Records: []Record{rec}}
+		var b strings.Builder
+		if _, err := tr.WriteTo(&b); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		got, err := Read(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if len(got.Records) != 1 || got.Records[0] != rec {
+			t.Fatalf("round trip changed record: %+v vs %+v", got.Records[0], rec)
+		}
+	})
+}
+
+// FuzzAnalyzerRobustness feeds arbitrary (but time-ordered) records into
+// the aggregate analyzer: it must never panic and always produce
+// consistent histograms.
+func FuzzAnalyzerRobustness(f *testing.F) {
+	f.Add(uint32(0x0A000001), uint32(0x08080808), uint8(1), uint16(80), int64(1000))
+	f.Add(uint32(0x08080808), uint32(0x0A000001), uint8(2), uint16(53), int64(0))
+	f.Fuzz(func(t *testing.T, src, dst uint32, proto uint8, port uint16, dt int64) {
+		if dt < 0 {
+			dt = -dt
+		}
+		an, err := NewAggregateAnalyzer([]int{0, 1, 2}, 5*Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := int64(0)
+		for i := 0; i < 5; i++ {
+			rec := Record{
+				Time:    now,
+				Src:     ratelimit.IP(src + uint32(i)),
+				Dst:     ratelimit.IP(dst - uint32(i)),
+				Proto:   worm.Proto(proto),
+				DstPort: port,
+			}
+			if err := an.Feed(&rec); err != nil {
+				t.Fatalf("Feed: %v", err)
+			}
+			now += dt % (20 * Second)
+		}
+		stats := an.Finish()
+		if stats.All.Total() < 1 {
+			t.Fatal("no windows recorded")
+		}
+		if stats.NonDNS.Max() > stats.All.Max() {
+			t.Fatal("refinement exceeded raw count")
+		}
+	})
+}

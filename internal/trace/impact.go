@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/ratelimit"
+)
+
+// Refinement selects which contacts count against a rate limit.
+type Refinement uint8
+
+// The paper's three contact classifications (Figure 9's three lines).
+const (
+	// RefAll counts every distinct destination (Williamson's throttle).
+	RefAll Refinement = iota
+	// RefNoPrior exempts destinations that initiated contact first.
+	RefNoPrior
+	// RefNonDNS additionally exempts destinations with a valid DNS
+	// translation (Ganger's scheme).
+	RefNonDNS
+)
+
+// String implements fmt.Stringer.
+func (r Refinement) String() string {
+	switch r {
+	case RefAll:
+		return "all"
+	case RefNoPrior:
+		return "no-prior"
+	case RefNonDNS:
+		return "non-DNS"
+	default:
+		return fmt.Sprintf("Refinement(%d)", uint8(r))
+	}
+}
+
+// Impact reports what a concrete rate limit would have done to the
+// given hosts' traffic in a trace: the fraction of windows in which the
+// limit would have engaged (delaying or blocking something) and the
+// fraction of counted contacts that exceeded the budget.
+type Impact struct {
+	// Windows is the number of windows observed.
+	Windows int
+	// AffectedWindows is the number of windows whose counted distinct
+	// contacts exceeded the limit.
+	AffectedWindows int
+	// Contacts is the number of counted (limit-relevant) distinct
+	// contacts.
+	Contacts int
+	// BlockedContacts is how many of them were over budget.
+	BlockedContacts int
+}
+
+// AffectedWindowFraction returns AffectedWindows/Windows (0 if none).
+func (im Impact) AffectedWindowFraction() float64 {
+	if im.Windows == 0 {
+		return 0
+	}
+	return float64(im.AffectedWindows) / float64(im.Windows)
+}
+
+// BlockedContactFraction returns BlockedContacts/Contacts (0 if none).
+func (im Impact) BlockedContactFraction() float64 {
+	if im.Contacts == 0 {
+		return 0
+	}
+	return float64(im.BlockedContacts) / float64(im.Contacts)
+}
+
+// EvaluateLimit replays the aggregate outbound traffic of the given
+// hosts against a limit of `limit` distinct destinations per window
+// under the given refinement, and reports the impact. Running it over
+// a class of legitimate hosts quantifies the collateral damage of a
+// proposed limit ("16 per five seconds would almost never affect
+// legitimate traffic"); over the infected hosts, its bite on the worm.
+func EvaluateLimit(t *Trace, hosts []int, window int64, limit int, ref Refinement) (Impact, error) {
+	if window <= 0 {
+		return Impact{}, fmt.Errorf("trace: window %d must be positive", window)
+	}
+	if limit < 0 {
+		return Impact{}, fmt.Errorf("trace: limit %d must be >= 0", limit)
+	}
+	set := makeHostSet(hosts)
+	a := newAnalyzer(window)
+	var im Impact
+	counted := make(map[ratelimit.IP]struct{})
+	flush := func() {
+		im.Windows++
+		n := len(counted)
+		im.Contacts += n
+		if n > limit {
+			im.AffectedWindows++
+			im.BlockedContacts += n - limit
+		}
+		clear(counted)
+	}
+	for i := range t.Records {
+		r := &t.Records[i]
+		for r.Time-a.winStart >= window {
+			flush()
+			a.winStart += window
+		}
+		a.observe(r)
+		if !r.Outbound() {
+			continue
+		}
+		if _, ok := set[HostIndex(r.Src)]; !ok {
+			continue
+		}
+		np, nd := a.classify(r)
+		switch ref {
+		case RefAll:
+		case RefNoPrior:
+			if !np {
+				continue
+			}
+		case RefNonDNS:
+			if !nd {
+				continue
+			}
+		default:
+			return Impact{}, fmt.Errorf("trace: unknown refinement %d", ref)
+		}
+		counted[r.Dst] = struct{}{}
+	}
+	flush()
+	return im, nil
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateLimitHandTrace(t *testing.T) {
+	tr := handTrace() // window counts (all): 3,1,0,0,1
+	im, err := EvaluateLimit(tr, []int{0}, 5*Second, 2, RefAll)
+	if err != nil {
+		t.Fatalf("EvaluateLimit: %v", err)
+	}
+	if im.Windows != 5 {
+		t.Fatalf("windows = %d, want 5", im.Windows)
+	}
+	if im.AffectedWindows != 1 {
+		t.Errorf("affected = %d, want 1 (the 3-contact window)", im.AffectedWindows)
+	}
+	if im.Contacts != 5 {
+		t.Errorf("contacts = %d, want 5", im.Contacts)
+	}
+	if im.BlockedContacts != 1 {
+		t.Errorf("blocked = %d, want 1", im.BlockedContacts)
+	}
+	if got := im.AffectedWindowFraction(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("affected fraction = %v, want 0.2", got)
+	}
+	if got := im.BlockedContactFraction(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("blocked fraction = %v, want 0.2", got)
+	}
+}
+
+func TestEvaluateLimitRefinements(t *testing.T) {
+	tr := handTrace() // nonDNS counts: 1,1,0,0,1
+	im, err := EvaluateLimit(tr, []int{0}, 5*Second, 0, RefNonDNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Contacts != 3 || im.BlockedContacts != 3 || im.AffectedWindows != 3 {
+		t.Errorf("nonDNS at limit 0: %+v", im)
+	}
+	// A generous limit affects nothing.
+	im, err = EvaluateLimit(tr, []int{0}, 5*Second, 100, RefNoPrior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.AffectedWindows != 0 || im.BlockedContacts != 0 {
+		t.Errorf("generous limit should not engage: %+v", im)
+	}
+}
+
+func TestEvaluateLimitErrors(t *testing.T) {
+	tr := handTrace()
+	if _, err := EvaluateLimit(tr, []int{0}, 0, 5, RefAll); err == nil {
+		t.Error("zero window should fail")
+	}
+	if _, err := EvaluateLimit(tr, []int{0}, 5*Second, -1, RefAll); err == nil {
+		t.Error("negative limit should fail")
+	}
+	if _, err := EvaluateLimit(tr, []int{0}, 5*Second, 5, Refinement(9)); err == nil {
+		t.Error("unknown refinement should fail")
+	}
+}
+
+func TestImpactZeroValues(t *testing.T) {
+	var im Impact
+	if im.AffectedWindowFraction() != 0 || im.BlockedContactFraction() != 0 {
+		t.Error("zero impact should report zero fractions")
+	}
+}
+
+func TestRefinementString(t *testing.T) {
+	tests := []struct {
+		r    Refinement
+		want string
+	}{
+		{RefAll, "all"}, {RefNoPrior, "no-prior"}, {RefNonDNS, "non-DNS"},
+		{Refinement(7), "Refinement(7)"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// The paper's central practical claim: a limit at the normal clients'
+// 99.9th percentile barely touches legitimate traffic but shreds worm
+// traffic.
+func TestLimitHurtsWormsNotClients(t *testing.T) {
+	cfg := smallConfig(15 * Minute)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal := cfg.HostsOfClass(ClassNormal)
+	infected := cfg.HostsOfClass(ClassInfected)
+	stats, err := AnalyzeAggregate(tr, normal, 5*Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := stats.All.Quantile(0.999)
+	imNormal, err := EvaluateLimit(tr, normal, 5*Second, limit, RefAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imWorm, err := EvaluateLimit(tr, infected, 5*Second, limit, RefAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := imNormal.AffectedWindowFraction(); f > 0.005 {
+		t.Errorf("limit affects %.3f of legitimate windows, want ~0.001", f)
+	}
+	if f := imWorm.BlockedContactFraction(); f < 0.5 {
+		t.Errorf("limit blocks only %.2f of worm contacts, want most", f)
+	}
+}

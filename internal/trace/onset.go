@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Onset is a detected outbreak start.
+type Onset struct {
+	// Time is the start of the first window that tripped the detector.
+	Time int64
+	// Rate is that window's distinct-contact count.
+	Rate int
+	// Baseline is the trailing mean the detector compared against.
+	Baseline float64
+}
+
+// DetectOnset finds the earliest window in which the aggregate
+// distinct-contact rate of the given hosts jumps to at least factor ×
+// the trailing mean (over the preceding history, with a minimum
+// absolute rate floor to suppress cold-start noise). This is the signal
+// an automated quarantine system would use to start the Section 6
+// immunization clock: the gap between true worm onset and detected
+// onset is the paper's delay d.
+//
+// Returns ok=false if no window trips the detector.
+func DetectOnset(t *Trace, hosts []int, window int64, factor float64, minRate int) (Onset, bool, error) {
+	if window <= 0 {
+		return Onset{}, false, fmt.Errorf("trace: window %d must be positive", window)
+	}
+	if factor <= 1 {
+		return Onset{}, false, fmt.Errorf("trace: factor %v must exceed 1", factor)
+	}
+	set := makeHostSet(hosts)
+	a := newAnalyzer(window)
+	counted := make(map[uint64]struct{})
+
+	var (
+		sum     float64
+		windows int
+	)
+	flushCheck := func(winStart int64) (Onset, bool) {
+		rate := len(counted)
+		clear(counted)
+		baseline := 0.0
+		if windows > 0 {
+			baseline = sum / float64(windows)
+		}
+		trip := windows >= 3 && rate >= minRate &&
+			float64(rate) >= factor*math.Max(baseline, 1)
+		sum += float64(rate)
+		windows++
+		if trip {
+			return Onset{Time: winStart, Rate: rate, Baseline: baseline}, true
+		}
+		return Onset{}, false
+	}
+
+	for i := range t.Records {
+		r := &t.Records[i]
+		for r.Time-a.winStart >= window {
+			if on, ok := flushCheck(a.winStart); ok {
+				return on, true, nil
+			}
+			a.winStart += window
+		}
+		a.observe(r)
+		if !r.Outbound() {
+			continue
+		}
+		if _, ok := set[HostIndex(r.Src)]; !ok {
+			continue
+		}
+		counted[uint64(r.Src)<<32|uint64(r.Dst)] = struct{}{}
+	}
+	if on, ok := flushCheck(a.winStart); ok {
+		return on, true, nil
+	}
+	return Onset{}, false, nil
+}

@@ -1,0 +1,64 @@
+package trace
+
+import "testing"
+
+func TestDetectOnsetFindsDelayedWorm(t *testing.T) {
+	cfg := smallConfig(12 * Minute)
+	cfg.WormOnset = 6 * Minute
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, cfg.NumHosts())
+	for i := range all {
+		all[i] = i
+	}
+	on, ok, err := DetectOnset(tr, all, 30*Second, 3, 50)
+	if err != nil {
+		t.Fatalf("DetectOnset: %v", err)
+	}
+	if !ok {
+		t.Fatal("worm onset not detected")
+	}
+	// Detection should land at or shortly after the true onset — the
+	// gap is the paper's immunization delay d.
+	if on.Time < cfg.WormOnset-30*Second {
+		t.Errorf("detected at %d, before true onset %d", on.Time, cfg.WormOnset)
+	}
+	if on.Time > cfg.WormOnset+2*Minute {
+		t.Errorf("detected at %d, too long after onset %d", on.Time, cfg.WormOnset)
+	}
+	if float64(on.Rate) < 3*on.Baseline {
+		t.Errorf("trip rate %d vs baseline %v inconsistent", on.Rate, on.Baseline)
+	}
+}
+
+func TestDetectOnsetQuietTrace(t *testing.T) {
+	cfg := smallConfig(10 * Minute)
+	cfg.Infected = 0 // no worms at all
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, cfg.NumHosts())
+	for i := range all {
+		all[i] = i
+	}
+	_, ok, err := DetectOnset(tr, all, 30*Second, 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("quiet trace should not trip the detector")
+	}
+}
+
+func TestDetectOnsetErrors(t *testing.T) {
+	tr := handTrace()
+	if _, _, err := DetectOnset(tr, []int{0}, 0, 3, 5); err == nil {
+		t.Error("zero window should fail")
+	}
+	if _, _, err := DetectOnset(tr, []int{0}, 5*Second, 1, 5); err == nil {
+		t.Error("factor <= 1 should fail")
+	}
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ClassLimit is one class's derived aggregate rate limit.
+type ClassLimit struct {
+	Class Class
+	// Limit is the distinct-destination budget per window under the
+	// chosen refinement.
+	Limit int
+	// Hosts is how many hosts the class holds.
+	Hosts int
+}
+
+// Policy is the paper's "categorize systems and give them distinct rate
+// limits" administrator model (§7): per-class aggregate limits derived
+// from observed traffic, tightly restricting most systems while letting
+// the pre-approved chatty ones (servers, P2P) run hotter.
+type Policy struct {
+	// Window is the measurement window in milliseconds.
+	Window int64
+	// Refinement is the contact classification the limits apply to.
+	Refinement Refinement
+	// Limits holds one entry per class that had any traffic.
+	Limits []ClassLimit
+}
+
+// DerivePolicy classifies the hosts in a trace, measures each class's
+// aggregate contact-rate distribution, and sets each class's limit at
+// the given quantile (the paper uses 99.9%). Worm-infected hosts get no
+// allowance: their limit is the normal-client limit, which is what
+// quarantines them.
+func DerivePolicy(t *Trace, window int64, ref Refinement, quantile float64) (*Policy, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("trace: window %d must be positive", window)
+	}
+	if quantile <= 0 || quantile > 1 {
+		return nil, fmt.Errorf("trace: quantile %v out of (0,1]", quantile)
+	}
+	reports := Classify(t)
+	byClass := make(map[Class][]int)
+	for _, r := range reports {
+		byClass[r.Class] = append(byClass[r.Class], r.Host)
+	}
+	pol := &Policy{Window: window, Refinement: ref}
+	pick := func(s *ContactStats) int {
+		switch ref {
+		case RefNoPrior:
+			return s.NoPrior.Quantile(quantile)
+		case RefNonDNS:
+			return s.NonDNS.Quantile(quantile)
+		default:
+			return s.All.Quantile(quantile)
+		}
+	}
+	var normalLimit int
+	for _, cl := range []Class{ClassNormal, ClassServer, ClassP2P} {
+		hosts := byClass[cl]
+		if len(hosts) == 0 {
+			continue
+		}
+		sort.Ints(hosts)
+		stats, err := AnalyzeAggregate(t, hosts, window)
+		if err != nil {
+			return nil, fmt.Errorf("trace: policy for %v: %w", cl, err)
+		}
+		limit := pick(stats)
+		if limit < 1 {
+			limit = 1
+		}
+		if cl == ClassNormal {
+			normalLimit = limit
+		}
+		pol.Limits = append(pol.Limits, ClassLimit{Class: cl, Limit: limit, Hosts: len(hosts)})
+	}
+	// Infected hosts are not a legitimate class: they get the normal
+	// clients' budget, i.e. the quarantine.
+	if hosts := byClass[ClassInfected]; len(hosts) > 0 {
+		if normalLimit < 1 {
+			normalLimit = 1
+		}
+		pol.Limits = append(pol.Limits, ClassLimit{
+			Class: ClassInfected, Limit: normalLimit, Hosts: len(hosts),
+		})
+	}
+	if len(pol.Limits) == 0 {
+		return nil, fmt.Errorf("trace: no classifiable traffic")
+	}
+	return pol, nil
+}
+
+// LimitFor returns the policy's limit for a class (ok=false if the
+// class had no traffic when the policy was derived).
+func (p *Policy) LimitFor(cl Class) (int, bool) {
+	for _, l := range p.Limits {
+		if l.Class == cl {
+			return l.Limit, true
+		}
+	}
+	return 0, false
+}
+
+// Evaluate replays the trace against the policy and reports the impact
+// per class: how often each class's limit would have engaged. For
+// legitimate classes this is the collateral damage; for the infected
+// class it is the quarantine's bite.
+func (p *Policy) Evaluate(t *Trace) (map[Class]Impact, error) {
+	reports := Classify(t)
+	byClass := make(map[Class][]int)
+	for _, r := range reports {
+		byClass[r.Class] = append(byClass[r.Class], r.Host)
+	}
+	out := make(map[Class]Impact, len(p.Limits))
+	for _, l := range p.Limits {
+		hosts := byClass[l.Class]
+		if len(hosts) == 0 {
+			continue
+		}
+		sort.Ints(hosts)
+		im, err := EvaluateLimit(t, hosts, p.Window, l.Limit, p.Refinement)
+		if err != nil {
+			return nil, fmt.Errorf("trace: evaluate %v: %w", l.Class, err)
+		}
+		out[l.Class] = im
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package trace
+
+import "testing"
+
+func TestDerivePolicy(t *testing.T) {
+	cfg := smallConfig(15 * Minute)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := DerivePolicy(tr, 5*Second, RefAll, 0.999)
+	if err != nil {
+		t.Fatalf("DerivePolicy: %v", err)
+	}
+	normal, ok := pol.LimitFor(ClassNormal)
+	if !ok || normal < 1 {
+		t.Fatalf("normal limit = %d, ok=%v", normal, ok)
+	}
+	p2p, ok := pol.LimitFor(ClassP2P)
+	if !ok {
+		t.Fatal("p2p class missing from policy")
+	}
+	if p2p <= normal {
+		t.Errorf("p2p limit %d should exceed normal %d (they are 'special')", p2p, normal)
+	}
+	// Infected hosts get the normal budget — the quarantine.
+	worm, ok := pol.LimitFor(ClassInfected)
+	if !ok || worm != normal {
+		t.Errorf("infected limit = %d (ok=%v), want the normal budget %d", worm, ok, normal)
+	}
+}
+
+func TestPolicyEvaluate(t *testing.T) {
+	cfg := smallConfig(15 * Minute)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := DerivePolicy(tr, 5*Second, RefAll, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impacts, err := pol.Evaluate(tr)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	// Legitimate classes: within their own 99.9% quantile by
+	// construction.
+	for _, cl := range []Class{ClassNormal, ClassP2P} {
+		im, ok := impacts[cl]
+		if !ok {
+			t.Fatalf("no impact entry for %v", cl)
+		}
+		if f := im.AffectedWindowFraction(); f > 0.002 {
+			t.Errorf("%v affected fraction %v, want ~<=0.001", cl, f)
+		}
+	}
+	// The worm class gets shredded.
+	worm, ok := impacts[ClassInfected]
+	if !ok {
+		t.Fatal("no impact entry for infected")
+	}
+	if f := worm.BlockedContactFraction(); f < 0.5 {
+		t.Errorf("quarantine blocks only %v of worm contacts", f)
+	}
+}
+
+func TestDerivePolicyErrors(t *testing.T) {
+	tr := handTrace()
+	if _, err := DerivePolicy(tr, 0, RefAll, 0.999); err == nil {
+		t.Error("zero window should fail")
+	}
+	if _, err := DerivePolicy(tr, 5*Second, RefAll, 0); err == nil {
+		t.Error("zero quantile should fail")
+	}
+	if _, err := DerivePolicy(&Trace{}, 5*Second, RefAll, 0.999); err == nil {
+		t.Error("empty trace should fail")
+	}
+}
+
+func TestDerivePolicyRefinements(t *testing.T) {
+	cfg := smallConfig(10 * Minute)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := DerivePolicy(tr, 5*Second, RefAll, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := DerivePolicy(tr, 5*Second, RefNonDNS, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, _ := all.LimitFor(ClassNormal)
+	ln, _ := nd.LimitFor(ClassNormal)
+	if ln > la {
+		t.Errorf("non-DNS limit %d should not exceed all-contacts limit %d", ln, la)
+	}
+	if _, ok := all.LimitFor(Class(9)); ok {
+		t.Error("unknown class should not resolve")
+	}
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/ratelimit"
+	"repro/internal/worm"
+)
+
+// ReadFunc parses records serialized by WriteTo and invokes fn on each,
+// without materializing the whole trace — the constant-memory path for
+// multi-day traces. fn returning an error aborts the scan.
+func ReadFunc(r io.Reader, fn func(*Record) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		rec, err := parseRecord(text)
+		if err != nil {
+			return fmt.Errorf("%w: line %d: %v", ErrBadRecord, line, err)
+		}
+		if err := fn(&rec); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("trace: read: %w", err)
+	}
+	return nil
+}
+
+// parseRecord parses one WriteTo line with per-field bounds checking:
+// times and TTLs must fit non-negative int64, addresses 32 bits,
+// protocol and flags 8 bits, ports 16 bits.
+func parseRecord(text string) (Record, error) {
+	fields := strings.Split(text, "\t")
+	if len(fields) != 9 {
+		return Record{}, fmt.Errorf("%d fields, want 9", len(fields))
+	}
+	bits := [9]int{63, 32, 32, 8, 16, 16, 8, 32, 63}
+	var vals [9]uint64
+	for i, f := range fields {
+		v, err := strconv.ParseUint(f, 10, bits[i])
+		if err != nil {
+			return Record{}, fmt.Errorf("field %d: %v", i, err)
+		}
+		vals[i] = v
+	}
+	return Record{
+		Time:      int64(vals[0]),
+		Src:       ratelimit.IP(vals[1]),
+		Dst:       ratelimit.IP(vals[2]),
+		Proto:     worm.Proto(vals[3]),
+		SrcPort:   uint16(vals[4]),
+		DstPort:   uint16(vals[5]),
+		Flags:     TCPFlag(vals[6]),
+		DNSAnswer: ratelimit.IP(vals[7]),
+		DNSTTL:    int64(vals[8]),
+	}, nil
+}
+
+// AggregateAnalyzer is the incremental form of AnalyzeAggregate: feed
+// time-ordered records one at a time, then call Finish. Useful for
+// analyzing traces too large to hold in memory.
+type AggregateAnalyzer struct {
+	a     *analyzer
+	set   hostSet
+	stats *ContactStats
+
+	all     map[ratelimit.IP]struct{}
+	noPrior map[ratelimit.IP]struct{}
+	nonDNS  map[ratelimit.IP]struct{}
+	done    bool
+}
+
+// NewAggregateAnalyzer builds an incremental aggregate analyzer over
+// the given internal hosts and window (milliseconds).
+func NewAggregateAnalyzer(hosts []int, window int64) (*AggregateAnalyzer, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("trace: window %d must be positive", window)
+	}
+	return &AggregateAnalyzer{
+		a:       newAnalyzer(window),
+		set:     makeHostSet(hosts),
+		stats:   &ContactStats{Window: window},
+		all:     make(map[ratelimit.IP]struct{}),
+		noPrior: make(map[ratelimit.IP]struct{}),
+		nonDNS:  make(map[ratelimit.IP]struct{}),
+	}, nil
+}
+
+func (s *AggregateAnalyzer) flush() {
+	s.stats.All.Add(len(s.all))
+	s.stats.NoPrior.Add(len(s.noPrior))
+	s.stats.NonDNS.Add(len(s.nonDNS))
+	clear(s.all)
+	clear(s.noPrior)
+	clear(s.nonDNS)
+}
+
+// Feed processes one record. Records must arrive in time order.
+func (s *AggregateAnalyzer) Feed(r *Record) error {
+	if s.done {
+		return fmt.Errorf("trace: analyzer already finished")
+	}
+	if r.Time < s.a.winStart {
+		return fmt.Errorf("trace: out-of-order record at %d (window start %d)", r.Time, s.a.winStart)
+	}
+	for r.Time-s.a.winStart >= s.a.window {
+		s.flush()
+		s.a.winStart += s.a.window
+	}
+	s.a.observe(r)
+	if !r.Outbound() {
+		return nil
+	}
+	if _, ok := s.set[HostIndex(r.Src)]; !ok {
+		return nil
+	}
+	s.all[r.Dst] = struct{}{}
+	np, nd := s.a.classify(r)
+	if np {
+		s.noPrior[r.Dst] = struct{}{}
+	}
+	if nd {
+		s.nonDNS[r.Dst] = struct{}{}
+	}
+	return nil
+}
+
+// Finish flushes the final window and returns the statistics. The
+// analyzer cannot be reused afterwards.
+func (s *AggregateAnalyzer) Finish() *ContactStats {
+	if !s.done {
+		s.flush()
+		s.done = true
+	}
+	return s.stats
+}
+
+// StreamAggregate runs the aggregate analysis directly over a
+// serialized trace stream with constant memory.
+func StreamAggregate(r io.Reader, hosts []int, window int64) (*ContactStats, error) {
+	an, err := NewAggregateAnalyzer(hosts, window)
+	if err != nil {
+		return nil, err
+	}
+	if err := ReadFunc(r, an.Feed); err != nil {
+		return nil, err
+	}
+	return an.Finish(), nil
+}

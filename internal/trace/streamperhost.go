@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ratelimit"
+)
+
+// PerHostAnalyzer is the incremental form of AnalyzePerHost: feed
+// time-ordered records, then Finish. Each sample of the resulting
+// statistics is one (host, window) pair, idle windows included as
+// zeros.
+type PerHostAnalyzer struct {
+	a     *analyzer
+	set   hostSet
+	stats *ContactStats
+
+	all        map[perHostKey]struct{}
+	noPrior    map[perHostKey]struct{}
+	nonDNS     map[perHostKey]struct{}
+	perAll     map[int]int
+	perNoPrior map[int]int
+	perNonDNS  map[int]int
+	done       bool
+}
+
+type perHostKey struct {
+	host int
+	dst  ratelimit.IP
+}
+
+// NewPerHostAnalyzer builds an incremental per-host analyzer over the
+// given internal hosts and window (milliseconds).
+func NewPerHostAnalyzer(hosts []int, window int64) (*PerHostAnalyzer, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("trace: window %d must be positive", window)
+	}
+	return &PerHostAnalyzer{
+		a:          newAnalyzer(window),
+		set:        makeHostSet(hosts),
+		stats:      &ContactStats{Window: window},
+		all:        make(map[perHostKey]struct{}),
+		noPrior:    make(map[perHostKey]struct{}),
+		nonDNS:     make(map[perHostKey]struct{}),
+		perAll:     make(map[int]int),
+		perNoPrior: make(map[int]int),
+		perNonDNS:  make(map[int]int),
+	}, nil
+}
+
+func (s *PerHostAnalyzer) flush() {
+	for _, c := range s.perAll {
+		s.stats.All.Add(c)
+	}
+	for _, c := range s.perNoPrior {
+		s.stats.NoPrior.Add(c)
+	}
+	for _, c := range s.perNonDNS {
+		s.stats.NonDNS.Add(c)
+	}
+	s.stats.All.AddZeros(len(s.set) - len(s.perAll))
+	s.stats.NoPrior.AddZeros(len(s.set) - len(s.perNoPrior))
+	s.stats.NonDNS.AddZeros(len(s.set) - len(s.perNonDNS))
+	clear(s.all)
+	clear(s.noPrior)
+	clear(s.nonDNS)
+	clear(s.perAll)
+	clear(s.perNoPrior)
+	clear(s.perNonDNS)
+}
+
+// Feed processes one record. Records must arrive in time order.
+func (s *PerHostAnalyzer) Feed(r *Record) error {
+	if s.done {
+		return fmt.Errorf("trace: analyzer already finished")
+	}
+	if r.Time < s.a.winStart {
+		return fmt.Errorf("trace: out-of-order record at %d (window start %d)", r.Time, s.a.winStart)
+	}
+	for r.Time-s.a.winStart >= s.a.window {
+		s.flush()
+		s.a.winStart += s.a.window
+	}
+	s.a.observe(r)
+	if !r.Outbound() {
+		return nil
+	}
+	h := HostIndex(r.Src)
+	if _, ok := s.set[h]; !ok {
+		return nil
+	}
+	k := perHostKey{host: h, dst: r.Dst}
+	if _, dup := s.all[k]; !dup {
+		s.all[k] = struct{}{}
+		s.perAll[h]++
+	}
+	np, nd := s.a.classify(r)
+	if np {
+		if _, dup := s.noPrior[k]; !dup {
+			s.noPrior[k] = struct{}{}
+			s.perNoPrior[h]++
+		}
+	}
+	if nd {
+		if _, dup := s.nonDNS[k]; !dup {
+			s.nonDNS[k] = struct{}{}
+			s.perNonDNS[h]++
+		}
+	}
+	return nil
+}
+
+// Finish flushes the final window and returns the statistics.
+func (s *PerHostAnalyzer) Finish() *ContactStats {
+	if !s.done {
+		s.flush()
+		s.done = true
+	}
+	return s.stats
+}
+
+// StreamPerHost runs the per-host analysis over a serialized trace
+// stream with constant memory.
+func StreamPerHost(r io.Reader, hosts []int, window int64) (*ContactStats, error) {
+	an, err := NewPerHostAnalyzer(hosts, window)
+	if err != nil {
+		return nil, err
+	}
+	if err := ReadFunc(r, an.Feed); err != nil {
+		return nil, err
+	}
+	return an.Finish(), nil
+}

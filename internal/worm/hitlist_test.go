@@ -1,0 +1,98 @@
+package worm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHitListWalksListFirst(t *testing.T) {
+	env := testEnv()
+	f, err := NewHitListFactory([]int{3, 7, 11})
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	p := f(env, 0) // start offset 0
+	rng := rand.New(rand.NewSource(1))
+	want := []int{3, 7, 11}
+	for i, w := range want {
+		if got := p.Pick(rng, 0); got != w {
+			t.Fatalf("pick %d = %d, want %d", i, got, w)
+		}
+	}
+	// After exhausting the list, picks are random but in range.
+	for i := 0; i < 50; i++ {
+		tgt := p.Pick(rng, 0)
+		if tgt < 0 || tgt >= env.N {
+			t.Fatalf("fallback pick %d out of range", tgt)
+		}
+	}
+}
+
+func TestHitListDividedAmongInstances(t *testing.T) {
+	env := testEnv()
+	f, err := NewHitListFactory([]int{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	// Two instances of the same population share the cursor: each list
+	// entry is claimed exactly once across both.
+	a := f(env, 0)
+	b := f(env, 5)
+	got := []int{a.Pick(rng, 0), b.Pick(rng, 5), b.Pick(rng, 5), a.Pick(rng, 0)}
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("divided picks = %v, want %v", got, want)
+		}
+	}
+	// A different population (different Env) starts its own cursor.
+	env2 := testEnv()
+	c := f(env2, 0)
+	if got := c.Pick(rng, 0); got != 1 {
+		t.Errorf("fresh env should restart the list, got %d", got)
+	}
+}
+
+func TestHitListSkipsInvalidEntries(t *testing.T) {
+	env := testEnv() // N = 12
+	f, err := NewHitListFactory([]int{99, -1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f(env, 0)
+	rng := rand.New(rand.NewSource(3))
+	if got := p.Pick(rng, 0); got != 5 {
+		t.Errorf("first valid pick = %d, want 5 (skipping out-of-range)", got)
+	}
+}
+
+func TestHitListFactoryValidation(t *testing.T) {
+	if _, err := NewHitListFactory(nil); err == nil {
+		t.Error("empty hit list should fail")
+	}
+}
+
+func TestHitListEmptyEnv(t *testing.T) {
+	f, err := NewHitListFactory([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f(&Env{}, 0)
+	if got := p.Pick(rand.New(rand.NewSource(4)), 0); got != -1 {
+		t.Errorf("empty env pick = %d, want -1", got)
+	}
+}
+
+func TestHitListCopiesInput(t *testing.T) {
+	list := []int{1, 2, 3}
+	f, err := NewHitListFactory(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list[0] = 9 // mutate the caller's slice
+	p := f(testEnv(), 0)
+	if got := p.Pick(rand.New(rand.NewSource(5)), 0); got != 1 {
+		t.Errorf("factory should have copied the list: got %d, want 1", got)
+	}
+}

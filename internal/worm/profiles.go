@@ -1,0 +1,105 @@
+package worm
+
+// Proto is the transport/network protocol of a worm's scan packets.
+type Proto uint8
+
+// Protocols used by the profiled worms.
+const (
+	ProtoTCP Proto = iota + 1
+	ProtoUDP
+	ProtoICMP
+)
+
+// String implements fmt.Stringer.
+func (p Proto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	case ProtoICMP:
+		return "icmp"
+	default:
+		return "proto?"
+	}
+}
+
+// Profile is the observable behaviour of a concrete worm as it appears
+// in network traces: which port/protocol it scans, how fast at peak, and
+// whether it probes with ICMP echo before the exploit attempt (the
+// signature the paper used to tell Welchia from Blaster).
+type Profile struct {
+	Name string
+	// Proto and DstPort identify the exploit packets.
+	Proto   Proto
+	DstPort uint16
+	// PeakScanRate is the peak number of distinct addresses contacted
+	// per minute by one infected host, as observed in the traces
+	// (Welchia: 7068/min; Blaster: 671/min).
+	PeakScanRate int
+	// ICMPProbe reports whether the worm pings targets first and only
+	// attacks responders (Welchia's behaviour).
+	ICMPProbe bool
+	// LocalPreference is the probability a scan targets the local
+	// address neighbourhood rather than a random address.
+	LocalPreference float64
+	// Persistent reports whether the worm retries unreachable targets
+	// aggressively (the paper notes Blaster "was much more persistent").
+	Persistent bool
+}
+
+// Profiles of the worms captured in or cited by the paper. Rates come
+// from Section 7 (footnote 1) and the cited measurement studies.
+var (
+	// Blaster exploited the Windows DCOM RPC vulnerability via TCP/135,
+	// scanning subnets sequentially. Peak observed: 671 hosts/minute.
+	Blaster = Profile{
+		Name:            "blaster",
+		Proto:           ProtoTCP,
+		DstPort:         135,
+		PeakScanRate:    671,
+		LocalPreference: 0.6,
+		Persistent:      true,
+	}
+	// Welchia was the "patching worm": ICMP echo sweep, then infection,
+	// patch, reboot. Peak observed: 7068 hosts/minute.
+	Welchia = Profile{
+		Name:            "welchia",
+		Proto:           ProtoICMP,
+		DstPort:         135, // exploit follows the ping on TCP/135
+		PeakScanRate:    7068,
+		ICMPProbe:       true,
+		LocalPreference: 0.5,
+	}
+	// CodeRed is the canonical random-propagation worm of the models
+	// (HTTP exploit, uniform random 32-bit targets).
+	CodeRed = Profile{
+		Name:         "codered",
+		Proto:        ProtoTCP,
+		DstPort:      80,
+		PeakScanRate: 360,
+	}
+	// Slammer saturated links with single-packet UDP scans; it infected
+	// 90% of vulnerable hosts within ten minutes.
+	Slammer = Profile{
+		Name:         "slammer",
+		Proto:        ProtoUDP,
+		DstPort:      1434,
+		PeakScanRate: 240000,
+	}
+)
+
+// KnownProfiles lists all built-in profiles, for CLI lookup.
+func KnownProfiles() []Profile {
+	return []Profile{Blaster, Welchia, CodeRed, Slammer}
+}
+
+// ProfileByName returns the built-in profile with the given name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range KnownProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
