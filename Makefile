@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check build test race vet bench figures clean
+
+## check: the full gate — vet, build, race-enabled tests.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: one pass over every figure/ablation benchmark plus the
+## worker-pool scaling benchmark.
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+## figures: regenerate every table and figure into out/.
+figures:
+	$(GO) run ./cmd/figures -out out
+
+clean:
+	rm -rf out

@@ -6,12 +6,15 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
 	"unicode"
 
 	"repro/internal/experiment"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -149,6 +152,30 @@ func BenchmarkAblationHybridWindow(b *testing.B) { benchFigure(b, "abl-hybrid") 
 
 func BenchmarkAblationTopology(b *testing.B) { benchFigure(b, "abl-topology") }
 
+// BenchmarkMultiRunParallel measures replica-batch scaling with the
+// worker-pool job count: 8 congested replicas of the 1000-node
+// backbone-limited run, averaged. The output series is identical for
+// every job count (seeds derive from the replica index), so the
+// sub-benchmarks differ only in wall time.
+func BenchmarkMultiRunParallel(b *testing.B) {
+	g, roles, subnet := benchTopology(b)
+	cfg := benchSimBase(g, roles, subnet)
+	cfg.Ticks = 100
+	cfg.LimitedNodes = sim.DeployBackbone(roles)
+	cfg.BaseRate = 0.4
+	ctx := context.Background()
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.MultiRunContext(ctx, cfg, 8, runner.WithJobs(jobs)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineThroughput measures raw simulator performance: one
 // 1000-node, 100-tick congested run per iteration.
 func BenchmarkEngineThroughput(b *testing.B) {
@@ -157,6 +184,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	cfg.Ticks = 100
 	cfg.LimitedNodes = sim.DeployBackbone(roles)
 	cfg.BaseRate = 0.4
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)

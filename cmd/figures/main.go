@@ -1,38 +1,51 @@
 // Command figures regenerates the data behind every table and figure of
-// the paper's evaluation. For each experiment it writes a gnuplot-style
-// .dat file and a metrics file into the output directory and prints an
-// ASCII rendering of the curves.
+// the paper's evaluation. Figures run concurrently on a bounded worker
+// pool; for each experiment it writes a gnuplot-style .dat file and a
+// metrics file into the output directory and prints an ASCII rendering
+// of the curves, in registry order regardless of completion order.
 //
 // Usage:
 //
-//	figures [-out out] [-runs 10] [-quick] [fig4 fig9a ...]
+//	figures [-out out] [-runs 10] [-jobs N] [-timeout 10m] [-quick] [fig4 fig9a ...]
 //
-// With no figure IDs, every experiment is regenerated.
+// With no figure IDs, every experiment is regenerated. -jobs bounds the
+// figure-level parallelism (default GOMAXPROCS; each figure then
+// averages its replicas serially, so the whole batch uses about -jobs
+// cores). -timeout aborts the batch; Ctrl-C cancels it mid-run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"syscall"
 
 	"repro/internal/experiment"
+	"repro/internal/runner"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	out := fs.String("out", "out", "output directory for .dat and metrics files")
-	runs := fs.Int("runs", 10, "simulation replicas to average")
+	runs := fs.Int("runs", 10, "simulation replicas to average per figure")
+	jobs := fs.Int("jobs", 0, "figures regenerated concurrently (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "abort the batch after this duration (0 = none)")
 	quick := fs.Bool("quick", false, "reduced populations and horizons")
 	ascii := fs.Bool("ascii", true, "print ASCII renderings")
+	progress := fs.Bool("progress", false, "print per-figure completion to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,12 +56,30 @@ func run(args []string) error {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return fmt.Errorf("create %s: %w", *out, err)
 	}
-	opt := experiment.Options{Runs: *runs, Quick: *quick}
-	for _, id := range ids {
-		res, err := experiment.Run(id, opt)
-		if err != nil {
-			return err
-		}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// Parallelize across figures and keep each figure's replica loop
+	// serial: whole figures are the coarser, more evenly sized work
+	// units, so figure-level workers scale better than nested pools.
+	opt := experiment.Options{Runs: *runs, Quick: *quick, Jobs: 1}
+	ropts := []runner.Option{runner.WithJobs(*jobs)}
+	if *progress {
+		total := len(ids)
+		ropts = append(ropts, runner.WithProgress(func(s runner.Stats) {
+			fmt.Fprintf(os.Stderr, "figures: %d/%d done (%.2fs elapsed)\n",
+				s.Completed, total, s.Wall.Seconds())
+		}))
+	}
+	results, err := experiment.RunAll(ctx, ids, opt, ropts...)
+	if err != nil {
+		return err
+	}
+
+	for _, res := range results {
 		if err := writeResult(*out, res); err != nil {
 			return err
 		}
@@ -56,7 +87,7 @@ func run(args []string) error {
 		if *ascii {
 			s, err := res.Figure.RenderASCII(76, 18)
 			if err != nil {
-				return fmt.Errorf("%s: render: %w", id, err)
+				return fmt.Errorf("%s: render: %w", res.ID, err)
 			}
 			fmt.Println(s)
 		}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -9,7 +11,7 @@ import (
 func TestRunWritesFigureFiles(t *testing.T) {
 	dir := t.TempDir()
 	// Analytic figures only: fast and deterministic.
-	err := run([]string{"-out", dir, "-quick", "-ascii=false", "fig1a", "fig10"})
+	err := run(context.Background(), []string{"-out", dir, "-quick", "-ascii=false", "fig1a", "fig10"})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -29,16 +31,52 @@ func TestRunWritesFigureFiles(t *testing.T) {
 
 func TestRunASCII(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-out", dir, "-quick", "fig2"}); err != nil {
+	if err := run(context.Background(), []string{"-out", dir, "-quick", "fig2"}); err != nil {
 		t.Fatalf("run with ascii: %v", err)
 	}
 }
 
+func TestRunParallelJobs(t *testing.T) {
+	dir := t.TempDir()
+	err := run(context.Background(), []string{
+		"-out", dir, "-quick", "-ascii=false", "-jobs", "3", "-runs", "2", "-progress",
+		"fig1a", "fig2", "fig4", "fig10",
+	})
+	if err != nil {
+		t.Fatalf("run -jobs 3: %v", err)
+	}
+	for _, want := range []string{"fig1a.dat", "fig2.dat", "fig4.dat", "fig10.dat"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing output %s: %v", want, err)
+		}
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	// A nanosecond budget cannot regenerate a simulation figure.
+	err := run(context.Background(), []string{
+		"-out", t.TempDir(), "-quick", "-timeout", "1ns", "fig4",
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-out", t.TempDir(), "-quick", "fig4"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-out", t.TempDir(), "figZZ"}); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, []string{"-out", t.TempDir(), "figZZ"}); err == nil {
 		t.Error("unknown figure should fail")
 	}
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run(ctx, []string{"-bogus"}); err == nil {
 		t.Error("bad flag should fail")
 	}
 	// A path through an existing regular file cannot be MkdirAll'd even
@@ -47,7 +85,32 @@ func TestRunErrors(t *testing.T) {
 	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-out", filepath.Join(blocker, "sub"), "fig1a"}); err == nil {
+	if err := run(ctx, []string{"-out", filepath.Join(blocker, "sub"), "fig1a"}); err == nil {
 		t.Error("uncreatable output dir should fail")
+	}
+}
+
+// TestRunParallelDeterministic guards cmd-level determinism: two
+// regenerations of the same figure at different job counts must write
+// identical .dat bytes.
+func TestRunParallelDeterministic(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	ctx := context.Background()
+	if err := run(ctx, []string{"-out", dirA, "-quick", "-ascii=false", "-runs", "3", "-jobs", "1", "fig4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(ctx, []string{"-out", dirB, "-quick", "-ascii=false", "-runs", "3", "-jobs", "4", "fig4"}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(dirA, "fig4.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dirB, "fig4.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("fig4.dat differs between -jobs 1 and -jobs 4")
 	}
 }

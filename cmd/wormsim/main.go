@@ -1,30 +1,39 @@
 // Command wormsim runs one worm-propagation simulation scenario and
 // prints the per-tick infected / ever-infected / immunized fractions as
-// tab-separated values (tick first), suitable for plotting.
+// tab-separated values (tick first), suitable for plotting. Replicas
+// run concurrently on a bounded worker pool; the averaged series is
+// identical for every -jobs value. Ctrl-C or -timeout aborts the batch.
 //
 // Usage:
 //
 //	wormsim -topology powerlaw -n 1000 -worm random -beta 0.8 \
-//	        -defense backbone -rate 0.4 -ticks 150 -runs 10
+//	        -defense backbone -rate 0.4 -ticks 150 -runs 10 \
+//	        [-jobs N] [-timeout 5m] [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/topology"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "wormsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("wormsim", flag.ContinueOnError)
 	topo := fs.String("topology", "powerlaw", "topology: star | powerlaw | enterprise")
 	n := fs.Int("n", 1000, "node count (star/powerlaw)")
@@ -43,6 +52,9 @@ func run(args []string) error {
 	initial := fs.Int("initial", 1, "initially infected hosts")
 	immunizeAt := fs.Float64("immunize-at", 0, "start patching at this infected fraction (0 = off)")
 	mu := fs.Float64("mu", 0.1, "per-tick patch probability")
+	jobs := fs.Int("jobs", 0, "replicas simulated concurrently (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "abort the batch after this duration (0 = none)")
+	progress := fs.Bool("progress", false, "print replica completion and throughput to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,8 +105,18 @@ func run(args []string) error {
 	if *immunizeAt > 0 {
 		sc.Immunize = &core.ImmunizationSpec{StartLevel: *immunizeAt, Mu: *mu}
 	}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
 
-	res, err := sc.Simulate(*runs)
+	opts := []core.RunOption{core.WithJobs(*jobs), core.WithTimeout(*timeout)}
+	if *progress {
+		opts = append(opts, core.WithProgress(func(s runner.Stats) {
+			fmt.Fprintf(os.Stderr, "wormsim: %d/%d runs (%.0f ticks/sec)\n",
+				s.Completed, s.Runs, s.TicksPerSec())
+		}))
+	}
+	res, err := sc.SimulateContext(ctx, *runs, opts...)
 	if err != nil {
 		return err
 	}

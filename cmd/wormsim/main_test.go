@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+)
 
 func TestRunScenarios(t *testing.T) {
 	tests := []struct {
@@ -35,10 +39,40 @@ func TestRunScenarios(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if err := run(tt.args); err != nil {
+			if err := run(context.Background(), tt.args); err != nil {
 				t.Errorf("run: %v", err)
 			}
 		})
+	}
+}
+
+func TestRunParallelAndProgress(t *testing.T) {
+	args := []string{
+		"-topology", "powerlaw", "-n", "100", "-ticks", "30", "-runs", "4",
+		"-jobs", "2", "-progress",
+	}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatalf("run -jobs 2: %v", err)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	args := []string{
+		"-topology", "powerlaw", "-n", "200", "-ticks", "100000", "-runs", "4",
+		"-timeout", "1ns",
+	}
+	err := run(context.Background(), args)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	args := []string{"-topology", "powerlaw", "-n", "100", "-ticks", "30", "-runs", "2"}
+	if err := run(ctx, args); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 
@@ -55,7 +89,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if err := run(tt.args); err == nil {
+			if err := run(context.Background(), tt.args); err == nil {
 				t.Error("want error")
 			}
 		})

@@ -17,9 +17,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/worm"
@@ -85,7 +87,9 @@ func main() {
 	for _, p := range postures {
 		cfg := base
 		p.mod(&cfg)
-		res, err := sim.MultiRun(cfg, 10)
+		// Replicas for each posture run concurrently on the bounded pool;
+		// the averaged curves are identical for any job count.
+		res, err := sim.MultiRunContext(context.Background(), cfg, 10, runner.WithJobs(4))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,11 +8,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
 	"repro/internal/model"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/worm"
@@ -43,16 +45,17 @@ func main() {
 
 	fmt.Println("Total ever-infected population vs immunization start (µ=0.05/tick)")
 	fmt.Printf("%-22s %12s %16s %12s\n", "start level", "simulated", "sim + backboneRL", "analytical")
+	ctx := context.Background()
 	for _, level := range []float64{0.1, 0.2, 0.5, 0.8} {
 		noRL := base
 		noRL.Immunize = &sim.Immunization{StartTick: -1, StartLevel: level, Mu: 0.05}
-		resNo, err := sim.MultiRun(noRL, 10)
+		resNo, err := sim.MultiRunContext(ctx, noRL, 10, runner.WithJobs(4))
 		if err != nil {
 			log.Fatal(err)
 		}
 		withRL := noRL
 		withRL.NodeCaps = caps
-		resRL, err := sim.MultiRun(withRL, 10)
+		resRL, err := sim.MultiRunContext(ctx, withRL, 10, runner.WithJobs(4))
 		if err != nil {
 			log.Fatal(err)
 		}

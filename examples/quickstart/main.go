@@ -6,12 +6,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/plot"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -30,11 +34,20 @@ func main() {
 	defended := open
 	defended.Defense = core.BackboneRateLimit(0.4)
 
-	openRes, err := open.Simulate(10)
+	// Replicas run concurrently on a bounded worker pool; the averaged
+	// series is identical for any job count. WithTimeout caps the whole
+	// batch, and WithProgress reports throughput as replicas finish.
+	ctx := context.Background()
+	openRes, err := open.SimulateContext(ctx, 10,
+		core.WithTimeout(2*time.Minute),
+		core.WithProgress(func(s runner.Stats) {
+			fmt.Fprintf(os.Stderr, "open: %d/%d runs (%.0f ticks/sec)\n",
+				s.Completed, s.Runs, s.TicksPerSec())
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defRes, err := defended.Simulate(10)
+	defRes, err := defended.SimulateContext(ctx, 10, core.WithJobs(4))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,14 +57,20 @@ func main() {
 	fmt.Printf("backbone rate limiting: 50%% infected at tick %.0f (%.1fx slower)\n",
 		defRes.TimeToLevel(0.5), defRes.TimeToLevel(0.5)/openRes.TimeToLevel(0.5))
 
-	// The matching analytical model (Equation 6 with λ = β(1-α)).
+	// The matching analytical model (Equation 6). Its α is the path
+	// coverage measured on this scenario's actual topology; the worm
+	// still spreads through the rate-limited core at δ = min(Iβα,
+	// rN/2³²), so compare predicted time-to-half, not the naive
+	// all-or-nothing 1/(1-α).
 	m, err := defended.Model()
 	if err != nil {
 		log.Fatal(err)
 	}
 	bb := m.(model.BackboneRL)
-	fmt.Printf("analytical slowdown for α=%.1f coverage: %.1fx\n",
-		bb.Alpha, 1/(1-bb.Alpha))
+	fmt.Printf("analytical t50 for measured α=%.2f coverage: tick %.0f\n",
+		bb.Alpha, bb.TimeToLevel(0.5))
+	fmt.Println("(the model near-blocks covered paths; the simulator only throttles them,")
+	fmt.Println(" so the simulated slowdown is the conservative number)")
 
 	fig := plot.Figure{
 		Title:  "Worm propagation with and without backbone rate limiting",

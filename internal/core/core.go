@@ -11,14 +11,25 @@
 //	    Defense:  core.BackboneRateLimit(0.4),
 //	}
 //	res, err := sc.Simulate(10)
+//
+// Long batches take a context and run options:
+//
+//	res, err := sc.SimulateContext(ctx, 10,
+//	    core.WithJobs(4),
+//	    core.WithTimeout(time.Minute),
+//	    core.WithProgress(func(s runner.Stats) { ... }))
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/worm"
@@ -165,6 +176,57 @@ type Scenario struct {
 // ErrUnsupported reports a scenario combination with no implementation.
 var ErrUnsupported = errors.New("core: unsupported scenario combination")
 
+// seed returns the scenario's effective random seed (default 1).
+func (s *Scenario) seed() int64 {
+	if s.Seed == 0 {
+		return 1
+	}
+	return s.Seed
+}
+
+// materialize builds the scenario's concrete topology with roles and
+// subnet partition (nil roles/subnet for unrouted topologies). Both the
+// simulation config and the analytical mapping derive from the same
+// materialized graph, so they agree on every structural quantity.
+func (s *Scenario) materialize() (*topology.Graph, []topology.Role, []int, error) {
+	var (
+		g      *topology.Graph
+		roles  []topology.Role
+		subnet []int
+		err    error
+	)
+	switch s.Topology.kind {
+	case "star":
+		g, err = topology.Star(s.Topology.n)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: topology: %w", err)
+		}
+	case "powerlaw":
+		g, err = topology.BarabasiAlbert(s.Topology.n, s.Topology.m, rand.New(rand.NewSource(s.seed())))
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: topology: %w", err)
+		}
+		roles, err = topology.AssignRoles(g, topology.PaperRoles)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: roles: %w", err)
+		}
+		subnet = topology.Subnets(g, roles)
+	case "hier":
+		g, roles, subnet, err = topology.Hierarchical(s.Topology.hier)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: topology: %w", err)
+		}
+	case "twolevel":
+		g, roles, subnet, err = topology.TwoLevel(s.Topology.twolevel, rand.New(rand.NewSource(s.seed())))
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("core: topology: %w", err)
+		}
+	default:
+		return nil, nil, nil, errors.New("core: scenario needs a topology (use Star, PowerLaw, Enterprise, ASInternet)")
+	}
+	return g, roles, subnet, nil
+}
+
 // build materializes the simulation config.
 func (s *Scenario) build() (sim.Config, error) {
 	var cfg sim.Config
@@ -175,45 +237,11 @@ func (s *Scenario) build() (sim.Config, error) {
 		return cfg, errors.New("core: scenario needs a worm (use RandomWorm et al.)")
 	}
 
-	var (
-		g      *topology.Graph
-		roles  []topology.Role
-		subnet []int
-		err    error
-	)
-	seed := s.Seed
-	if seed == 0 {
-		seed = 1
+	g, roles, subnet, err := s.materialize()
+	if err != nil {
+		return cfg, err
 	}
-	switch s.Topology.kind {
-	case "star":
-		g, err = topology.Star(s.Topology.n)
-		if err != nil {
-			return cfg, fmt.Errorf("core: topology: %w", err)
-		}
-	case "powerlaw":
-		g, err = topology.BarabasiAlbert(s.Topology.n, s.Topology.m, rand.New(rand.NewSource(seed)))
-		if err != nil {
-			return cfg, fmt.Errorf("core: topology: %w", err)
-		}
-		roles, err = topology.AssignRoles(g, topology.PaperRoles)
-		if err != nil {
-			return cfg, fmt.Errorf("core: roles: %w", err)
-		}
-		subnet = topology.Subnets(g, roles)
-	case "hier":
-		g, roles, subnet, err = topology.Hierarchical(s.Topology.hier)
-		if err != nil {
-			return cfg, fmt.Errorf("core: topology: %w", err)
-		}
-	case "twolevel":
-		g, roles, subnet, err = topology.TwoLevel(s.Topology.twolevel, rand.New(rand.NewSource(seed)))
-		if err != nil {
-			return cfg, fmt.Errorf("core: topology: %w", err)
-		}
-	default:
-		return cfg, errors.New("core: scenario needs a topology (use Star, PowerLaw, Enterprise, ASInternet)")
-	}
+	seed := s.seed()
 
 	ticks := s.Ticks
 	if ticks == 0 {
@@ -290,14 +318,82 @@ func (s *Scenario) build() (sim.Config, error) {
 	return cfg, nil
 }
 
+// RunOption tunes how SimulateContext executes a batch of replicas.
+type RunOption func(*runConfig)
+
+// runConfig is the resolved option set of one SimulateContext call.
+type runConfig struct {
+	jobs     int
+	timeout  time.Duration
+	progress func(runner.Stats)
+}
+
+// WithJobs bounds the replica worker pool at n concurrent simulations
+// (default GOMAXPROCS). The averaged result is identical for every job
+// count; only wall time changes.
+func WithJobs(n int) RunOption {
+	return func(c *runConfig) { c.jobs = n }
+}
+
+// WithTimeout aborts the batch after d, returning
+// context.DeadlineExceeded. Zero or negative means no timeout.
+func WithTimeout(d time.Duration) RunOption {
+	return func(c *runConfig) { c.timeout = d }
+}
+
+// WithProgress installs a callback observing live runner.Stats (runs
+// completed, ticks simulated, ticks/sec) after every finished replica.
+func WithProgress(fn func(runner.Stats)) RunOption {
+	return func(c *runConfig) { c.progress = fn }
+}
+
 // Simulate runs the scenario `runs` times (averaging the series) and
-// returns the per-tick result.
+// returns the per-tick result. It is SimulateContext with a background
+// context and default options.
 func (s *Scenario) Simulate(runs int) (*sim.Result, error) {
+	return s.SimulateContext(context.Background(), runs)
+}
+
+// SimulateContext runs the scenario `runs` times on a bounded worker
+// pool (averaging the series) and returns the per-tick result. Each
+// replica seeds its RNG from the scenario seed plus its index, so the
+// result is deterministic and independent of the job count. Cancelling
+// ctx (or exceeding WithTimeout) aborts the batch between simulation
+// ticks and returns the context's error.
+func (s *Scenario) SimulateContext(ctx context.Context, runs int, opts ...RunOption) (*sim.Result, error) {
+	var rc runConfig
+	for _, o := range opts {
+		o(&rc)
+	}
+	if rc.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rc.timeout)
+		defer cancel()
+	}
 	cfg, err := s.build()
 	if err != nil {
 		return nil, err
 	}
-	return sim.MultiRun(cfg, runs)
+	var ropts []runner.Option
+	if rc.jobs > 0 {
+		ropts = append(ropts, runner.WithJobs(rc.jobs))
+	}
+	if rc.progress != nil {
+		ropts = append(ropts, runner.WithProgress(rc.progress))
+	}
+	return sim.MultiRunContext(ctx, cfg, runs, ropts...)
+}
+
+// Validate checks the scenario spec without running anything: topology
+// construction, worm and defense compatibility, and every simulation
+// parameter are verified, so spec errors surface before a batch is
+// scheduled. A nil error means Simulate will not fail on the spec.
+func (s *Scenario) Validate() error {
+	cfg, err := s.build()
+	if err != nil {
+		return err
+	}
+	return cfg.Validate()
 }
 
 // Model returns the paper's analytical model matching the scenario
@@ -341,9 +437,24 @@ func (s *Scenario) Model() (model.Curve, error) {
 		m := model.HubRL{Beta: float64(s.Defense.cap), Gamma: s.Worm.Beta, N: n, I0: i0}
 		return m, m.Validate()
 	case "backbone":
-		// Backbone coverage approximates the fraction of paths crossing
-		// the core; on the paper's topology that is nearly all of them.
-		m := model.BackboneRL{Beta: s.Worm.Beta, Alpha: 0.9, R: s.Defense.rate, N: n, I0: i0}
+		// Measure the coverage α of Equation 6 on the scenario's actual
+		// topology: the fraction of source–destination paths that
+		// transit a backbone router, computed from the same routing
+		// tables the simulation forwards packets over. The analytic
+		// counterpart then matches the simulated deployment with no
+		// free parameter.
+		g, roles, _, err := s.materialize()
+		if err != nil {
+			return nil, err
+		}
+		if roles == nil {
+			return nil, fmt.Errorf("%w: backbone rate limiting needs a routed topology", ErrUnsupported)
+		}
+		alpha, err := routing.Build(g).PathCoverage(sim.DeployBackbone(roles))
+		if err != nil {
+			return nil, fmt.Errorf("core: coverage: %w", err)
+		}
+		m := model.BackboneRL{Beta: s.Worm.Beta, Alpha: alpha, R: s.Defense.rate, N: n, I0: i0}
 		return m, m.Validate()
 	default:
 		return nil, fmt.Errorf("%w: no analytical model for defense %q", ErrUnsupported, s.Defense.kind)

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/routing"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -255,13 +257,54 @@ func TestScenarioModelMapping(t *testing.T) {
 	if _, err := sc.Model(); err != nil {
 		t.Errorf("hub model: %v", err)
 	}
+	// Backbone RL on an unrouted star is unsupported, matching Simulate.
 	sc.Defense = BackboneRateLimit(0.4)
-	if _, err := sc.Model(); err != nil {
-		t.Errorf("backbone model: %v", err)
+	if _, err := sc.Model(); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("backbone model on star should be unsupported, got %v", err)
 	}
 	sc.Defense = EdgeRateLimit(0.4)
 	if _, err := sc.Model(); !errors.Is(err, ErrUnsupported) {
 		t.Errorf("edge defense has no single closed form, got %v", err)
+	}
+}
+
+// TestModelBackboneAlphaMeasured guards the Alpha bugfix: the analytic
+// backbone model must carry the path coverage measured on the
+// scenario's actual topology, not a hardcoded constant.
+func TestModelBackboneAlphaMeasured(t *testing.T) {
+	sc := Scenario{
+		Topology: PowerLaw(300),
+		Worm:     RandomWorm(0.8),
+		Defense:  BackboneRateLimit(0.4),
+		Seed:     4,
+	}
+	m, err := sc.Model()
+	if err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+	bb, ok := m.(model.BackboneRL)
+	if !ok {
+		t.Fatalf("model type %T, want BackboneRL", m)
+	}
+	if bb.Alpha <= 0 || bb.Alpha > 1 {
+		t.Fatalf("alpha = %v, want in (0,1]", bb.Alpha)
+	}
+	// Cross-check against a direct measurement on the same topology.
+	g, roles, _, err := sc.materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := routing.Build(g).PathCoverage(sim.DeployBackbone(roles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.Alpha != want {
+		t.Errorf("alpha = %v, want measured coverage %v", bb.Alpha, want)
+	}
+	// On the paper's power-law topology nearly all inter-host paths
+	// transit the top-degree core.
+	if bb.Alpha < 0.5 {
+		t.Errorf("alpha = %v, expected the core to cover most paths", bb.Alpha)
 	}
 }
 

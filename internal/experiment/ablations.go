@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/plot"
 	"repro/internal/ratelimit"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/worm"
@@ -27,7 +29,7 @@ func ablationSimBase(g *topology.Graph, roles []topology.Role, subnet []int, opt
 
 // AblTargeting compares target-selection strategies at a fixed contact
 // rate on the open network.
-func AblTargeting(opt Options) (*Result, error) {
+func AblTargeting(ctx context.Context, opt Options) (*Result, error) {
 	g, roles, subnet, err := powerLawTopology(opt)
 	if err != nil {
 		return nil, err
@@ -63,7 +65,7 @@ func AblTargeting(opt Options) (*Result, error) {
 		cfg := ablationSimBase(g, roles, subnet, opt)
 		cfg.Ticks = 250
 		cfg.Strategy = cse.f
-		res, err := sim.MultiRun(cfg, opt.runs())
+		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: abl-targeting %q: %w", cse.name, err)
 		}
@@ -81,7 +83,7 @@ func AblTargeting(opt Options) (*Result, error) {
 
 // AblQueueVsDrop compares queueing with dropping at link capacity under
 // backbone rate limiting.
-func AblQueueVsDrop(opt Options) (*Result, error) {
+func AblQueueVsDrop(ctx context.Context, opt Options) (*Result, error) {
 	g, roles, subnet, err := powerLawTopology(opt)
 	if err != nil {
 		return nil, err
@@ -101,7 +103,7 @@ func AblQueueVsDrop(opt Options) (*Result, error) {
 		cfg.LimitedNodes = sim.DeployBackbone(roles)
 		cfg.BaseRate = limitedLinkRate
 		cfg.Policy = cse.policy
-		res, err := sim.MultiRun(cfg, opt.runs())
+		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: abl-queue %q: %w", cse.name, err)
 		}
@@ -125,7 +127,7 @@ func AblQueueVsDrop(opt Options) (*Result, error) {
 
 // AblLinkWeights compares uniform link budgets with the paper's
 // routing-table-proportional weights.
-func AblLinkWeights(opt Options) (*Result, error) {
+func AblLinkWeights(ctx context.Context, opt Options) (*Result, error) {
 	g, roles, subnet, err := powerLawTopology(opt)
 	if err != nil {
 		return nil, err
@@ -146,7 +148,7 @@ func AblLinkWeights(opt Options) (*Result, error) {
 		cfg.LimitedNodes = sim.DeployBackbone(roles)
 		cfg.BaseRate = limitedLinkRate
 		cfg.LinkWeights = cse.w
-		res, err := sim.MultiRun(cfg, opt.runs())
+		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: abl-weights %q: %w", cse.name, err)
 		}
@@ -163,7 +165,7 @@ func AblLinkWeights(opt Options) (*Result, error) {
 
 // AblPatchInfected compares the paper's patch-everyone immunization
 // with patching susceptible hosts only.
-func AblPatchInfected(opt Options) (*Result, error) {
+func AblPatchInfected(ctx context.Context, opt Options) (*Result, error) {
 	g, roles, subnet, err := powerLawTopology(opt)
 	if err != nil {
 		return nil, err
@@ -184,7 +186,7 @@ func AblPatchInfected(opt Options) (*Result, error) {
 		cfg.Immunize = &sim.Immunization{
 			StartTick: -1, StartLevel: 0.2, Mu: immunizeMu, SusceptibleOnly: cse.susOnly,
 		}
-		res, err := sim.MultiRun(cfg, opt.runs())
+		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: abl-patch %q: %w", cse.name, err)
 		}
@@ -202,7 +204,7 @@ func AblPatchInfected(opt Options) (*Result, error) {
 
 // AblProbeFirst compares direct-exploit and probe-first worms with and
 // without backbone rate limiting.
-func AblProbeFirst(opt Options) (*Result, error) {
+func AblProbeFirst(ctx context.Context, opt Options) (*Result, error) {
 	g, roles, subnet, err := powerLawTopology(opt)
 	if err != nil {
 		return nil, err
@@ -227,7 +229,7 @@ func AblProbeFirst(opt Options) (*Result, error) {
 				cfg.BaseRate = limitedLinkRate
 				name += "_backboneRL"
 			}
-			res, err := sim.MultiRun(cfg, opt.runs())
+			res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
 			if err != nil {
 				return nil, fmt.Errorf("experiment: abl-probe %q: %w", name, err)
 			}
@@ -244,7 +246,7 @@ func AblProbeFirst(opt Options) (*Result, error) {
 }
 
 // AblTopology re-runs the backbone comparison across topology families.
-func AblTopology(opt Options) (*Result, error) {
+func AblTopology(ctx context.Context, opt Options) (*Result, error) {
 	type topoCase struct {
 		name   string
 		graph  *topology.Graph
@@ -294,14 +296,14 @@ func AblTopology(opt Options) (*Result, error) {
 	for _, tc := range cases {
 		open := ablationSimBase(tc.graph, tc.roles, tc.subnet, opt)
 		open.Ticks = 250
-		resOpen, err := sim.MultiRun(open, opt.runs())
+		resOpen, err := sim.MultiRunContext(ctx, open, opt.runs(), runner.WithJobs(opt.Jobs))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: abl-topology %q: %w", tc.name, err)
 		}
 		limited := open
 		limited.LimitedNodes = sim.DeployBackbone(tc.roles)
 		limited.BaseRate = limitedLinkRate
-		resLim, err := sim.MultiRun(limited, opt.runs())
+		resLim, err := sim.MultiRunContext(ctx, limited, opt.runs(), runner.WithJobs(opt.Jobs))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: abl-topology %q: %w", tc.name, err)
 		}
@@ -321,7 +323,7 @@ func AblTopology(opt Options) (*Result, error) {
 // AblHybridWindow compares a plain long window with the paper's
 // proposed hybrid short+long scheme on worm clamping and legitimate
 // stall.
-func AblHybridWindow(opt Options) (*Result, error) {
+func AblHybridWindow(ctx context.Context, opt Options) (*Result, error) {
 	wormAllowed := func(l ratelimit.ContactLimiter) int {
 		allowed := 0
 		next := ratelimit.IP(1 << 20)

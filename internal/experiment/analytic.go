@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,7 +20,7 @@ func curveSeries(label string, c model.Curve, ts []float64) plot.Series {
 // 0.8, β2 = 0.01 for leaf filters; the hub has per-link rate γ = β1 and
 // an aggregate node budget chosen so the hub curve reaches 60% infection
 // about 3x later than 30% leaf deployment, the paper's stated gap.
-func Fig1a(opt Options) (*Result, error) {
+func Fig1a(ctx context.Context, opt Options) (*Result, error) {
 	const n = 200
 	ts := numeric.Linspace(0, 50, 201)
 	noRL := model.HostRL{Q: 0, Beta1: 0.8, Beta2: hostFilteredRate, N: n, I0: 1}
@@ -59,7 +60,7 @@ func Fig1a(opt Options) (*Result, error) {
 // Fig2 regenerates Figure 2: analytical host-based rate limiting with
 // β1 = 0.8, β2 = 0.01 at deployment fractions 0/5/50/80/100% — the
 // "linear slowdown" figure whose point is the gulf between 80% and 100%.
-func Fig2(opt Options) (*Result, error) {
+func Fig2(ctx context.Context, opt Options) (*Result, error) {
 	const n = 1000
 	ts := numeric.Linspace(0, 1000, 501)
 	fracs := []float64{0, 0.05, 0.5, 0.8, 1}
@@ -113,7 +114,7 @@ func edgeRLModels() (noRL, localRL, randomRL model.EdgeRL) {
 // Fig3a regenerates Figure 3(a): the spread of the worm across subnets
 // under edge-router rate limiting, for local-preferential vs random
 // worms.
-func Fig3a(opt Options) (*Result, error) {
+func Fig3a(ctx context.Context, opt Options) (*Result, error) {
 	noRL, localRL, randomRL := edgeRLModels()
 	for _, v := range []model.Validator{noRL, localRL, randomRL} {
 		if err := v.Validate(); err != nil {
@@ -151,7 +152,7 @@ func Fig3a(opt Options) (*Result, error) {
 // Fig3b regenerates Figure 3(b): the spread within an infected subnet.
 // Edge rate limiting cannot touch the intra-subnet rate, so the
 // local-preferential worm is unaffected while the random worm crawls.
-func Fig3b(opt Options) (*Result, error) {
+func Fig3b(ctx context.Context, opt Options) (*Result, error) {
 	noRL, localRL, randomRL := edgeRLModels()
 	ts := numeric.Linspace(0, 300, 301)
 	series := func(label string, m model.EdgeRL) plot.Series {
@@ -194,7 +195,7 @@ func Fig3b(opt Options) (*Result, error) {
 // Fig7a regenerates Figure 7(a): the analytical delayed-immunization
 // model (β=0.8, µ=0.1, N=1000) with immunization starting when the
 // baseline epidemic reaches 20/50/80% infection.
-func Fig7a(opt Options) (*Result, error) {
+func Fig7a(ctx context.Context, opt Options) (*Result, error) {
 	base := model.Homogeneous{Beta: 0.8, N: 1000, I0: 1}
 	ts := numeric.Linspace(0, 80, 401)
 	fig := plot.Figure{
@@ -232,7 +233,7 @@ func Fig7a(opt Options) (*Result, error) {
 // starting at the wall-clock ticks (≈6/8/10) at which the *unlimited*
 // epidemic would have reached 20/50/80% — showing that rate limiting
 // buys the patchers time.
-func Fig7b(opt Options) (*Result, error) {
+func Fig7b(ctx context.Context, opt Options) (*Result, error) {
 	const alpha = 0.5
 	ts := numeric.Linspace(0, 50, 401)
 	noImm := model.BackboneRL{Beta: 0.8, Alpha: alpha, R: 0, N: 1000, I0: 1}
@@ -271,7 +272,7 @@ func Fig7b(opt Options) (*Result, error) {
 // limiting of one subnet). γ is the per-host rate; the DNS-based scheme
 // yields a lower aggregate (γ:β = 1:2) than pure IP throttling (1:6);
 // host-based RL alone lets all N hosts use their full slot.
-func Fig10(opt Options) (*Result, error) {
+func Fig10(ctx context.Context, opt Options) (*Result, error) {
 	const (
 		n     = 1128 // the monitored subnet's host count
 		gamma = 0.05 // normalized per-host allowed rate

@@ -6,11 +6,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"repro/internal/plot"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -28,6 +30,10 @@ type Options struct {
 	TraceDuration int64
 	// Quick shrinks populations/horizons for fast tests.
 	Quick bool
+	// Jobs bounds the worker pool each figure uses for its simulation
+	// replicas (0 = GOMAXPROCS). When figures themselves run in
+	// parallel (RunAll), keep Jobs small to avoid oversubscription.
+	Jobs int
 }
 
 func (o Options) runs() int {
@@ -68,17 +74,18 @@ type Result struct {
 	Metrics map[string]float64
 }
 
-// runner builds one figure.
-type runner func(Options) (*Result, error)
+// builder regenerates one figure. Builders observe ctx between
+// simulation ticks, so a cancelled context aborts a figure mid-run.
+type builder func(context.Context, Options) (*Result, error)
 
 // registry maps figure IDs to builders in presentation order.
 func registry() []struct {
 	id string
-	fn runner
+	fn builder
 } {
 	return []struct {
 		id string
-		fn runner
+		fn builder
 	}{
 		{"fig1a", Fig1a},
 		{"fig1b", Fig1b},
@@ -120,16 +127,70 @@ func IDs() []string {
 	return out
 }
 
-// Run regenerates one figure by ID.
+// Run regenerates one figure by ID with a background context.
 func Run(id string, opt Options) (*Result, error) {
+	return RunContext(context.Background(), id, opt)
+}
+
+// RunContext regenerates one figure by ID. Cancelling ctx aborts the
+// figure's simulations between ticks and returns ctx's error.
+func RunContext(ctx context.Context, id string, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, r := range registry() {
 		if r.id == id {
-			return r.fn(opt)
+			return r.fn(ctx, opt)
 		}
 	}
 	known := IDs()
 	sort.Strings(known)
 	return nil, fmt.Errorf("experiment: unknown id %q (known: %v)", id, known)
+}
+
+// RunAll regenerates the given figures (all of IDs() when ids is nil)
+// concurrently on a bounded runner.Pool, configured with ropts
+// (runner.WithJobs bounds the figure-level parallelism;
+// runner.WithProgress observes per-figure completion). Results are
+// returned in the order of ids regardless of completion order. The
+// first failing figure aborts the batch; a cancelled ctx aborts
+// in-flight figures between simulation ticks and returns ctx's error.
+//
+// Figure-level workers multiply with Options.Jobs (the per-figure
+// replica pool): with F figure workers each averaging over J replica
+// workers, up to F×J simulations run at once. The default Options.Jobs
+// of GOMAXPROCS is fine when figures are regenerated one at a time;
+// callers fanning out across figures should set Options.Jobs low
+// (cmd/figures uses 1) and let the figure-level pool own the
+// parallelism — whole figures are coarser, more evenly sized units.
+func RunAll(ctx context.Context, ids []string, opt Options, ropts ...runner.Option) ([]*Result, error) {
+	if ids == nil {
+		ids = IDs()
+	}
+	results := make([]*Result, len(ids))
+	pool := runner.New(ropts...)
+	if _, err := pool.Run(ctx, len(ids), func(ctx context.Context, i int) (int64, error) {
+		res, err := RunContext(ctx, ids[i], opt)
+		if err != nil {
+			return 0, fmt.Errorf("experiment: %s: %w", ids[i], err)
+		}
+		results[i] = res
+		return figureTicks(res), nil
+	}); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// figureTicks estimates the simulated ticks behind one figure result
+// (series points × averaged runs) so RunAll's runner.Stats report a
+// meaningful throughput. Analytic figures report their sample count.
+func figureTicks(res *Result) int64 {
+	var pts int64
+	for _, s := range res.Figure.Series {
+		pts += int64(len(s.Y))
+	}
+	return pts
 }
 
 // powerLawTopology builds the shared 1000-node AS-like graph of the

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/plot"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/worm"
@@ -24,7 +26,7 @@ func simSeries(label string, ys []float64) plot.Series {
 // filters cut a filtered leaf's scan rate to β2 = 0.01 (Williamson-style
 // host throttling); hub rate limiting caps the hub's forwarding at 2
 // packets/tick (the paper's hub rate 0.01 × N).
-func Fig1b(opt Options) (*Result, error) {
+func Fig1b(ctx context.Context, opt Options) (*Result, error) {
 	n := 200
 	ticks := 150
 	if opt.Quick {
@@ -79,7 +81,7 @@ func Fig1b(opt Options) (*Result, error) {
 	for _, cse := range cases {
 		cfg := base
 		cse.mod(&cfg)
-		res, err := sim.MultiRun(cfg, opt.runs())
+		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig1b %q: %w", cse.label, err)
 		}
@@ -107,7 +109,7 @@ func Fig1b(opt Options) (*Result, error) {
 // limited links with 50-packet DropTail buffers) are calibrated so the
 // backbone deployment reproduces the paper's ~5x time-to-50% gap; see
 // EXPERIMENTS.md.
-func Fig4(opt Options) (*Result, error) {
+func Fig4(ctx context.Context, opt Options) (*Result, error) {
 	g, roles, _, err := powerLawTopology(opt)
 	if err != nil {
 		return nil, err
@@ -144,7 +146,7 @@ func Fig4(opt Options) (*Result, error) {
 	for _, cse := range cases {
 		cfg := base
 		cse.mod(&cfg)
-		res, err := sim.MultiRun(cfg, opt.runs())
+		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig4 %q: %w", cse.label, err)
 		}
@@ -176,7 +178,7 @@ func Fig4(opt Options) (*Result, error) {
 // uplink: a local-preferential worm (95% of scans inside the subnet)
 // barely notices the filters, while a random scanner's traffic almost
 // always crosses two of them.
-func Fig5(opt Options) (*Result, error) {
+func Fig5(ctx context.Context, opt Options) (*Result, error) {
 	hier := topology.HierarchicalConfig{Backbones: 4, EdgesPer: 5, HostsPerSubnet: 48}
 	if opt.Quick {
 		hier.HostsPerSubnet = 16
@@ -221,7 +223,7 @@ func Fig5(opt Options) (*Result, error) {
 		if cse.limited {
 			cfg.LimitedLinks = uplinks
 		}
-		res, err := sim.MultiRun(cfg, opt.runs())
+		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig5 %q: %w", cse.label, err)
 		}
@@ -242,7 +244,7 @@ func Fig5(opt Options) (*Result, error) {
 
 // Fig6 regenerates Figure 6: a local-preferential worm under end-host
 // (5%/30%) vs backbone rate limiting.
-func Fig6(opt Options) (*Result, error) {
+func Fig6(ctx context.Context, opt Options) (*Result, error) {
 	g, roles, subnet, err := powerLawTopology(opt)
 	if err != nil {
 		return nil, err
@@ -286,7 +288,7 @@ func Fig6(opt Options) (*Result, error) {
 	for _, cse := range cases {
 		cfg := base
 		cse.mod(&cfg)
-		res, err := sim.MultiRun(cfg, opt.runs())
+		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig6 %q: %w", cse.label, err)
 		}
@@ -306,7 +308,7 @@ func Fig6(opt Options) (*Result, error) {
 // Fig8a regenerates Figure 8(a): simulated delayed immunization
 // (µ = 0.05/tick) triggered when the infection reaches 20/50/80%,
 // reporting the total ever-infected population.
-func Fig8a(opt Options) (*Result, error) {
+func Fig8a(ctx context.Context, opt Options) (*Result, error) {
 	g, roles, _, err := powerLawTopology(opt)
 	if err != nil {
 		return nil, err
@@ -339,7 +341,7 @@ func Fig8a(opt Options) (*Result, error) {
 		if cse.level > 0 {
 			cfg.Immunize = &sim.Immunization{StartTick: -1, StartLevel: cse.level, Mu: immunizeMu}
 		}
-		res, err := sim.MultiRun(cfg, opt.runs())
+		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig8a %q: %w", cse.label, err)
 		}
@@ -358,7 +360,7 @@ func Fig8a(opt Options) (*Result, error) {
 // with backbone rate limiting (node caps on the core), starting at the
 // wall-clock ticks where the *unlimited* epidemic reached 20/50/80%
 // (≈20/25/30 here), as the paper does with its ticks 6/8/10.
-func Fig8b(opt Options) (*Result, error) {
+func Fig8b(ctx context.Context, opt Options) (*Result, error) {
 	g, roles, _, err := powerLawTopology(opt)
 	if err != nil {
 		return nil, err
@@ -372,7 +374,7 @@ func Fig8b(opt Options) (*Result, error) {
 		Graph: g, Roles: roles, Beta: simBeta, Strategy: worm.NewRandomFactory(),
 		InitialInfected: 5, Ticks: ticks, Seed: opt.seed(),
 	}
-	probeRes, err := sim.MultiRun(probe, opt.runs())
+	probeRes, err := sim.MultiRunContext(ctx, probe, opt.runs(), runner.WithJobs(opt.Jobs))
 	if err != nil {
 		return nil, fmt.Errorf("experiment: fig8b probe: %w", err)
 	}
@@ -403,7 +405,7 @@ func Fig8b(opt Options) (*Result, error) {
 			cfg.Immunize = &sim.Immunization{StartTick: start, Mu: immunizeMu}
 			metrics[fmt.Sprintf("start_%s", cse.label)] = float64(start)
 		}
-		res, err := sim.MultiRun(cfg, opt.runs())
+		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig8b %q: %w", cse.label, err)
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/plot"
@@ -76,14 +77,14 @@ func fig9(opt Options, id string, class trace.Class, paper string) (*Result, err
 }
 
 // Fig9a regenerates Figure 9(a): normal desktop clients.
-func Fig9a(opt Options) (*Result, error) {
+func Fig9a(ctx context.Context, opt Options) (*Result, error) {
 	return fig9(opt, "fig9a", trace.ClassNormal,
 		"Normal clients: 99.9% of 5s windows within 16/14/9 contacts (all/no-prior/non-DNS)")
 }
 
 // Fig9b regenerates Figure 9(b): worm-infected hosts, whose scanning
 // spikes all three refinements together.
-func Fig9b(opt Options) (*Result, error) {
+func Fig9b(ctx context.Context, opt Options) (*Result, error) {
 	return fig9(opt, "fig9b", trace.ClassInfected,
 		"Infected hosts: contact rates orders of magnitude higher; refinements indistinguishable")
 }
@@ -92,7 +93,7 @@ func Fig9b(opt Options) (*Result, error) {
 // the 99.9th-percentile contact limits per class and refinement, the
 // per-host limits, and the window-size scaling of the aggregate non-DNS
 // rate.
-func TableRates(opt Options) (*Result, error) {
+func TableRates(ctx context.Context, opt Options) (*Result, error) {
 	cfg := traceConfig(opt)
 	tr, err := trace.Generate(cfg)
 	if err != nil {
@@ -154,7 +155,7 @@ func TableRates(opt Options) (*Result, error) {
 // TableClaims regenerates the paper's headline quantitative claims that
 // are not tied to a single figure: the worm peak scan rates and the
 // classification of the monitored population.
-func TableClaims(opt Options) (*Result, error) {
+func TableClaims(ctx context.Context, opt Options) (*Result, error) {
 	cfg := traceConfig(opt)
 	tr, err := trace.Generate(cfg)
 	if err != nil {

@@ -1,0 +1,234 @@
+// Package runner is the run-orchestration layer: a bounded worker pool
+// that executes indexed batches of deterministic work — simulation
+// replicas, whole-figure experiment regenerations — with
+// context.Context cancellation, per-worker panic capture, and live
+// progress statistics. The pool itself is deliberately ignorant of
+// what a task computes: determinism is the caller's contract (each
+// task derives everything it needs, typically an RNG seed, from its
+// index), which makes results independent of worker count and
+// scheduling order.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a snapshot of batch progress. Counters are cumulative over
+// one Pool.Run call.
+type Stats struct {
+	// Runs is the total number of tasks in the batch.
+	Runs int
+	// Started counts tasks handed to a worker (including ones that
+	// later failed). Started never exceeds Runs; after a cancellation
+	// it reports how far the batch got.
+	Started int
+	// Completed counts tasks that returned without error.
+	Completed int
+	// Failed counts tasks that returned an error or panicked.
+	Failed int
+	// Ticks is the total work units (simulation ticks) reported by
+	// finished tasks. Zero when tasks do not report ticks.
+	Ticks int64
+	// Wall is the elapsed time since the batch started.
+	Wall time.Duration
+}
+
+// TicksPerSec is the batch's aggregate simulation throughput so far.
+func (s Stats) TicksPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Ticks) / s.Wall.Seconds()
+}
+
+// Done reports whether every task in the batch has finished.
+func (s Stats) Done() bool { return s.Completed+s.Failed == s.Runs }
+
+// Task executes one indexed unit of a batch. index is dense in
+// [0, runs); a task needing randomness must derive its seed from index
+// so the batch result is independent of worker count. The returned
+// tick count feeds Stats.Ticks (return 0 when not meaningful). The
+// context is cancelled when the batch is: long tasks should poll it.
+type Task func(ctx context.Context, index int) (ticks int64, err error)
+
+// PanicError wraps a panic recovered from a task so one crashing
+// replica fails its batch with a diagnosable error instead of taking
+// the process down.
+type PanicError struct {
+	// Index is the task index that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: task %d panicked: %v", e.Index, e.Value)
+}
+
+// Pool executes batches with a fixed number of worker goroutines.
+// A Pool is stateless between Run calls and safe for concurrent use.
+type Pool struct {
+	jobs     int
+	progress func(Stats)
+}
+
+// Option configures a Pool.
+type Option func(*Pool)
+
+// WithJobs bounds the pool at n concurrent workers. n <= 0 selects the
+// default, GOMAXPROCS.
+func WithJobs(n int) Option {
+	return func(p *Pool) {
+		if n > 0 {
+			p.jobs = n
+		}
+	}
+}
+
+// WithProgress installs a callback invoked with a snapshot after every
+// task finishes (and once at batch start). Calls are serialized and
+// snapshots are monotonic; the callback must not block for long — it
+// runs on the worker that just finished.
+func WithProgress(fn func(Stats)) Option {
+	return func(p *Pool) { p.progress = fn }
+}
+
+// New builds a pool. With no options it runs GOMAXPROCS workers and
+// reports no progress.
+func New(opts ...Option) *Pool {
+	p := &Pool{jobs: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Jobs returns the configured worker bound.
+func (p *Pool) Jobs() int { return p.jobs }
+
+// batch is the mutable state of one Run call.
+type batch struct {
+	mu       sync.Mutex
+	stats    Stats
+	firstErr error
+	start    time.Time
+	progress func(Stats)
+}
+
+// snapshot refreshes Wall and invokes the progress callback while the
+// lock is held, guaranteeing callers see monotonic snapshots.
+func (b *batch) snapshotLocked() {
+	b.stats.Wall = time.Since(b.start)
+	if b.progress != nil {
+		b.progress(b.stats)
+	}
+}
+
+func (b *batch) noteStarted() {
+	b.mu.Lock()
+	b.stats.Started++
+	b.mu.Unlock()
+}
+
+func (b *batch) noteFinished(ticks int64, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.Ticks += ticks
+	if err != nil {
+		b.stats.Failed++
+		if b.firstErr == nil {
+			b.firstErr = err
+		}
+	} else {
+		b.stats.Completed++
+	}
+	b.snapshotLocked()
+}
+
+// Run executes runs tasks on the pool and blocks until they finish or
+// the batch is aborted. The batch aborts on the first task error (the
+// remaining tasks are cancelled via ctx and not started) and when ctx
+// is cancelled or times out. The returned Stats are final for this
+// batch — after an abort they describe the partial progress. The error
+// is the first task error, or ctx's error when the caller's context
+// ended the batch, or nil.
+func (p *Pool) Run(ctx context.Context, runs int, task Task) (Stats, error) {
+	b := &batch{stats: Stats{Runs: runs}, start: time.Now(), progress: p.progress}
+	if runs <= 0 {
+		b.mu.Lock()
+		b.snapshotLocked()
+		b.mu.Unlock()
+		return b.stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		b.mu.Lock()
+		b.snapshotLocked()
+		b.mu.Unlock()
+		return b.stats, err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	b.mu.Lock()
+	b.snapshotLocked() // initial snapshot: batch started
+	b.mu.Unlock()
+
+	jobs := p.jobs
+	if jobs > runs {
+		jobs = runs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if runCtx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= runs {
+					return
+				}
+				b.noteStarted()
+				ticks, err := runTask(runCtx, i, task)
+				b.noteFinished(ticks, err)
+				if err != nil {
+					cancel() // fail fast: abort the rest of the batch
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	b.mu.Lock()
+	b.stats.Wall = time.Since(b.start)
+	stats, err := b.stats, b.firstErr
+	b.mu.Unlock()
+	if cerr := ctx.Err(); cerr != nil {
+		// The caller's context ended the batch; prefer reporting that
+		// over the secondary errors it induced in in-flight tasks.
+		err = cerr
+	}
+	return stats, err
+}
+
+// runTask invokes one task, converting a panic into a *PanicError.
+func runTask(ctx context.Context, index int, task Task) (ticks int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: index, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return task(ctx, index)
+}

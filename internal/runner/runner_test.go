@@ -1,0 +1,274 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesEveryIndexOnce(t *testing.T) {
+	const n = 50
+	var hits [n]atomic.Int32
+	p := New(WithJobs(4))
+	stats, err := p.Run(context.Background(), n, func(_ context.Context, i int) (int64, error) {
+		hits[i].Add(1)
+		return 10, nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Errorf("index %d executed %d times, want 1", i, got)
+		}
+	}
+	if stats.Runs != n || stats.Started != n || stats.Completed != n || stats.Failed != 0 {
+		t.Errorf("stats = %+v, want %d started and completed", stats, n)
+	}
+	if stats.Ticks != 10*n {
+		t.Errorf("ticks = %d, want %d", stats.Ticks, 10*n)
+	}
+	if !stats.Done() {
+		t.Error("batch should report done")
+	}
+	if stats.Wall <= 0 {
+		t.Errorf("wall = %v, want > 0", stats.Wall)
+	}
+}
+
+func TestRunZeroRuns(t *testing.T) {
+	p := New()
+	stats, err := p.Run(context.Background(), 0, func(context.Context, int) (int64, error) {
+		t.Error("task should never run")
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Started != 0 || stats.Completed != 0 || stats.Failed != 0 || stats.Runs != 0 {
+		t.Errorf("stats = %+v, want all zero", stats)
+	}
+	if !stats.Done() {
+		t.Error("empty batch is trivially done")
+	}
+}
+
+func TestRunMoreJobsThanRuns(t *testing.T) {
+	var running, peak atomic.Int32
+	p := New(WithJobs(16))
+	stats, err := p.Run(context.Background(), 3, func(context.Context, int) (int64, error) {
+		cur := running.Add(1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		running.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Completed != 3 {
+		t.Errorf("completed = %d, want 3", stats.Completed)
+	}
+	if peak.Load() > 3 {
+		t.Errorf("peak concurrency %d exceeds runs", peak.Load())
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	var running, peak atomic.Int32
+	p := New(WithJobs(2))
+	_, err := p.Run(context.Background(), 12, func(context.Context, int) (int64, error) {
+		cur := running.Add(1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		running.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrency %d, want <= 2", p)
+	}
+}
+
+func TestRunCancellationMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int32
+	p := New(WithJobs(2))
+	stats, err := p.Run(ctx, 100, func(ctx context.Context, i int) (int64, error) {
+		if done.Add(1) == 4 {
+			cancel() // abort the batch from within
+		}
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(time.Millisecond):
+			return 1, nil
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Started >= 100 {
+		t.Errorf("started = %d, cancellation should stop the batch early", stats.Started)
+	}
+	if stats.Completed+stats.Failed != stats.Started {
+		t.Errorf("partial stats inconsistent: %+v", stats)
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := New()
+	stats, err := p.Run(ctx, 5, func(context.Context, int) (int64, error) {
+		t.Error("task should never start")
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Started != 0 {
+		t.Errorf("started = %d, want 0", stats.Started)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	p := New(WithJobs(1))
+	_, err := p.Run(ctx, 1000, func(ctx context.Context, _ int) (int64, error) {
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(time.Millisecond):
+			return 1, nil
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestRunPanicIsolation(t *testing.T) {
+	p := New(WithJobs(2))
+	stats, err := p.Run(context.Background(), 10, func(_ context.Context, i int) (int64, error) {
+		if i == 3 {
+			panic("boom")
+		}
+		return 1, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != 3 {
+		t.Errorf("panic index = %d, want 3", pe.Index)
+	}
+	if pe.Value != "boom" {
+		t.Errorf("panic value = %v, want boom", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error should carry a stack trace")
+	}
+	if stats.Failed == 0 {
+		t.Errorf("stats = %+v, want a failure recorded", stats)
+	}
+}
+
+func TestRunFailFast(t *testing.T) {
+	sentinel := errors.New("replica exploded")
+	p := New(WithJobs(1)) // serial: the failure must stop index 1+
+	var ran atomic.Int32
+	stats, err := p.Run(context.Background(), 100, func(_ context.Context, i int) (int64, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, sentinel
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Errorf("tasks run = %d, want 1 (fail fast)", got)
+	}
+	if stats.Failed != 1 || stats.Started != 1 {
+		t.Errorf("stats = %+v, want one started, one failed", stats)
+	}
+}
+
+func TestRunProgressMonotonic(t *testing.T) {
+	var mu sync.Mutex
+	var snaps []Stats
+	p := New(WithJobs(4), WithProgress(func(s Stats) {
+		mu.Lock()
+		snaps = append(snaps, s)
+		mu.Unlock()
+	}))
+	const n = 20
+	if _, err := p.Run(context.Background(), n, func(context.Context, int) (int64, error) {
+		return 2, nil
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snaps) != n+1 { // one at start, one per finished task
+		t.Fatalf("got %d snapshots, want %d", len(snaps), n+1)
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Completed < snaps[i-1].Completed || snaps[i].Ticks < snaps[i-1].Ticks {
+			t.Fatalf("snapshot %d regressed: %+v after %+v", i, snaps[i], snaps[i-1])
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.Completed != n || last.Ticks != 2*n || !last.Done() {
+		t.Errorf("final snapshot = %+v, want %d completed", last, n)
+	}
+}
+
+func TestStatsTicksPerSec(t *testing.T) {
+	s := Stats{Ticks: 500, Wall: 2 * time.Second}
+	if got := s.TicksPerSec(); got != 250 {
+		t.Errorf("TicksPerSec = %v, want 250", got)
+	}
+	if (Stats{}).TicksPerSec() != 0 {
+		t.Error("zero stats should report zero throughput")
+	}
+}
+
+func TestDefaultJobs(t *testing.T) {
+	if got := New().Jobs(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default jobs = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(WithJobs(-5)).Jobs(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("non-positive jobs should keep the default, got %d", got)
+	}
+	if got := New(WithJobs(3)).Jobs(); got != 3 {
+		t.Errorf("jobs = %d, want 3", got)
+	}
+}
+
+func TestPanicErrorMessage(t *testing.T) {
+	pe := &PanicError{Index: 7, Value: fmt.Errorf("bad")}
+	if got := pe.Error(); got != "runner: task 7 panicked: bad" {
+		t.Errorf("Error() = %q", got)
+	}
+}

@@ -1,12 +1,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/topology"
 )
 
@@ -66,46 +66,51 @@ func DeployEdgeUplinks(g *topology.Graph, roles []topology.Role, subnet []int) [
 
 // MultiRun executes runs replicas of cfg with seeds cfg.Seed,
 // cfg.Seed+1, ... and returns the element-wise average of their series —
-// the paper averages each simulated curve over 10 runs. Replicas run
-// concurrently (they share no mutable state; each builds its own
-// engine), bounded by GOMAXPROCS; the result is deterministic because
-// each replica's seed is fixed by its index.
+// the paper averages each simulated curve over 10 runs. It is
+// MultiRunContext with a background context and the default worker
+// bound (GOMAXPROCS).
 func MultiRun(cfg Config, runs int) (*Result, error) {
+	return MultiRunContext(context.Background(), cfg, runs)
+}
+
+// MultiRunContext executes runs replicas of cfg on a bounded
+// runner.Pool (configure with runner.WithJobs / runner.WithProgress)
+// and returns the element-wise average of their series. Each replica
+// gets the deterministic seed cfg.Seed + its index, so for a fixed
+// seed the averaged series is byte-identical regardless of the job
+// count or scheduling order. The replicas share one immutable routing
+// table, built once up front. Cancelling ctx aborts the batch between
+// ticks and returns ctx's error; a progress callback installed via
+// runner.WithProgress observes partial runner.Stats in that case.
+func MultiRunContext(ctx context.Context, cfg Config, runs int, opts ...runner.Option) (*Result, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("sim: runs %d must be >= 1", runs)
 	}
 	// Validate once up front so workers cannot fail on config errors.
-	probe := cfg
-	probe.Seed = cfg.Seed
-	if err := probe.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if !cfg.Graph.Connected() {
+		return nil, topology.ErrDisconnected
+	}
+	// All replicas route over the same graph: build the shortest-path
+	// table once and share it (read-only after Build).
+	tab := routing.Build(cfg.Graph)
 
 	results := make([]*Result, runs)
-	errs := make([]error, runs)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for r := 0; r < runs; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c := cfg
-			c.Seed = cfg.Seed + int64(r)
-			eng, err := New(c)
-			if err != nil {
-				errs[r] = fmt.Errorf("sim: run %d: %w", r, err)
-				return
-			}
-			results[r] = eng.Run()
-		}(r)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	pool := runner.New(opts...)
+	if _, err := pool.Run(ctx, runs, func(ctx context.Context, r int) (int64, error) {
+		c := cfg
+		c.Seed = cfg.Seed + int64(r)
+		eng, err := newEngine(c, tab)
 		if err != nil {
-			return nil, err
+			return 0, fmt.Errorf("sim: run %d: %w", r, err)
 		}
+		res, err := eng.RunContext(ctx)
+		results[r] = res
+		return int64(len(res.Infected)), err
+	}); err != nil {
+		return nil, err
 	}
 
 	agg := &Result{

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -96,9 +97,12 @@ type Engine struct {
 	limiters map[int]ratelimit.ContactLimiter
 
 	// subnetSize and subnetInfected track per-subnet infection when
-	// TrackSubnets is on; indexed by subnet id.
-	subnetSize     map[int]int
-	subnetInfected map[int]int
+	// TrackSubnets is on; dense slices indexed by subnet id so the
+	// per-tick within-subnet average sums in a fixed order (float
+	// addition is not associative; map iteration would make the series
+	// nondeterministic across runs).
+	subnetSize     []int
+	subnetInfected []int
 
 	// infections is the genealogy log when RecordInfections is on.
 	infections []Infection
@@ -109,23 +113,35 @@ type Engine struct {
 	latCount int64
 
 	arrivals []arrival // staging buffer reused across ticks
+	// sentScratch is transmitCapped's per-call send counter, reused
+	// across ticks to avoid a map allocation per capped node per tick.
+	sentScratch map[int64]int
 }
 
 func dirKey(u, v int32) int64 { return int64(u)<<32 | int64(v) }
 
 // New builds an engine from cfg. The topology must be connected.
-func New(cfg Config) (*Engine, error) {
+func New(cfg Config) (*Engine, error) { return newEngine(cfg, nil) }
+
+// newEngine builds an engine, reusing a prebuilt routing table when one
+// is supplied (replicas of the same config share the graph, so MultiRun
+// builds the table once; Table is immutable after Build and safe to
+// share across goroutines).
+func newEngine(cfg Config, tab *routing.Table) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if !cfg.Graph.Connected() {
 		return nil, topology.ErrDisconnected
 	}
+	if tab == nil {
+		tab = routing.Build(cfg.Graph)
+	}
 	n := cfg.Graph.N()
 	e := &Engine{
 		cfg:        cfg,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		tab:        routing.Build(cfg.Graph),
+		tab:        tab,
 		n:          n,
 		state:      make([]nodeState, n),
 		pickers:    make([]worm.Picker, n),
@@ -156,8 +172,14 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	if cfg.TrackSubnets {
-		e.subnetSize = make(map[int]int)
-		e.subnetInfected = make(map[int]int)
+		maxSubnet := -1
+		for _, s := range e.env.Subnet {
+			if s > maxSubnet {
+				maxSubnet = s
+			}
+		}
+		e.subnetSize = make([]int, maxSubnet+1)
+		e.subnetInfected = make([]int, maxSubnet+1)
 		for _, s := range e.env.Subnet {
 			if s >= 0 {
 				e.subnetSize[s]++
@@ -307,13 +329,26 @@ func (e *Engine) infect(u, source int) {
 
 // Run executes the configured number of ticks and returns the series.
 func (e *Engine) Run() *Result {
+	res, _ := e.RunContext(context.Background())
+	return res
+}
+
+// RunContext executes the configured number of ticks, checking ctx
+// between ticks. On cancellation it returns the partial series
+// simulated so far together with ctx's error; the per-tick slices then
+// hold fewer than Config.Ticks entries.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	res := &Result{
 		Infected:     make([]float64, 0, e.cfg.Ticks),
 		EverInfected: make([]float64, 0, e.cfg.Ticks),
 		Immunized:    make([]float64, 0, e.cfg.Ticks),
 		Backlog:      make([]int, 0, e.cfg.Ticks),
 	}
+	var err error
 	for tick := 0; tick < e.cfg.Ticks; tick++ {
+		if err = ctx.Err(); err != nil {
+			break
+		}
 		e.tick = tick
 		e.scansThisTick = 0
 		e.generate()
@@ -326,7 +361,7 @@ func (e *Engine) Run() *Result {
 	}
 	res.Infections = e.infections
 	res.QuarantineTick = e.activatedTick
-	return res
+	return res, err
 }
 
 // updateQuarantine evaluates the dynamic-defense trigger and activates
@@ -440,9 +475,9 @@ func (e *Engine) transmit() {
 			e.spendLink(key, allowed)
 			switch {
 			case allowed == len(q):
-				delete(e.queues, key)
+				e.queues[key] = q[:0] // drained: keep the buffer for reuse
 			case e.cfg.Policy == PolicyDrop:
-				delete(e.queues, key) // excess discarded
+				e.queues[key] = q[:0] // excess discarded
 			default:
 				e.queues[key] = append(q[:0], q[allowed:]...)
 			}
@@ -462,13 +497,20 @@ func (e *Engine) transmitCapped(u, budget int) {
 	if deg == 0 || budget <= 0 {
 		if e.cfg.Policy == PolicyDrop {
 			for _, v := range adj {
-				delete(e.queues, dirKey(int32(u), v))
+				key := dirKey(int32(u), v)
+				if q, ok := e.queues[key]; ok {
+					e.queues[key] = q[:0]
+				}
 			}
 		}
 		return
 	}
 	// Per-queue packets already sent this tick (also enforces link caps).
-	sent := make(map[int64]int, deg)
+	if e.sentScratch == nil {
+		e.sentScratch = make(map[int64]int, deg)
+	}
+	clear(e.sentScratch)
+	sent := e.sentScratch
 	start := e.rrPos[u]
 	served := true
 	for budget > 0 && served {
@@ -500,7 +542,7 @@ func (e *Engine) transmitCapped(u, budget int) {
 		switch {
 		case len(q) == 0:
 		case s >= len(q), e.cfg.Policy == PolicyDrop:
-			delete(e.queues, key)
+			e.queues[key] = q[:0] // drained or dropped: reuse the buffer
 		default:
 			e.queues[key] = append(q[:0], q[s:]...)
 		}

@@ -39,9 +39,15 @@ type Random struct {
 }
 
 // NewRandomFactory returns a Factory producing uniform-random pickers.
+// The factory may be shared by concurrent simulations (MultiRun hands
+// one Config to every replica), so the one-entry picker cache is
+// locked.
 func NewRandomFactory() Factory {
+	var mu sync.Mutex
 	var shared *Random
 	return func(env *Env, self int) Picker {
+		mu.Lock()
+		defer mu.Unlock()
 		if shared == nil || shared.env != env {
 			shared = &Random{env: env}
 		}
