@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench figures clean
+.PHONY: check build test race vet bench bench-figures bench-smoke figures clean
 
 ## check: the full gate — vet, build, race-enabled tests.
 check: vet build race
@@ -17,10 +17,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench: one pass over every figure/ablation benchmark plus the
-## worker-pool scaling benchmark.
+## bench: the per-tick engine microbenchmarks, repeated so the output
+## feeds benchstat directly (`make bench > new.txt && benchstat old.txt
+## new.txt`). Reference numbers live in BENCH_engine.json.
 bench:
+	$(GO) test -run xxx -bench BenchmarkEngineTick -benchtime 1s -count 5 ./internal/sim
+
+## bench-figures: one pass over every figure/ablation benchmark plus
+## the worker-pool scaling benchmark.
+bench-figures:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+## bench-smoke: one iteration of every benchmark in the module, so
+## benchmark code cannot bit-rot (CI runs this).
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 ## figures: regenerate every table and figure into out/.
 figures:

@@ -177,7 +177,11 @@ func BenchmarkMultiRunParallel(b *testing.B) {
 }
 
 // BenchmarkEngineThroughput measures raw simulator performance: one
-// 1000-node, 100-tick congested run per iteration.
+// 1000-node, 100-tick congested run per iteration, *including* engine
+// construction (routing tables, link enumeration, hop table). The
+// construction-free per-tick numbers live in internal/sim's
+// BenchmarkEngineTick (`make bench`), with reference values recorded
+// in BENCH_engine.json.
 func BenchmarkEngineThroughput(b *testing.B) {
 	g, roles, subnet := benchTopology(b)
 	cfg := benchSimBase(g, roles, subnet)
@@ -194,6 +198,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		}
 		eng.Run()
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*cfg.Ticks), "ns/tick")
 }
 
 // BenchmarkTraceAnalyzerThroughput measures analyzer records/second.

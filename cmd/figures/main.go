@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"repro/internal/experiment"
+	"repro/internal/prof"
 	"repro/internal/runner"
 )
 
@@ -46,9 +47,20 @@ func run(ctx context.Context, args []string) error {
 	quick := fs.Bool("quick", false, "reduced populations and horizons")
 	ascii := fs.Bool("ascii", true, "print ASCII renderings")
 	progress := fs.Bool("progress", false, "print per-figure completion to stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the batch to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile after the batch to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "figures:", perr)
+		}
+	}()
 	ids := fs.Args()
 	if len(ids) == 0 {
 		ids = experiment.IDs()

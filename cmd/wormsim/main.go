@@ -20,6 +20,7 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/topology"
 )
@@ -55,9 +56,20 @@ func run(ctx context.Context, args []string) error {
 	jobs := fs.Int("jobs", 0, "replicas simulated concurrently (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "abort the batch after this duration (0 = none)")
 	progress := fs.Bool("progress", false, "print replica completion and throughput to stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the batch to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile after the batch to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "wormsim:", perr)
+		}
+	}()
 
 	sc := core.Scenario{
 		Ticks:           *ticks,

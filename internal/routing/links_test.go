@@ -1,0 +1,77 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestEnumerateLinksStar(t *testing.T) {
+	g, err := topology.Star(4) // center 0, leaves 1..3
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := EnumerateLinks(g)
+	if l.N() != 4 {
+		t.Fatalf("N = %d, want 4", l.N())
+	}
+	if l.Count() != 6 {
+		t.Fatalf("Count = %d, want 6 directed links", l.Count())
+	}
+	// Stable order: 0->1, 0->2, 0->3, 1->0, 2->0, 3->0.
+	wantFrom := []int{0, 0, 0, 1, 2, 3}
+	wantTo := []int{1, 2, 3, 0, 0, 0}
+	for i := 0; i < l.Count(); i++ {
+		if l.From(i) != wantFrom[i] || l.To(i) != wantTo[i] {
+			t.Errorf("link %d = %d->%d, want %d->%d",
+				i, l.From(i), l.To(i), wantFrom[i], wantTo[i])
+		}
+	}
+	if got := l.Outgoing(0); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Outgoing(0) = %v", got)
+	}
+	if l.OutStart(2) != 4 {
+		t.Errorf("OutStart(2) = %d, want 4", l.OutStart(2))
+	}
+}
+
+func TestEnumerateLinksIndexRoundTrip(t *testing.T) {
+	g, err := topology.BarabasiAlbert(200, 2, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := EnumerateLinks(g)
+	if l.Count() != 2*g.M() {
+		t.Fatalf("Count = %d, want %d", l.Count(), 2*g.M())
+	}
+	for i := 0; i < l.Count(); i++ {
+		u, v := l.From(i), l.To(i)
+		if got := l.Index(u, v); got != i {
+			t.Fatalf("Index(%d,%d) = %d, want %d", u, v, got, i)
+		}
+		if !g.HasEdge(u, v) {
+			t.Fatalf("link %d (%d->%d) not a graph edge", i, u, v)
+		}
+	}
+	// Ascending (from, to) order is the contract the engine's series
+	// determinism rests on.
+	for i := 1; i < l.Count(); i++ {
+		if l.From(i) < l.From(i-1) ||
+			(l.From(i) == l.From(i-1) && l.To(i) <= l.To(i-1)) {
+			t.Fatalf("link order not strictly ascending at %d", i)
+		}
+	}
+	if got := l.Index(0, 0); got != -1 {
+		t.Errorf("Index(0,0) = %d, want -1", got)
+	}
+	// A non-neighbor pair must report -1.
+	for v := 0; v < g.N(); v++ {
+		if !g.HasEdge(5, v) && v != 5 {
+			if got := l.Index(5, v); got != -1 {
+				t.Errorf("Index(5,%d) = %d for non-edge", v, got)
+			}
+			break
+		}
+	}
+}

@@ -8,6 +8,11 @@
 // and queue the excess; an optional node-level cap models hub-style
 // limiting; and an optional delayed-immunization process patches both
 // susceptible and infected nodes with probability µ per tick.
+//
+// Config's map-shaped options (NodeCaps, ScanRateOverride, LimitedNodes,
+// LimitedLinks) are translated into dense index-addressed slices when
+// the engine is built; the per-tick hot path performs no map lookups
+// (see DESIGN.md, "Engine data layout").
 package sim
 
 import (

@@ -93,16 +93,17 @@ func MultiRunContext(ctx context.Context, cfg Config, runs int, opts ...runner.O
 	if !cfg.Graph.Connected() {
 		return nil, topology.ErrDisconnected
 	}
-	// All replicas route over the same graph: build the shortest-path
-	// table once and share it (read-only after Build).
-	tab := routing.Build(cfg.Graph)
+	// All replicas route over the same graph: build the shared routing
+	// state (shortest-path table, link enumeration, hop table) once;
+	// it is read-only after construction.
+	ns := newNetState(cfg.Graph)
 
 	results := make([]*Result, runs)
 	pool := runner.New(opts...)
 	if _, err := pool.Run(ctx, runs, func(ctx context.Context, r int) (int64, error) {
 		c := cfg
 		c.Seed = cfg.Seed + int64(r)
-		eng, err := newEngine(c, tab)
+		eng, err := newEngine(c, ns)
 		if err != nil {
 			return 0, fmt.Errorf("sim: run %d: %w", r, err)
 		}

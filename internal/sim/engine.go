@@ -3,8 +3,8 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"math/rand"
-	"sort"
 
 	"repro/internal/ratelimit"
 	"repro/internal/routing"
@@ -52,34 +52,71 @@ type arrival struct {
 
 // Engine executes one simulation run. Construct with New; it is not safe
 // for concurrent use (run replicas in separate engines).
+//
+// All per-tick state is dense and index-addressed: directed links carry
+// small-integer indexes (routing.Links, ascending by source then
+// destination — the deterministic iteration order every series depends
+// on), and nodes index flat slices. The hot path performs no map
+// lookups; maps appear only at the construction boundary, translating
+// Config's map-shaped options into slices. Sparse activity is tracked
+// by two bitsets — infected nodes and non-empty link queues — scanned
+// in ascending order, so idle nodes and idle links cost nothing while
+// the visit order stays identical to a full scan.
 type Engine struct {
-	cfg Config
-	rng *rand.Rand
-	tab *routing.Table
-	n   int
+	cfg   Config
+	rng   *rand.Rand
+	links *routing.Links
+	// hopLink[u*n+d] is the directed-link index of u's next hop toward
+	// d (-1 if unreachable): the entire routing decision of the
+	// per-packet path is one slice load.
+	hopLink []int32
+	n       int
 
 	state   []nodeState
 	pickers []worm.Picker
 	env     *worm.Env
 
-	// sortedAdj[u] is u's neighbor list in ascending order, fixing the
-	// per-tick link iteration order.
-	sortedAdj [][]int32
-	// queues[dirKey(u,v)] holds packets waiting to cross u->v.
-	queues map[int64][]packet
-	// linkRate[dirKey(u,v)] is the per-tick packet rate of a limited
-	// link; absent means unlimited. Fractional rates accumulate in
-	// linkCredit; linkBudget is the whole-packet allowance recomputed at
-	// the start of every tick.
-	linkRate   map[int64]float64
-	linkCredit map[int64]float64
-	linkBudget map[int64]int
+	// infectedBits is the infected-node active set (bit u set iff
+	// state[u] == stateInfected), maintained by infect/immunize and
+	// scanned ascending by generate.
+	infectedBits []uint64
+
+	// queues[li] holds packets waiting to cross directed link li.
+	queues [][]packet
+	// queueBits is the non-empty-queue active set (bit li set iff
+	// len(queues[li]) > 0), scanned ascending by transmit.
+	queueBits []uint64
+	// backlog is the running total of queued packets across all links,
+	// so record() is O(1).
+	backlog int
+
+	// linkLimited marks rate-limited directed links. For those links
+	// linkRate is the per-tick packet rate; fractional rates accumulate
+	// in linkCredit, and linkBudget is the whole-packet allowance
+	// recomputed at the start of every tick. limitedIdx lists the
+	// limited link indexes (ascending) for the recharge sweep. The
+	// rate/credit/budget slices are nil when nothing is limited.
+	linkLimited []bool
+	linkRate    []float64
+	linkCredit  []float64
+	linkBudget  []int
+	limitedIdx  []int32
+
+	// betaByNode folds Config.Beta and ScanRateOverride into one dense
+	// per-node scan probability.
+	betaByNode []float64
 
 	susceptibleMask []bool // which nodes can be infected at all
 	popSize         int    // |susceptibleMask|
 
-	// rrPos[u] is the round-robin resume index for node-capped routers.
-	rrPos map[int]int
+	// nodeCap[u] is u's per-tick forwarding cap, -1 when uncapped; nil
+	// when no node caps are configured. rrPos[u] is the round-robin
+	// resume index for capped routers, and cappedServed[u] marks the
+	// tick u's capped scheduler already ran (transmit encounters a
+	// capped node once per non-empty queue, but must serve it once).
+	nodeCap      []int32
+	rrPos        []int32
+	cappedServed []int32
 
 	infected   int
 	ever       int
@@ -93,8 +130,10 @@ type Engine struct {
 	activatedTick int // tick at which the defense engaged (-1 = never)
 	scansThisTick int
 
-	// limiters gates outgoing scans of filtered hosts (HostLimiterNodes).
-	limiters map[int]ratelimit.ContactLimiter
+	// hostLimiters gates outgoing scans of filtered hosts
+	// (HostLimiterNodes); nil entries are unfiltered, nil slice means
+	// no host limiting at all.
+	hostLimiters []ratelimit.ContactLimiter
 
 	// subnetSize and subnetInfected track per-subnet infection when
 	// TrackSubnets is on; dense slices indexed by subnet id so the
@@ -113,62 +152,68 @@ type Engine struct {
 	latCount int64
 
 	arrivals []arrival // staging buffer reused across ticks
-	// sentScratch is transmitCapped's per-call send counter, reused
-	// across ticks to avoid a map allocation per capped node per tick.
-	sentScratch map[int64]int
+	// sentScratch is transmitCapped's per-adjacency-slot send counter,
+	// reused across ticks.
+	sentScratch []int32
 }
 
-func dirKey(u, v int32) int64 { return int64(u)<<32 | int64(v) }
+// netState is the immutable, graph-derived routing state every replica
+// of a config shares: the shortest-path table, the stable directed-link
+// enumeration, and their fusion into the per-packet hop table. Built
+// once per graph (MultiRun shares one across all replicas; New builds a
+// private one) and safe for concurrent readers.
+type netState struct {
+	tab     *routing.Table
+	links   *routing.Links
+	hopLink []int32
+}
+
+func newNetState(g *topology.Graph) *netState {
+	tab := routing.Build(g)
+	links := routing.EnumerateLinks(g)
+	return &netState{tab: tab, links: links, hopLink: links.HopTable(tab)}
+}
 
 // New builds an engine from cfg. The topology must be connected.
 func New(cfg Config) (*Engine, error) { return newEngine(cfg, nil) }
 
-// newEngine builds an engine, reusing a prebuilt routing table when one
-// is supplied (replicas of the same config share the graph, so MultiRun
-// builds the table once; Table is immutable after Build and safe to
-// share across goroutines).
-func newEngine(cfg Config, tab *routing.Table) (*Engine, error) {
+// newEngine builds an engine, reusing prebuilt shared routing state
+// when supplied (replicas of the same config route over the same
+// graph, so MultiRun builds the netState once for all of them).
+func newEngine(cfg Config, ns *netState) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if !cfg.Graph.Connected() {
 		return nil, topology.ErrDisconnected
 	}
-	if tab == nil {
-		tab = routing.Build(cfg.Graph)
+	if ns == nil {
+		ns = newNetState(cfg.Graph)
 	}
 	n := cfg.Graph.N()
 	e := &Engine{
-		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		tab:        tab,
-		n:          n,
-		state:      make([]nodeState, n),
-		pickers:    make([]worm.Picker, n),
-		queues:     make(map[int64][]packet),
-		linkRate:   make(map[int64]float64),
-		linkCredit: make(map[int64]float64),
-		linkBudget: make(map[int64]int),
-		rrPos:      make(map[int]int),
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		links:        ns.links,
+		hopLink:      ns.hopLink,
+		n:            n,
+		state:        make([]nodeState, n),
+		pickers:      make([]worm.Picker, n),
+		infectedBits: make([]uint64, (n+63)/64),
 	}
 	if e.cfg.BaseRate == 0 {
 		e.cfg.BaseRate = DefaultBaseRate
 	}
 
-	e.sortedAdj = make([][]int32, n)
-	for u := 0; u < n; u++ {
-		adj := append([]int32(nil), cfg.Graph.Neighbors(u)...)
-		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
-		e.sortedAdj[u] = adj
-	}
-
 	e.buildEnv()
 	e.buildSusceptible()
-	e.buildLinkCaps()
+	e.buildBeta()
+	e.buildLinkState()
+	e.buildNodeCaps()
 	if len(cfg.HostLimiterNodes) > 0 {
-		e.limiters = make(map[int]ratelimit.ContactLimiter, len(cfg.HostLimiterNodes))
+		e.hostLimiters = make([]ratelimit.ContactLimiter, n)
 		for _, u := range cfg.HostLimiterNodes {
-			e.limiters[u] = cfg.HostLimiterFactory()
+			e.hostLimiters[u] = cfg.HostLimiterFactory()
 		}
 	}
 	if cfg.TrackSubnets {
@@ -233,9 +278,27 @@ func (e *Engine) buildSusceptible() {
 	}
 }
 
-// buildLinkCaps assigns per-tick packet rates to every directed link
-// incident to a rate-limited node.
-func (e *Engine) buildLinkCaps() {
+// buildBeta folds the base scan probability and per-node overrides into
+// one dense slice.
+func (e *Engine) buildBeta() {
+	e.betaByNode = make([]float64, e.n)
+	for u := range e.betaByNode {
+		e.betaByNode[u] = e.cfg.Beta
+	}
+	for u, b := range e.cfg.ScanRateOverride {
+		e.betaByNode[u] = b
+	}
+}
+
+// buildLinkState sizes the dense per-link queue state and assigns
+// per-tick packet rates to every directed link incident to a
+// rate-limited node.
+func (e *Engine) buildLinkState() {
+	nLinks := e.links.Count()
+	e.queues = make([][]packet, nLinks)
+	e.queueBits = make([]uint64, (nLinks+63)/64)
+	e.linkLimited = make([]bool, nLinks)
+
 	limited := make(map[int]bool, len(e.cfg.LimitedNodes))
 	for _, u := range e.cfg.LimitedNodes {
 		limited[u] = true
@@ -244,46 +307,80 @@ func (e *Engine) buildLinkCaps() {
 	for _, l := range e.cfg.LimitedLinks {
 		limitedLinks[routing.MakeLinkID(l.U, l.V)] = true
 	}
-	for u := 0; u < e.n; u++ {
-		for _, v := range e.sortedAdj[u] {
-			if !limited[u] && !limited[int(v)] && !limitedLinks[routing.MakeLinkID(u, int(v))] {
-				continue
-			}
-			w := 1.0
-			if e.cfg.LinkWeights != nil {
-				if lw, ok := e.cfg.LinkWeights[routing.MakeLinkID(u, int(v))]; ok {
-					w = lw
-				}
-			}
-			rate := e.cfg.BaseRate * w
-			if rate <= 0 {
-				rate = e.cfg.BaseRate
-			}
-			e.linkRate[dirKey(int32(u), v)] = rate
+	if len(limited) == 0 && len(limitedLinks) == 0 {
+		return
+	}
+	e.linkRate = make([]float64, nLinks)
+	e.linkCredit = make([]float64, nLinks)
+	e.linkBudget = make([]int, nLinks)
+	for li := 0; li < nLinks; li++ {
+		u, v := e.links.From(li), e.links.To(li)
+		if !limited[u] && !limited[v] && !limitedLinks[routing.MakeLinkID(u, v)] {
+			continue
 		}
+		w := 1.0
+		if e.cfg.LinkWeights != nil {
+			if lw, ok := e.cfg.LinkWeights[routing.MakeLinkID(u, v)]; ok {
+				w = lw
+			}
+		}
+		rate := e.cfg.BaseRate * w
+		if rate <= 0 {
+			rate = e.cfg.BaseRate
+		}
+		e.linkLimited[li] = true
+		e.linkRate[li] = rate
+		e.limitedIdx = append(e.limitedIdx, int32(li))
+	}
+}
+
+// buildNodeCaps converts the NodeCaps map into the dense cap slice and
+// allocates the round-robin scheduler state.
+func (e *Engine) buildNodeCaps() {
+	if len(e.cfg.NodeCaps) == 0 {
+		return
+	}
+	e.nodeCap = make([]int32, e.n)
+	for u := range e.nodeCap {
+		e.nodeCap[u] = -1
+	}
+	for u, c := range e.cfg.NodeCaps {
+		e.nodeCap[u] = int32(c)
+	}
+	e.rrPos = make([]int32, e.n)
+	e.cappedServed = make([]int32, e.n)
+	for u := range e.cappedServed {
+		e.cappedServed[u] = -1
 	}
 }
 
 // rechargeLinks rebuilds every limited link's whole-packet budget for
 // the coming tick from its accumulated fractional credit.
 func (e *Engine) rechargeLinks() {
-	for key, rate := range e.linkRate {
-		c := e.linkCredit[key] + rate
+	for _, li := range e.limitedIdx {
+		rate := e.linkRate[li]
+		c := e.linkCredit[li] + rate
 		if burst := rate + 1; c > burst {
 			c = burst // minimal bursting: banked credit caps at rate+1
 		}
-		e.linkCredit[key] = c
-		e.linkBudget[key] = int(c)
+		e.linkCredit[li] = c
+		e.linkBudget[li] = int(c)
 	}
 }
 
-// spendLink records n packets sent on a limited link this tick.
-func (e *Engine) spendLink(key int64, n int) {
-	if _, ok := e.linkRate[key]; !ok {
-		return
-	}
-	e.linkBudget[key] -= n
-	e.linkCredit[key] -= float64(n)
+// spendLink records n packets sent on a limited link this tick. Callers
+// check linkLimited first: unlimited links carry no budget state.
+func (e *Engine) spendLink(li int, n int) {
+	e.linkBudget[li] -= n
+	e.linkCredit[li] -= float64(n)
+}
+
+// clearQueue empties link li's queue (keeping the buffer for reuse)
+// and maintains the active set and backlog counter.
+func (e *Engine) clearQueue(li int) {
+	e.backlog -= len(e.queues[li])
+	e.queues[li] = e.queues[li][:0]
+	e.queueBits[li>>6] &^= 1 << (uint(li) & 63)
 }
 
 // seedInfections infects InitialInfected distinct susceptible nodes.
@@ -314,6 +411,7 @@ func (e *Engine) infect(u, source int) {
 		return
 	}
 	e.state[u] = stateInfected
+	e.infectedBits[u>>6] |= 1 << (uint(u) & 63)
 	e.infected++
 	e.ever++
 	e.pickers[u] = e.cfg.Strategy(e.env, u)
@@ -390,40 +488,44 @@ func (e *Engine) updateQuarantine() {
 	}
 }
 
-// generate lets every infected node attempt one infection.
+// generate lets every infected node attempt one infection. The
+// infected bitset is scanned ascending, so the visit order (and hence
+// RNG consumption) matches a full 0..n-1 state scan while idle nodes
+// cost one word test per 64.
 func (e *Engine) generate() {
 	scans := e.cfg.ScansPerTick
 	if scans == 0 {
 		scans = 1
 	}
-	for u := 0; u < e.n; u++ {
-		if e.state[u] != stateInfected {
-			continue
-		}
-		beta := e.cfg.Beta
-		if b, ok := e.cfg.ScanRateOverride[u]; ok {
-			beta = b
-		}
-		limiter := e.limiters[u]
-		for s := 0; s < scans; s++ {
-			if beta < 1 && e.rng.Float64() >= beta {
-				continue
+	for w, word := range e.infectedBits {
+		for word != 0 {
+			u := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			beta := e.betaByNode[u]
+			var limiter ratelimit.ContactLimiter
+			if e.hostLimiters != nil {
+				limiter = e.hostLimiters[u]
 			}
-			target := e.pickers[u].Pick(e.rng, u)
-			if target < 0 || target == u {
-				continue
+			for s := 0; s < scans; s++ {
+				if beta < 1 && e.rng.Float64() >= beta {
+					continue
+				}
+				target := e.pickers[u].Pick(e.rng, u)
+				if target < 0 || target == u {
+					continue
+				}
+				if e.defenseActive && limiter != nil && !limiter.Allow(int64(e.tick), ratelimit.IP(target)) {
+					continue // throttled: contact blocked this tick
+				}
+				e.scansThisTick++
+				kind := kindExploit
+				if e.cfg.ProbeFirst {
+					kind = kindProbe
+				}
+				e.routePacket(int32(u), packet{
+					src: int32(u), dst: int32(target), kind: kind, birth: int32(e.tick),
+				})
 			}
-			if e.defenseActive && limiter != nil && !limiter.Allow(int64(e.tick), ratelimit.IP(target)) {
-				continue // throttled: contact blocked this tick
-			}
-			e.scansThisTick++
-			kind := kindExploit
-			if e.cfg.ProbeFirst {
-				kind = kindProbe
-			}
-			e.routePacket(int32(u), packet{
-				src: int32(u), dst: int32(target), kind: kind, birth: int32(e.tick),
-			})
 		}
 	}
 }
@@ -435,51 +537,76 @@ func (e *Engine) routePacket(u int32, pkt packet) {
 		e.deliverAt(pkt)
 		return
 	}
-	nh := e.tab.NextHop(int(u), int(pkt.dst))
-	if nh < 0 {
+	li := e.hopLink[int(u)*e.n+int(pkt.dst)]
+	if li < 0 {
 		return // unreachable: scan packet lost
 	}
-	key := dirKey(u, int32(nh))
-	q := e.queues[key]
+	q := e.queues[li]
 	if e.cfg.MaxQueue > 0 && len(q) >= e.cfg.MaxQueue {
 		return // DropTail: buffer full, packet lost
 	}
-	e.queues[key] = append(q, pkt)
+	if q == nil {
+		// First use of this link: size the buffer once — exactly
+		// MaxQueue for bounded queues — instead of letting append grow
+		// it in several steps. Buffers are reused (q[:0]) forever after.
+		c := e.cfg.MaxQueue
+		if c == 0 {
+			c = 16
+		}
+		q = make([]packet, 0, c)
+	}
+	e.queues[li] = append(q, pkt)
+	e.queueBits[li>>6] |= 1 << (uint(li) & 63)
+	e.backlog++
 }
 
 // transmit moves packets across every directed link, respecting link
-// caps and node forwarding caps, staging arrivals for deliver.
+// caps and node forwarding caps, staging arrivals for deliver. Only
+// non-empty queues are visited, via the queue bitset; ascending link
+// index order equals the (source asc, destination asc) order the
+// series determinism contract fixes. Links of a node-capped router are
+// served together by its round-robin scheduler the first time one of
+// its queues is encountered.
 func (e *Engine) transmit() {
 	e.arrivals = e.arrivals[:0]
-	for u := 0; u < e.n; u++ {
-		if limit, ok := e.cfg.NodeCaps[u]; ok && e.defenseActive {
-			e.transmitCapped(u, limit)
-			continue
-		}
-		for _, v := range e.sortedAdj[u] {
-			key := dirKey(int32(u), v)
-			q := e.queues[key]
-			if len(q) == 0 {
-				continue
+	tick := int32(e.tick)
+	capped := e.defenseActive && e.nodeCap != nil
+	for w, word := range e.queueBits {
+		for word != 0 {
+			li := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if capped {
+				if u := e.links.From(li); e.nodeCap[u] >= 0 {
+					if e.cappedServed[u] != tick {
+						e.cappedServed[u] = tick
+						e.transmitCapped(u, int(e.nodeCap[u]))
+					}
+					// Later queues of u keep their bits when packets
+					// remain; the served mark prevents reprocessing.
+					continue
+				}
 			}
+			q := e.queues[li]
 			allowed := len(q)
-			if _, limited := e.linkRate[key]; limited && e.defenseActive && e.linkBudget[key] < allowed {
-				allowed = e.linkBudget[key]
+			if e.linkLimited[li] && e.defenseActive && e.linkBudget[li] < allowed {
+				allowed = e.linkBudget[li]
 				if allowed < 0 {
 					allowed = 0
 				}
 			}
+			to := int32(e.links.To(li))
 			for _, pkt := range q[:allowed] {
-				e.arrivals = append(e.arrivals, arrival{node: v, pkt: pkt})
+				e.arrivals = append(e.arrivals, arrival{node: to, pkt: pkt})
 			}
-			e.spendLink(key, allowed)
+			if e.linkLimited[li] {
+				e.spendLink(li, allowed)
+			}
 			switch {
-			case allowed == len(q):
-				e.queues[key] = q[:0] // drained: keep the buffer for reuse
-			case e.cfg.Policy == PolicyDrop:
-				e.queues[key] = q[:0] // excess discarded
+			case allowed == len(q), e.cfg.Policy == PolicyDrop:
+				e.clearQueue(li) // drained, or excess discarded
 			default:
-				e.queues[key] = append(q[:0], q[allowed:]...)
+				e.queues[li] = append(q[:0], q[allowed:]...)
+				e.backlog -= allowed
 			}
 		}
 	}
@@ -492,59 +619,62 @@ func (e *Engine) transmit() {
 // strict low-ID-first drain lets one stale queue starve every other
 // destination.
 func (e *Engine) transmitCapped(u, budget int) {
-	adj := e.sortedAdj[u]
+	adj := e.links.Outgoing(u)
+	base := e.links.OutStart(u)
 	deg := len(adj)
 	if deg == 0 || budget <= 0 {
 		if e.cfg.Policy == PolicyDrop {
-			for _, v := range adj {
-				key := dirKey(int32(u), v)
-				if q, ok := e.queues[key]; ok {
-					e.queues[key] = q[:0]
+			for k := 0; k < deg; k++ {
+				if li := base + k; len(e.queues[li]) > 0 {
+					e.clearQueue(li)
 				}
 			}
 		}
 		return
 	}
-	// Per-queue packets already sent this tick (also enforces link caps).
-	if e.sentScratch == nil {
-		e.sentScratch = make(map[int64]int, deg)
+	// Per-queue packets already sent this tick (also enforces link caps),
+	// indexed by adjacency slot.
+	if cap(e.sentScratch) < deg {
+		e.sentScratch = make([]int32, deg)
 	}
-	clear(e.sentScratch)
-	sent := e.sentScratch
-	start := e.rrPos[u]
+	sent := e.sentScratch[:deg]
+	clear(sent)
+	start := int(e.rrPos[u])
 	served := true
 	for budget > 0 && served {
 		served = false
 		for k := 0; k < deg && budget > 0; k++ {
 			idx := (start + k) % deg
-			v := adj[idx]
-			key := dirKey(int32(u), v)
-			q := e.queues[key]
-			s := sent[key]
+			li := base + idx
+			q := e.queues[li]
+			s := int(sent[idx])
 			if s >= len(q) {
 				continue
 			}
-			if _, limited := e.linkRate[key]; limited && s >= e.linkBudget[key] {
+			if e.linkLimited[li] && s >= e.linkBudget[li] {
 				continue
 			}
-			e.arrivals = append(e.arrivals, arrival{node: v, pkt: q[s]})
-			sent[key] = s + 1
+			e.arrivals = append(e.arrivals, arrival{node: adj[idx], pkt: q[s]})
+			sent[idx] = int32(s + 1)
 			budget--
 			served = true
-			e.rrPos[u] = (idx + 1) % deg
+			e.rrPos[u] = int32((idx + 1) % deg)
 		}
 	}
-	for _, v := range adj {
-		key := dirKey(int32(u), v)
-		q := e.queues[key]
-		s := sent[key]
-		e.spendLink(key, s)
+	for k := 0; k < deg; k++ {
+		li := base + k
+		q := e.queues[li]
+		s := int(sent[k])
+		if e.linkLimited[li] {
+			e.spendLink(li, s)
+		}
 		switch {
 		case len(q) == 0:
 		case s >= len(q), e.cfg.Policy == PolicyDrop:
-			e.queues[key] = q[:0] // drained or dropped: reuse the buffer
+			e.clearQueue(li) // drained or dropped
 		default:
-			e.queues[key] = append(q[:0], q[s:]...)
+			e.queues[li] = append(q[:0], q[s:]...)
+			e.backlog -= s
 		}
 	}
 }
@@ -626,6 +756,7 @@ func (e *Engine) immunize(tick int) {
 		}
 		if e.state[u] == stateInfected {
 			e.infected--
+			e.infectedBits[u>>6] &^= 1 << (uint(u) & 63)
 			if e.cfg.TrackSubnets {
 				if s := e.env.Subnet[u]; s >= 0 {
 					e.subnetInfected[s]--
@@ -643,11 +774,7 @@ func (e *Engine) record(res *Result) {
 	res.Infected = append(res.Infected, float64(e.infected)/pop)
 	res.EverInfected = append(res.EverInfected, float64(e.ever)/pop)
 	res.Immunized = append(res.Immunized, float64(e.removed)/pop)
-	backlog := 0
-	for _, q := range e.queues {
-		backlog += len(q)
-	}
-	res.Backlog = append(res.Backlog, backlog)
+	res.Backlog = append(res.Backlog, e.backlog)
 	if e.cfg.TrackSubnets {
 		var sum float64
 		n := 0
