@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-figures bench-smoke figures clean
+.PHONY: check build test race vet audit bench bench-figures bench-smoke figures clean
 
 ## check: the full gate — vet, build, race-enabled tests.
 check: vet build race
@@ -16,6 +16,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## audit: replay the golden-series fixtures under the per-tick
+## invariant audit (sim.Config.Check) — proves the engine's internal
+## bookkeeping holds on every pinned scenario.
+audit:
+	$(GO) test -run 'TestGoldenSeriesAudited|TestAuditorCatchesSeededCorruption|TestAuditCatchesCorruption' -v ./internal/sim ./internal/obs
 
 ## bench: the per-tick engine microbenchmarks, repeated so the output
 ## feeds benchstat directly (`make bench > new.txt && benchstat old.txt

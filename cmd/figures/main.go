@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	figures [-out out] [-runs 10] [-jobs N] [-timeout 10m] [-quick] [fig4 fig9a ...]
+//	figures [-out out] [-runs 10] [-jobs N] [-timeout 10m] [-quick] \
+//	        [-metrics batch.jsonl] [-check] [fig4 fig9a ...]
 //
 // With no figure IDs, every experiment is regenerated. -jobs bounds the
 // figure-level parallelism (default GOMAXPROCS; each figure then
@@ -16,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -47,10 +49,20 @@ func run(ctx context.Context, args []string) error {
 	quick := fs.Bool("quick", false, "reduced populations and horizons")
 	ascii := fs.Bool("ascii", true, "print ASCII renderings")
 	progress := fs.Bool("progress", false, "print per-figure completion to stderr")
+	metricsPath := fs.String("metrics", "", "write per-figure JSONL observability counters to this file")
+	check := fs.Bool("check", false, "audit engine invariants every simulated tick (slower; aborts on violation)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the batch to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile after the batch to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch {
+	case *runs <= 0:
+		return fmt.Errorf("-runs must be positive, got %d", *runs)
+	case *jobs < 0:
+		return fmt.Errorf("-jobs must be >= 0 (0 = GOMAXPROCS), got %d", *jobs)
+	case *timeout < 0:
+		return fmt.Errorf("-timeout must be >= 0, got %v", *timeout)
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -77,7 +89,10 @@ func run(ctx context.Context, args []string) error {
 	// Parallelize across figures and keep each figure's replica loop
 	// serial: whole figures are the coarser, more evenly sized work
 	// units, so figure-level workers scale better than nested pools.
-	opt := experiment.Options{Runs: *runs, Quick: *quick, Jobs: 1}
+	opt := experiment.Options{Runs: *runs, Quick: *quick, Jobs: 1, Check: *check}
+	if *metricsPath != "" {
+		opt.Metrics = &experiment.BatchMetrics{}
+	}
 	ropts := []runner.Option{runner.WithJobs(*jobs)}
 	if *progress {
 		total := len(ids)
@@ -87,6 +102,17 @@ func run(ctx context.Context, args []string) error {
 		}))
 	}
 	results, err := experiment.RunAll(ctx, ids, opt, ropts...)
+	if opt.Metrics != nil {
+		// Write whatever was collected even when the batch failed:
+		// partial counters are exactly what a post-mortem needs.
+		if werr := writeBatchMetrics(*metricsPath, opt.Metrics); werr != nil {
+			if err == nil {
+				err = werr
+			} else {
+				fmt.Fprintln(os.Stderr, "figures:", werr)
+			}
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -105,6 +131,32 @@ func run(ctx context.Context, args []string) error {
 		}
 		printMetrics(res.Metrics)
 		fmt.Println()
+	}
+	return nil
+}
+
+// writeBatchMetrics emits one JSONL record per figure with the
+// observability counters summed over every simulation replica the
+// figure ran, in sorted figure order.
+func writeBatchMetrics(path string, bm *experiment.BatchMetrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	for _, id := range bm.IDs() {
+		rec := struct {
+			Type     string           `json:"type"`
+			ID       string           `json:"id"`
+			Counters map[string]int64 `json:"counters"`
+		}{"figure", id, bm.Figure(id)}
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("metrics: %w", err)
 	}
 	return nil
 }

@@ -2,9 +2,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -112,5 +114,71 @@ func TestRunParallelDeterministic(t *testing.T) {
 	}
 	if string(a) != string(b) {
 		t.Error("fig4.dat differs between -jobs 1 and -jobs 4")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero runs", []string{"-runs", "0"}, "-runs"},
+		{"negative runs", []string{"-runs", "-2"}, "-runs"},
+		{"negative jobs", []string{"-jobs", "-1"}, "-jobs"},
+		{"negative timeout", []string{"-timeout", "-1s"}, "-timeout"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(context.Background(), append(tt.args, "fig1a"))
+			if err == nil {
+				t.Fatal("want a validation error")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not name the flag %s", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunMetricsAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "batch.jsonl")
+	err := run(context.Background(), []string{
+		"-out", dir, "-quick", "-ascii=false", "-runs", "2",
+		"-metrics", path, "-check", "fig4", "fig10",
+	})
+	if err != nil {
+		t.Fatalf("run -metrics -check: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]map[string]int64{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec struct {
+			Type     string           `json:"type"`
+			ID       string           `json:"id"`
+			Counters map[string]int64 `json:"counters"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line not JSON: %v: %s", err, line)
+		}
+		if rec.Type != "figure" {
+			t.Errorf("unexpected record type %q", rec.Type)
+		}
+		seen[rec.ID] = rec.Counters
+	}
+	// fig4 simulates (counters recorded); fig10 is analytic (none).
+	c, ok := seen["fig4"]
+	if !ok {
+		t.Fatalf("no counters for fig4: %v", seen)
+	}
+	if c["ticks"] <= 0 || c["scan_attempts"] <= 0 {
+		t.Errorf("fig4 counters empty: %v", c)
+	}
+	if _, ok := seen["fig10"]; ok {
+		t.Error("analytic fig10 should record no simulation counters")
 	}
 }

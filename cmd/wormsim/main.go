@@ -8,7 +8,12 @@
 //
 //	wormsim -topology powerlaw -n 1000 -worm random -beta 0.8 \
 //	        -defense backbone -rate 0.4 -ticks 150 -runs 10 \
-//	        [-jobs N] [-timeout 5m] [-progress]
+//	        [-jobs N] [-timeout 5m] [-progress] \
+//	        [-metrics run.jsonl] [-check]
+//
+// -metrics streams every replica's per-tick structured counters, events,
+// and summary as JSON Lines; -check cross-checks the engine's internal
+// invariants every tick and aborts on the first violation.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/topology"
@@ -56,10 +62,28 @@ func run(ctx context.Context, args []string) error {
 	jobs := fs.Int("jobs", 0, "replicas simulated concurrently (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "abort the batch after this duration (0 = none)")
 	progress := fs.Bool("progress", false, "print replica completion and throughput to stderr")
+	metricsPath := fs.String("metrics", "", "write per-replica JSONL metrics (ticks, events, summaries) to this file")
+	check := fs.Bool("check", false, "audit engine invariants every tick (slower; aborts on violation)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the batch to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile after the batch to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch {
+	case *n <= 0:
+		return fmt.Errorf("-n must be positive, got %d", *n)
+	case *ticks <= 0:
+		return fmt.Errorf("-ticks must be positive, got %d", *ticks)
+	case *runs <= 0:
+		return fmt.Errorf("-runs must be positive, got %d", *runs)
+	case *initial <= 0:
+		return fmt.Errorf("-initial must be positive, got %d", *initial)
+	case *scans < 0:
+		return fmt.Errorf("-scans must be >= 0, got %d", *scans)
+	case *jobs < 0:
+		return fmt.Errorf("-jobs must be >= 0 (0 = GOMAXPROCS), got %d", *jobs)
+	case *timeout < 0:
+		return fmt.Errorf("-timeout must be >= 0, got %v", *timeout)
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -128,7 +152,29 @@ func run(ctx context.Context, args []string) error {
 				s.Completed, s.Runs, s.TicksPerSec())
 		}))
 	}
+	var rings []*obs.Ring
+	if *metricsPath != "" {
+		rings = make([]*obs.Ring, *runs)
+		opts = append(opts, core.WithCollectors(func(r int) obs.Collector {
+			rings[r] = obs.NewRing(*ticks)
+			return rings[r]
+		}))
+	}
+	if *check {
+		opts = append(opts, core.WithCheck())
+	}
 	res, err := sc.SimulateContext(ctx, *runs, opts...)
+	if rings != nil {
+		// Write whatever was collected even when the batch failed:
+		// partial metrics are exactly what a post-mortem needs.
+		if werr := writeMetrics(*metricsPath, rings); werr != nil {
+			if err == nil {
+				err = werr
+			} else {
+				fmt.Fprintln(os.Stderr, "wormsim:", werr)
+			}
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -139,5 +185,33 @@ func run(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("# t50=%.1f final=%.3f ever=%.3f\n",
 		res.TimeToLevel(0.5), res.FinalInfected(), res.FinalEverInfected())
+	if c := res.Counters; len(c) > 0 {
+		fmt.Printf("# scans=%d throttled=%d generated=%d delivered=%d dropped=%d infections=%d\n",
+			c["scan_attempts"], c["throttled_contacts"], c["packets_generated"],
+			c["packets_delivered"], c["packets_dropped"], c["infections"])
+	}
+	return nil
+}
+
+// writeMetrics emits every replica's collected metrics as one JSONL
+// stream, each record tagged with its replica index. Replicas a
+// cancelled batch never started are skipped.
+func writeMetrics(path string, rings []*obs.Ring) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	for r, ring := range rings {
+		if ring == nil {
+			continue
+		}
+		if err := obs.WriteJSONL(f, r, ring); err != nil {
+			f.Close()
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
 	return nil
 }

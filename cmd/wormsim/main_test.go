@@ -2,7 +2,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -94,4 +99,117 @@ func TestRunErrors(t *testing.T) {
 			}
 		})
 	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero ticks", []string{"-ticks", "0"}, "-ticks"},
+		{"negative ticks", []string{"-ticks", "-5"}, "-ticks"},
+		{"zero population", []string{"-n", "0"}, "-n"},
+		{"zero runs", []string{"-runs", "0"}, "-runs"},
+		{"negative jobs", []string{"-jobs", "-1"}, "-jobs"},
+		{"zero initial", []string{"-initial", "0"}, "-initial"},
+		{"negative scans", []string{"-scans", "-1"}, "-scans"},
+		{"negative timeout", []string{"-timeout", "-1s"}, "-timeout"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(context.Background(), tt.args)
+			if err == nil {
+				t.Fatal("want a validation error")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not name the flag %s", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunMetricsAndCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	args := []string{
+		"-topology", "powerlaw", "-n", "100", "-defense", "backbone", "-rate", "0.4",
+		"-scans", "4", "-ticks", "25", "-runs", "2",
+		"-metrics", path, "-check",
+	}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatalf("run -metrics -check: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticks, summaries int
+	runsSeen := map[int]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec struct {
+			Type string `json:"type"`
+			Run  int    `json:"run"`
+			Tick int    `json:"tick"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line not JSON: %v: %s", err, line)
+		}
+		runsSeen[rec.Run] = true
+		switch rec.Type {
+		case "tick":
+			ticks++
+		case "summary":
+			summaries++
+		}
+	}
+	if ticks != 2*25 {
+		t.Errorf("tick records = %d, want %d", ticks, 2*25)
+	}
+	if summaries != 2 || len(runsSeen) != 2 {
+		t.Errorf("summaries = %d over %d runs, want 2 over 2", summaries, len(runsSeen))
+	}
+}
+
+// TestRunMetricsOffIdenticalOutput: attaching collectors must not
+// change the simulated series the command prints.
+func TestRunMetricsOffIdenticalOutput(t *testing.T) {
+	args := []string{"-topology", "star", "-n", "50", "-defense", "hub", "-hubcap", "2",
+		"-scans", "3", "-ticks", "20", "-runs", "2"}
+	plain := captureStdout(t, func() {
+		if err := run(context.Background(), args); err != nil {
+			t.Errorf("plain run: %v", err)
+		}
+	})
+	path := filepath.Join(t.TempDir(), "m.jsonl")
+	observed := captureStdout(t, func() {
+		if err := run(context.Background(), append(args, "-metrics", path, "-check")); err != nil {
+			t.Errorf("observed run: %v", err)
+		}
+	})
+	// The observed run appends a counters footer; the series lines
+	// before it must match byte for byte.
+	if !strings.HasPrefix(observed, plain[:strings.LastIndex(plain, "# t50=")]) {
+		t.Error("series output differs between plain and observed runs")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns what it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf, _ := io.ReadAll(r)
+		done <- string(buf)
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -323,9 +324,11 @@ type RunOption func(*runConfig)
 
 // runConfig is the resolved option set of one SimulateContext call.
 type runConfig struct {
-	jobs     int
-	timeout  time.Duration
-	progress func(runner.Stats)
+	jobs       int
+	timeout    time.Duration
+	progress   func(runner.Stats)
+	collectors func(run int) obs.Collector
+	check      bool
 }
 
 // WithJobs bounds the replica worker pool at n concurrent simulations
@@ -345,6 +348,21 @@ func WithTimeout(d time.Duration) RunOption {
 // completed, ticks simulated, ticks/sec) after every finished replica.
 func WithProgress(fn func(runner.Stats)) RunOption {
 	return func(c *runConfig) { c.progress = fn }
+}
+
+// WithCollectors installs a per-replica metrics collector factory (see
+// internal/obs): factory(r) builds replica r's collector before its
+// engine starts. The factory is called from worker goroutines and must
+// be safe for concurrent calls with distinct r.
+func WithCollectors(factory func(run int) obs.Collector) RunOption {
+	return func(c *runConfig) { c.collectors = factory }
+}
+
+// WithCheck runs every replica under the engine's per-tick invariant
+// audit; a violated invariant aborts the batch with an error matching
+// obs.ErrInvariant.
+func WithCheck() RunOption {
+	return func(c *runConfig) { c.check = true }
 }
 
 // Simulate runs the scenario `runs` times (averaging the series) and
@@ -374,6 +392,8 @@ func (s *Scenario) SimulateContext(ctx context.Context, runs int, opts ...RunOpt
 	if err != nil {
 		return nil, err
 	}
+	cfg.CollectorFactory = rc.collectors
+	cfg.Check = rc.check
 	var ropts []runner.Option
 	if rc.jobs > 0 {
 		ropts = append(ropts, runner.WithJobs(rc.jobs))

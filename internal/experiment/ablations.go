@@ -7,7 +7,6 @@ import (
 	"repro/internal/plot"
 	"repro/internal/ratelimit"
 	"repro/internal/routing"
-	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/worm"
@@ -65,7 +64,7 @@ func AblTargeting(ctx context.Context, opt Options) (*Result, error) {
 		cfg := ablationSimBase(g, roles, subnet, opt)
 		cfg.Ticks = 250
 		cfg.Strategy = cse.f
-		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
+		res, err := opt.multiRun(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: abl-targeting %q: %w", cse.name, err)
 		}
@@ -103,7 +102,7 @@ func AblQueueVsDrop(ctx context.Context, opt Options) (*Result, error) {
 		cfg.LimitedNodes = sim.DeployBackbone(roles)
 		cfg.BaseRate = limitedLinkRate
 		cfg.Policy = cse.policy
-		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
+		res, err := opt.multiRun(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: abl-queue %q: %w", cse.name, err)
 		}
@@ -148,7 +147,7 @@ func AblLinkWeights(ctx context.Context, opt Options) (*Result, error) {
 		cfg.LimitedNodes = sim.DeployBackbone(roles)
 		cfg.BaseRate = limitedLinkRate
 		cfg.LinkWeights = cse.w
-		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
+		res, err := opt.multiRun(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: abl-weights %q: %w", cse.name, err)
 		}
@@ -186,7 +185,7 @@ func AblPatchInfected(ctx context.Context, opt Options) (*Result, error) {
 		cfg.Immunize = &sim.Immunization{
 			StartTick: -1, StartLevel: 0.2, Mu: immunizeMu, SusceptibleOnly: cse.susOnly,
 		}
-		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
+		res, err := opt.multiRun(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: abl-patch %q: %w", cse.name, err)
 		}
@@ -229,7 +228,7 @@ func AblProbeFirst(ctx context.Context, opt Options) (*Result, error) {
 				cfg.BaseRate = limitedLinkRate
 				name += "_backboneRL"
 			}
-			res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
+			res, err := opt.multiRun(ctx, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("experiment: abl-probe %q: %w", name, err)
 			}
@@ -296,14 +295,14 @@ func AblTopology(ctx context.Context, opt Options) (*Result, error) {
 	for _, tc := range cases {
 		open := ablationSimBase(tc.graph, tc.roles, tc.subnet, opt)
 		open.Ticks = 250
-		resOpen, err := sim.MultiRunContext(ctx, open, opt.runs(), runner.WithJobs(opt.Jobs))
+		resOpen, err := opt.multiRun(ctx, open)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: abl-topology %q: %w", tc.name, err)
 		}
 		limited := open
 		limited.LimitedNodes = sim.DeployBackbone(tc.roles)
 		limited.BaseRate = limitedLinkRate
-		resLim, err := sim.MultiRunContext(ctx, limited, opt.runs(), runner.WithJobs(opt.Jobs))
+		resLim, err := opt.multiRun(ctx, limited)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: abl-topology %q: %w", tc.name, err)
 		}

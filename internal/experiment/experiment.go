@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -34,6 +36,95 @@ type Options struct {
 	// replicas (0 = GOMAXPROCS). When figures themselves run in
 	// parallel (RunAll), keep Jobs small to avoid oversubscription.
 	Jobs int
+	// Check runs every simulation replica under the engine's per-tick
+	// invariant audit (sim.Config.Check). Slower; meant for CI and
+	// debugging.
+	Check bool
+	// Metrics, when non-nil, collects per-figure observability counters
+	// (summed over every simulation replica a figure runs) into the
+	// sink. Safe for concurrent figures.
+	Metrics *BatchMetrics
+
+	// figID is the figure currently being built; RunContext stamps it on
+	// the copy of Options it hands the builder so multiRun can attribute
+	// counters.
+	figID string
+}
+
+// BatchMetrics accumulates the observability counters of every
+// simulation batch run while regenerating figures, keyed by figure ID.
+// One sink serves a whole RunAll batch; methods are safe for concurrent
+// use.
+type BatchMetrics struct {
+	mu       sync.Mutex
+	byFigure map[string]map[string]int64
+}
+
+// add key-wise sums c into the figure's counter map.
+func (b *BatchMetrics) add(id string, c map[string]int64) {
+	if len(c) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.byFigure == nil {
+		b.byFigure = make(map[string]map[string]int64)
+	}
+	m := b.byFigure[id]
+	if m == nil {
+		m = make(map[string]int64, len(c))
+		b.byFigure[id] = m
+	}
+	for k, v := range c {
+		m[k] += v
+	}
+}
+
+// Figure returns a copy of the counters recorded for one figure (nil
+// when none were).
+func (b *BatchMetrics) Figure(id string) map[string]int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	src := b.byFigure[id]
+	if src == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// IDs returns the figure IDs with recorded counters, sorted.
+func (b *BatchMetrics) IDs() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.byFigure))
+	for id := range b.byFigure {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// multiRun is the one funnel every figure builder runs its simulation
+// batches through: it applies the audit and metrics options, bounds the
+// replica pool at Options.Jobs, and attributes the batch's counters to
+// the figure being built.
+func (o Options) multiRun(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
+	cfg.Check = o.Check
+	if o.Metrics != nil {
+		cfg.CollectorFactory = func(int) obs.Collector { return obs.NewTally() }
+	}
+	res, err := sim.MultiRunContext(ctx, cfg, o.runs(), runner.WithJobs(o.Jobs))
+	if err != nil {
+		return nil, err
+	}
+	if o.Metrics != nil {
+		o.Metrics.add(o.figID, res.Counters)
+	}
+	return res, nil
 }
 
 func (o Options) runs() int {
@@ -140,6 +231,7 @@ func RunContext(ctx context.Context, id string, opt Options) (*Result, error) {
 	}
 	for _, r := range registry() {
 		if r.id == id {
+			opt.figID = id
 			return r.fn(ctx, opt)
 		}
 	}
@@ -169,13 +261,17 @@ func RunAll(ctx context.Context, ids []string, opt Options, ropts ...runner.Opti
 	}
 	results := make([]*Result, len(ids))
 	pool := runner.New(ropts...)
-	if _, err := pool.Run(ctx, len(ids), func(ctx context.Context, i int) (int64, error) {
+	if _, err := pool.Run(ctx, len(ids), func(ctx context.Context, i int) (runner.Report, error) {
 		res, err := RunContext(ctx, ids[i], opt)
 		if err != nil {
-			return 0, fmt.Errorf("experiment: %s: %w", ids[i], err)
+			return runner.Report{}, fmt.Errorf("experiment: %s: %w", ids[i], err)
 		}
 		results[i] = res
-		return figureTicks(res), nil
+		rep := runner.Report{Ticks: figureTicks(res)}
+		if opt.Metrics != nil {
+			rep.Counters = opt.Metrics.Figure(ids[i])
+		}
+		return rep, nil
 	}); err != nil {
 		return nil, err
 	}

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/plot"
 	"repro/internal/routing"
-	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/worm"
@@ -81,7 +80,7 @@ func Fig1b(ctx context.Context, opt Options) (*Result, error) {
 	for _, cse := range cases {
 		cfg := base
 		cse.mod(&cfg)
-		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
+		res, err := opt.multiRun(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig1b %q: %w", cse.label, err)
 		}
@@ -146,7 +145,7 @@ func Fig4(ctx context.Context, opt Options) (*Result, error) {
 	for _, cse := range cases {
 		cfg := base
 		cse.mod(&cfg)
-		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
+		res, err := opt.multiRun(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig4 %q: %w", cse.label, err)
 		}
@@ -223,7 +222,7 @@ func Fig5(ctx context.Context, opt Options) (*Result, error) {
 		if cse.limited {
 			cfg.LimitedLinks = uplinks
 		}
-		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
+		res, err := opt.multiRun(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig5 %q: %w", cse.label, err)
 		}
@@ -288,7 +287,7 @@ func Fig6(ctx context.Context, opt Options) (*Result, error) {
 	for _, cse := range cases {
 		cfg := base
 		cse.mod(&cfg)
-		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
+		res, err := opt.multiRun(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig6 %q: %w", cse.label, err)
 		}
@@ -341,7 +340,7 @@ func Fig8a(ctx context.Context, opt Options) (*Result, error) {
 		if cse.level > 0 {
 			cfg.Immunize = &sim.Immunization{StartTick: -1, StartLevel: cse.level, Mu: immunizeMu}
 		}
-		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
+		res, err := opt.multiRun(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig8a %q: %w", cse.label, err)
 		}
@@ -374,7 +373,7 @@ func Fig8b(ctx context.Context, opt Options) (*Result, error) {
 		Graph: g, Roles: roles, Beta: simBeta, Strategy: worm.NewRandomFactory(),
 		InitialInfected: 5, Ticks: ticks, Seed: opt.seed(),
 	}
-	probeRes, err := sim.MultiRunContext(ctx, probe, opt.runs(), runner.WithJobs(opt.Jobs))
+	probeRes, err := opt.multiRun(ctx, probe)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: fig8b probe: %w", err)
 	}
@@ -405,7 +404,7 @@ func Fig8b(ctx context.Context, opt Options) (*Result, error) {
 			cfg.Immunize = &sim.Immunization{StartTick: start, Mu: immunizeMu}
 			metrics[fmt.Sprintf("start_%s", cse.label)] = float64(start)
 		}
-		res, err := sim.MultiRunContext(ctx, cfg, opt.runs(), runner.WithJobs(opt.Jobs))
+		res, err := opt.multiRun(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig8b %q: %w", cse.label, err)
 		}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrInvariant is the sentinel every invariant-audit failure matches
+// via errors.Is.
+var ErrInvariant = errors.New("obs: engine invariant violated")
+
+// Snapshot is an engine's end-of-tick self-measurement for the
+// invariant audit. It pairs every O(1) counter the hot path maintains
+// with the same quantity recomputed from ground truth (full scans over
+// queues, bitsets, and node states), so the audit is a pure value
+// comparison with no access to engine internals.
+type Snapshot struct {
+	// Tick is the audited tick.
+	Tick int
+	// Backlog is the engine's incrementally-maintained queued-packet
+	// counter; QueuedPackets is the recomputed sum of link queue
+	// lengths. They must agree.
+	Backlog       int
+	QueuedPackets int
+	// QueueBitsSet counts set bits in the non-empty-queue active set;
+	// NonEmptyQueues counts links with a non-empty queue; and
+	// NonEmptyQueuesFlagged counts non-empty queues whose bit is set.
+	// All three must agree (equality of the two counts plus full
+	// coverage implies the bitset and the queue set are identical).
+	QueueBitsSet          int
+	NonEmptyQueues        int
+	NonEmptyQueuesFlagged int
+	// Infected is the engine's counter; InfectedPopcount the popcount
+	// of the infected-node bitset; InfectedStates the number of nodes
+	// whose state is infected; InfectedFlagged the number of infected
+	// nodes whose bit is set. All four must agree.
+	Infected         int
+	InfectedPopcount int
+	InfectedStates   int
+	InfectedFlagged  int
+	// EverInfected and Removed are the cumulative infection and patch
+	// counters; Population the susceptible population size.
+	EverInfected int
+	Removed      int
+	Population   int
+	// Generated / Delivered / Dropped are the cumulative packet flow
+	// counters. Conservation requires
+	// Generated == Delivered + Dropped + QueuedPackets.
+	Generated uint64
+	Delivered uint64
+	Dropped   uint64
+}
+
+// InvariantError reports every invariant a Snapshot violated.
+type InvariantError struct {
+	// Tick is the tick at which the audit failed.
+	Tick int
+	// Violations describes each failed check.
+	Violations []string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("obs: engine invariant violated at tick %d: %s",
+		e.Tick, strings.Join(e.Violations, "; "))
+}
+
+// Is makes errors.Is(err, ErrInvariant) match.
+func (e *InvariantError) Is(target error) bool { return target == ErrInvariant }
+
+// Auditor validates a sequence of Snapshots. The zero value is ready;
+// cross-tick checks (monotone EverInfected) use the previously checked
+// snapshot. One Auditor serves one engine.
+type Auditor struct {
+	started  bool
+	prevEver int
+}
+
+// Check validates every invariant on s and returns an *InvariantError
+// listing all violations, or nil. Snapshots must be checked in tick
+// order for the cross-tick monotonicity check to be meaningful.
+func (a *Auditor) Check(s *Snapshot) error {
+	var v []string
+	fail := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+
+	if s.Backlog != s.QueuedPackets {
+		fail("backlog counter %d != %d packets actually queued", s.Backlog, s.QueuedPackets)
+	}
+	if s.QueueBitsSet != s.NonEmptyQueues {
+		fail("queue active set has %d bits set but %d queues are non-empty",
+			s.QueueBitsSet, s.NonEmptyQueues)
+	}
+	if s.NonEmptyQueuesFlagged != s.NonEmptyQueues {
+		fail("%d of %d non-empty queues are missing from the queue active set",
+			s.NonEmptyQueues-s.NonEmptyQueuesFlagged, s.NonEmptyQueues)
+	}
+	if s.InfectedPopcount != s.Infected {
+		fail("infected counter %d != active-set popcount %d", s.Infected, s.InfectedPopcount)
+	}
+	if s.InfectedStates != s.Infected {
+		fail("infected counter %d != %d nodes in the infected state", s.Infected, s.InfectedStates)
+	}
+	if s.InfectedFlagged != s.InfectedStates {
+		fail("%d of %d infected nodes are missing from the infected active set",
+			s.InfectedStates-s.InfectedFlagged, s.InfectedStates)
+	}
+	if want := s.Delivered + s.Dropped + uint64(s.QueuedPackets); s.Generated != want {
+		fail("packet conservation: generated %d != delivered %d + dropped %d + in-flight %d",
+			s.Generated, s.Delivered, s.Dropped, s.QueuedPackets)
+	}
+	if s.EverInfected < s.Infected {
+		fail("ever-infected %d < currently infected %d", s.EverInfected, s.Infected)
+	}
+	if a.started && s.EverInfected < a.prevEver {
+		fail("ever-infected decreased: %d -> %d", a.prevEver, s.EverInfected)
+	}
+	if s.Infected < 0 || s.Removed < 0 || s.Backlog < 0 {
+		fail("negative count: infected %d, removed %d, backlog %d", s.Infected, s.Removed, s.Backlog)
+	}
+	if s.Population > 0 {
+		if s.EverInfected > s.Population {
+			fail("ever-infected %d exceeds population %d", s.EverInfected, s.Population)
+		}
+		if s.Infected+s.Removed > s.Population {
+			fail("infected %d + removed %d exceeds population %d", s.Infected, s.Removed, s.Population)
+		}
+	}
+
+	a.started, a.prevEver = true, s.EverInfected
+	if len(v) > 0 {
+		return &InvariantError{Tick: s.Tick, Violations: v}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// validSnapshot builds a self-consistent snapshot: 3 packets queued on
+// 2 links, 5 infected of 40, 7 ever infected, 2 removed, and a
+// conserved packet flow.
+func validSnapshot() Snapshot {
+	return Snapshot{
+		Tick:          9,
+		Backlog:       3,
+		QueuedPackets: 3,
+
+		QueueBitsSet:          2,
+		NonEmptyQueues:        2,
+		NonEmptyQueuesFlagged: 2,
+
+		Infected:         5,
+		InfectedPopcount: 5,
+		InfectedStates:   5,
+		InfectedFlagged:  5,
+
+		EverInfected: 7,
+		Removed:      2,
+		Population:   40,
+
+		Generated: 100,
+		Delivered: 90,
+		Dropped:   7, // 90 + 7 + 3 queued = 100
+	}
+}
+
+func TestAuditorAcceptsConsistentSnapshot(t *testing.T) {
+	var a Auditor
+	s := validSnapshot()
+	if err := a.Check(&s); err != nil {
+		t.Fatalf("consistent snapshot rejected: %v", err)
+	}
+}
+
+// TestAuditorCatchesSeededCorruption is the mutation smoke test: every
+// single-field corruption of a consistent snapshot must trip the audit,
+// and the error must name the violated invariant.
+func TestAuditorCatchesSeededCorruption(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Snapshot)
+		want   string // substring of the violation message
+	}{
+		{"backlog counter drift", func(s *Snapshot) { s.Backlog++ }, "backlog counter"},
+		{"queue lost a packet", func(s *Snapshot) { s.QueuedPackets-- }, "backlog counter"},
+		{"stale queue bit", func(s *Snapshot) { s.QueueBitsSet++ }, "queue active set"},
+		{"queue missing its bit", func(s *Snapshot) { s.NonEmptyQueuesFlagged-- }, "missing from the queue active set"},
+		{"infected counter drift", func(s *Snapshot) { s.Infected++ }, "infected counter"},
+		{"infected bitset drift", func(s *Snapshot) { s.InfectedPopcount-- }, "popcount"},
+		{"infected state drift", func(s *Snapshot) { s.InfectedStates++ }, "infected state"},
+		{"infected node missing its bit", func(s *Snapshot) { s.InfectedFlagged-- }, "missing from the infected active set"},
+		{"packet leak", func(s *Snapshot) { s.Generated++ }, "packet conservation"},
+		{"phantom delivery", func(s *Snapshot) { s.Delivered++ }, "packet conservation"},
+		{"uncounted drop", func(s *Snapshot) { s.Dropped-- }, "packet conservation"},
+		{"ever below infected", func(s *Snapshot) { s.EverInfected = s.Infected - 1 }, "ever-infected"},
+		{"negative backlog", func(s *Snapshot) { s.Backlog = -1; s.QueuedPackets = -1 }, "negative count"},
+		{"ever exceeds population", func(s *Snapshot) { s.EverInfected = s.Population + 1 }, "exceeds population"},
+		{"infected+removed exceed population", func(s *Snapshot) {
+			s.Infected = 30
+			s.InfectedPopcount = 30
+			s.InfectedStates = 30
+			s.InfectedFlagged = 30
+			s.EverInfected = 35
+			s.Removed = 11
+		}, "exceeds population"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var a Auditor
+			s := validSnapshot()
+			tt.mutate(&s)
+			err := a.Check(&s)
+			if err == nil {
+				t.Fatal("corrupted snapshot passed the audit")
+			}
+			if !errors.Is(err, ErrInvariant) {
+				t.Errorf("error does not match ErrInvariant: %v", err)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+			var ie *InvariantError
+			if !errors.As(err, &ie) || ie.Tick != s.Tick {
+				t.Errorf("error does not carry the audited tick: %v", err)
+			}
+		})
+	}
+}
+
+func TestAuditorMonotoneEverInfected(t *testing.T) {
+	var a Auditor
+	s := validSnapshot()
+	if err := a.Check(&s); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick++
+	s.EverInfected-- // 6, still >= Infected (5): only monotonicity trips
+	s.Infected = 5
+	if err := a.Check(&s); err == nil {
+		t.Fatal("decreasing ever-infected passed the audit")
+	} else if !strings.Contains(err.Error(), "decreased") {
+		t.Errorf("unexpected violation: %v", err)
+	}
+
+	// A fresh auditor has no history: the same snapshot passes.
+	var fresh Auditor
+	if err := fresh.Check(&s); err != nil {
+		t.Errorf("fresh auditor rejected snapshot: %v", err)
+	}
+}
+
+func TestAuditorReportsAllViolations(t *testing.T) {
+	var a Auditor
+	s := validSnapshot()
+	s.Backlog += 2
+	s.Generated += 5
+	err := a.Check(&s)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("not an InvariantError: %v", err)
+	}
+	if len(ie.Violations) != 2 {
+		t.Errorf("violations = %d (%v), want 2", len(ie.Violations), ie.Violations)
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONL record shapes. Every line is one JSON object carrying a "type"
+// discriminator so streams with mixed record kinds stay greppable:
+//
+//	{"type":"tick","run":0,"tick":3,"scan_attempts":17,...}
+//	{"type":"event","run":0,"tick":12,"kind":"quarantine_activated"}
+//	{"type":"summary","run":0,"ticks":150,"scan_attempts":48210,...}
+type (
+	tickRecord struct {
+		Type string `json:"type"`
+		Run  int    `json:"run"`
+		TickMetrics
+	}
+	eventRecord struct {
+		Type string `json:"type"`
+		Run  int    `json:"run"`
+		Event
+	}
+	summaryRecord struct {
+		Type string `json:"type"`
+		Run  int    `json:"run"`
+		Summary
+	}
+)
+
+// WriteJSONL emits one replica's collected metrics as JSON Lines: every
+// retained tick record, every event, then the replica summary, each
+// tagged with the replica index. The writer is not closed.
+func WriteJSONL(w io.Writer, run int, r *Ring) error {
+	enc := json.NewEncoder(w)
+	for i := 0; i < r.Len(); i++ {
+		if err := enc.Encode(tickRecord{Type: "tick", Run: run, TickMetrics: r.At(i)}); err != nil {
+			return fmt.Errorf("obs: write tick record: %w", err)
+		}
+	}
+	for _, ev := range r.Events() {
+		if err := enc.Encode(eventRecord{Type: "event", Run: run, Event: ev}); err != nil {
+			return fmt.Errorf("obs: write event record: %w", err)
+		}
+	}
+	if err := enc.Encode(summaryRecord{Type: "summary", Run: run, Summary: r.Summary()}); err != nil {
+		return fmt.Errorf("obs: write summary record: %w", err)
+	}
+	return nil
+}

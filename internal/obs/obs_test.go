@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// tick builds a minimal TickMetrics with distinguishable values.
+func tick(i int) TickMetrics {
+	return TickMetrics{
+		Tick:             i,
+		ScanAttempts:     10 * (i + 1),
+		PacketsGenerated: 8 * (i + 1),
+		PacketsDelivered: 7 * (i + 1),
+		PacketsDropped:   i + 1,
+		Backlog:          i,
+		Infected:         i + 1,
+		EverInfected:     i + 1,
+		NewInfections:    1,
+	}
+}
+
+func TestRingRetainsLastN(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Tick(tick(i))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	got := r.Ticks()
+	for i, m := range got {
+		if want := 2 + i; m.Tick != want {
+			t.Errorf("retained[%d].Tick = %d, want %d", i, m.Tick, want)
+		}
+	}
+	if !reflect.DeepEqual(r.At(0), got[0]) {
+		t.Error("At(0) disagrees with Ticks()[0]")
+	}
+	// The summary covers evicted ticks too.
+	s := r.Summary()
+	if s.Ticks != 5 {
+		t.Errorf("summary ticks = %d, want 5", s.Ticks)
+	}
+	if want := int64(10 + 20 + 30 + 40 + 50); s.ScanAttempts != want {
+		t.Errorf("summary scans = %d, want %d", s.ScanAttempts, want)
+	}
+	if s.FinalInfected != 5 {
+		t.Errorf("final infected = %d, want 5", s.FinalInfected)
+	}
+	if s.PeakBacklog != 4 {
+		t.Errorf("peak backlog = %d, want 4", s.PeakBacklog)
+	}
+}
+
+func TestRingUnderfilled(t *testing.T) {
+	r := NewRing(10)
+	r.Tick(tick(0))
+	r.Tick(tick(1))
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if got := r.Ticks(); got[0].Tick != 0 || got[1].Tick != 1 {
+		t.Errorf("order wrong: %v", got)
+	}
+}
+
+func TestSummaryQuarantineEvent(t *testing.T) {
+	r := NewRing(4)
+	r.Tick(tick(0))
+	r.Event(Event{Tick: 1, Kind: EventQuarantineTriggered})
+	r.Event(Event{Tick: 3, Kind: EventQuarantineActivated})
+	r.Tick(tick(1))
+	if got := r.Summary().QuarantineTick; got != 3 {
+		t.Errorf("QuarantineTick = %d, want 3", got)
+	}
+	if len(r.Events()) != 2 {
+		t.Errorf("events = %d, want 2", len(r.Events()))
+	}
+
+	tl := NewTally()
+	tl.Tick(tick(0))
+	if got := tl.Summary().QuarantineTick; got != -1 {
+		t.Errorf("tally QuarantineTick = %d, want -1", got)
+	}
+	tl.Event(Event{Tick: 2, Kind: EventQuarantineActivated})
+	if got := tl.Summary().QuarantineTick; got != 2 {
+		t.Errorf("tally QuarantineTick = %d, want 2", got)
+	}
+}
+
+func TestSummaryCountersAdditive(t *testing.T) {
+	a, b := NewTally(), NewTally()
+	for i := 0; i < 3; i++ {
+		a.Tick(tick(i))
+	}
+	b.Tick(tick(7))
+	merged := a.Summary().Counters()
+	for k, v := range b.Summary().Counters() {
+		merged[k] += v
+	}
+	if want := int64(10 + 20 + 30 + 80); merged["scan_attempts"] != want {
+		t.Errorf("merged scan_attempts = %d, want %d", merged["scan_attempts"], want)
+	}
+	if merged["ticks"] != 4 {
+		t.Errorf("merged ticks = %d, want 4", merged["ticks"])
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := NewRing(8)
+	r.Tick(tick(0))
+	r.Event(Event{Tick: 1, Kind: EventQuarantineActivated, Detail: "trigger fired at tick 0"})
+	r.Tick(tick(1))
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, 2, r); err != nil {
+		t.Fatal(err)
+	}
+	var types []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line not JSON: %v: %s", err, sc.Text())
+		}
+		if run, ok := rec["run"].(float64); !ok || int(run) != 2 {
+			t.Errorf("record missing run tag: %v", rec)
+		}
+		types = append(types, rec["type"].(string))
+	}
+	want := []string{"tick", "tick", "event", "summary"}
+	if !reflect.DeepEqual(types, want) {
+		t.Errorf("record types = %v, want %v", types, want)
+	}
+}

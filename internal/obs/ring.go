@@ -1,0 +1,68 @@
+package obs
+
+// Ring is a fixed-capacity collector keeping the most recent ticks of
+// a metrics stream, every event, and a running Summary (the summary
+// covers all observed ticks, including ones the ring has evicted).
+// One Ring serves one replica; it is not safe for concurrent use.
+type Ring struct {
+	buf     []TickMetrics
+	start   int // index of the oldest retained entry
+	n       int // retained entries (<= cap(buf))
+	events  []Event
+	summary Summary
+}
+
+// NewRing returns a collector retaining the last capacity ticks
+// (capacity < 1 is treated as 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{
+		buf:     make([]TickMetrics, 0, capacity),
+		summary: Summary{QuarantineTick: -1},
+	}
+}
+
+// Tick implements Collector.
+func (r *Ring) Tick(m TickMetrics) {
+	r.summary.observe(m)
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, m)
+		r.n++
+		return
+	}
+	r.buf[r.start] = m // full: overwrite the oldest
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// Event implements Collector. Events are never evicted.
+func (r *Ring) Event(ev Event) {
+	r.summary.event(ev)
+	r.events = append(r.events, ev)
+}
+
+// Len is the number of retained tick records.
+func (r *Ring) Len() int { return r.n }
+
+// At returns the i-th oldest retained tick record, 0 <= i < Len().
+func (r *Ring) At(i int) TickMetrics {
+	return r.buf[(r.start+i)%len(r.buf)]
+}
+
+// Ticks copies the retained records out in chronological order.
+func (r *Ring) Ticks() []TickMetrics {
+	out := make([]TickMetrics, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.At(i)
+	}
+	return out
+}
+
+// Events returns the recorded events in emission order. The returned
+// slice is the ring's own; callers must not modify it.
+func (r *Ring) Events() []Event { return r.events }
+
+// Summary implements Summarizer. It covers every observed tick, not
+// just the retained window.
+func (r *Ring) Summary() Summary { return r.summary }

@@ -35,6 +35,13 @@ type Stats struct {
 	// Ticks is the total work units (simulation ticks) reported by
 	// finished tasks. Zero when tasks do not report ticks.
 	Ticks int64
+	// Counters aggregates (by key-wise summation) the counter maps
+	// finished tasks returned in their Reports — per-replica
+	// observability stats such as scan attempts or dropped packets.
+	// Nil when no task reported counters. Snapshots handed to progress
+	// callbacks carry a private copy; the final Stats returned by Run
+	// own theirs.
+	Counters map[string]int64
 	// Wall is the elapsed time since the batch started.
 	Wall time.Duration
 }
@@ -50,12 +57,26 @@ func (s Stats) TicksPerSec() float64 {
 // Done reports whether every task in the batch has finished.
 func (s Stats) Done() bool { return s.Completed+s.Failed == s.Runs }
 
+// Report is what a finished task contributes to the batch Stats.
+type Report struct {
+	// Ticks is the work units (simulation ticks) the task performed;
+	// it feeds Stats.Ticks and the throughput estimate. Zero when not
+	// meaningful.
+	Ticks int64
+	// Counters are optional named stats summed key-wise into
+	// Stats.Counters (key-wise summation is order-independent, so the
+	// aggregate stays deterministic across worker counts). The pool
+	// takes ownership of the map.
+	Counters map[string]int64
+}
+
 // Task executes one indexed unit of a batch. index is dense in
 // [0, runs); a task needing randomness must derive its seed from index
 // so the batch result is independent of worker count. The returned
-// tick count feeds Stats.Ticks (return 0 when not meaningful). The
-// context is cancelled when the batch is: long tasks should poll it.
-type Task func(ctx context.Context, index int) (ticks int64, err error)
+// Report feeds the batch Stats (return the zero Report when not
+// meaningful). The context is cancelled when the batch is: long tasks
+// should poll it.
+type Task func(ctx context.Context, index int) (Report, error)
 
 // PanicError wraps a panic recovered from a task so one crashing
 // replica fails its batch with a diagnosable error instead of taking
@@ -124,12 +145,26 @@ type batch struct {
 }
 
 // snapshot refreshes Wall and invokes the progress callback while the
-// lock is held, guaranteeing callers see monotonic snapshots.
+// lock is held, guaranteeing callers see monotonic snapshots. The
+// callback gets a private copy of the counter map so later merges
+// cannot race with a callback that retained its snapshot.
 func (b *batch) snapshotLocked() {
 	b.stats.Wall = time.Since(b.start)
 	if b.progress != nil {
-		b.progress(b.stats)
+		b.progress(b.stats.withCounterCopy())
 	}
+}
+
+// withCounterCopy returns s with Counters replaced by a private copy.
+func (s Stats) withCounterCopy() Stats {
+	if s.Counters != nil {
+		c := make(map[string]int64, len(s.Counters))
+		for k, v := range s.Counters {
+			c[k] = v
+		}
+		s.Counters = c
+	}
+	return s
 }
 
 func (b *batch) noteStarted() {
@@ -138,10 +173,18 @@ func (b *batch) noteStarted() {
 	b.mu.Unlock()
 }
 
-func (b *batch) noteFinished(ticks int64, err error) {
+func (b *batch) noteFinished(rep Report, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.stats.Ticks += ticks
+	b.stats.Ticks += rep.Ticks
+	if len(rep.Counters) > 0 {
+		if b.stats.Counters == nil {
+			b.stats.Counters = make(map[string]int64, len(rep.Counters))
+		}
+		for k, v := range rep.Counters {
+			b.stats.Counters[k] += v
+		}
+	}
 	if err != nil {
 		b.stats.Failed++
 		if b.firstErr == nil {
@@ -200,8 +243,8 @@ func (p *Pool) Run(ctx context.Context, runs int, task Task) (Stats, error) {
 					return
 				}
 				b.noteStarted()
-				ticks, err := runTask(runCtx, i, task)
-				b.noteFinished(ticks, err)
+				rep, err := runTask(runCtx, i, task)
+				b.noteFinished(rep, err)
 				if err != nil {
 					cancel() // fail fast: abort the rest of the batch
 					return
@@ -213,7 +256,7 @@ func (p *Pool) Run(ctx context.Context, runs int, task Task) (Stats, error) {
 
 	b.mu.Lock()
 	b.stats.Wall = time.Since(b.start)
-	stats, err := b.stats, b.firstErr
+	stats, err := b.stats.withCounterCopy(), b.firstErr
 	b.mu.Unlock()
 	if cerr := ctx.Err(); cerr != nil {
 		// The caller's context ended the batch; prefer reporting that
@@ -224,7 +267,7 @@ func (p *Pool) Run(ctx context.Context, runs int, task Task) (Stats, error) {
 }
 
 // runTask invokes one task, converting a panic into a *PanicError.
-func runTask(ctx context.Context, index int, task Task) (ticks int64, err error) {
+func runTask(ctx context.Context, index int, task Task) (rep Report, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Index: index, Value: r, Stack: debug.Stack()}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,9 +16,9 @@ func TestRunExecutesEveryIndexOnce(t *testing.T) {
 	const n = 50
 	var hits [n]atomic.Int32
 	p := New(WithJobs(4))
-	stats, err := p.Run(context.Background(), n, func(_ context.Context, i int) (int64, error) {
+	stats, err := p.Run(context.Background(), n, func(_ context.Context, i int) (Report, error) {
 		hits[i].Add(1)
-		return 10, nil
+		return Report{Ticks: 10}, nil
 	})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
@@ -43,9 +44,9 @@ func TestRunExecutesEveryIndexOnce(t *testing.T) {
 
 func TestRunZeroRuns(t *testing.T) {
 	p := New()
-	stats, err := p.Run(context.Background(), 0, func(context.Context, int) (int64, error) {
+	stats, err := p.Run(context.Background(), 0, func(context.Context, int) (Report, error) {
 		t.Error("task should never run")
-		return 0, nil
+		return Report{}, nil
 	})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
@@ -61,7 +62,7 @@ func TestRunZeroRuns(t *testing.T) {
 func TestRunMoreJobsThanRuns(t *testing.T) {
 	var running, peak atomic.Int32
 	p := New(WithJobs(16))
-	stats, err := p.Run(context.Background(), 3, func(context.Context, int) (int64, error) {
+	stats, err := p.Run(context.Background(), 3, func(context.Context, int) (Report, error) {
 		cur := running.Add(1)
 		for {
 			old := peak.Load()
@@ -71,7 +72,7 @@ func TestRunMoreJobsThanRuns(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 		running.Add(-1)
-		return 0, nil
+		return Report{}, nil
 	})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
@@ -87,7 +88,7 @@ func TestRunMoreJobsThanRuns(t *testing.T) {
 func TestRunBoundsConcurrency(t *testing.T) {
 	var running, peak atomic.Int32
 	p := New(WithJobs(2))
-	_, err := p.Run(context.Background(), 12, func(context.Context, int) (int64, error) {
+	_, err := p.Run(context.Background(), 12, func(context.Context, int) (Report, error) {
 		cur := running.Add(1)
 		for {
 			old := peak.Load()
@@ -97,7 +98,7 @@ func TestRunBoundsConcurrency(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 		running.Add(-1)
-		return 0, nil
+		return Report{}, nil
 	})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
@@ -111,15 +112,15 @@ func TestRunCancellationMidBatch(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var done atomic.Int32
 	p := New(WithJobs(2))
-	stats, err := p.Run(ctx, 100, func(ctx context.Context, i int) (int64, error) {
+	stats, err := p.Run(ctx, 100, func(ctx context.Context, i int) (Report, error) {
 		if done.Add(1) == 4 {
 			cancel() // abort the batch from within
 		}
 		select {
 		case <-ctx.Done():
-			return 0, ctx.Err()
+			return Report{}, ctx.Err()
 		case <-time.After(time.Millisecond):
-			return 1, nil
+			return Report{Ticks: 1}, nil
 		}
 	})
 	if !errors.Is(err, context.Canceled) {
@@ -137,9 +138,9 @@ func TestRunContextAlreadyCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	p := New()
-	stats, err := p.Run(ctx, 5, func(context.Context, int) (int64, error) {
+	stats, err := p.Run(ctx, 5, func(context.Context, int) (Report, error) {
 		t.Error("task should never start")
-		return 0, nil
+		return Report{}, nil
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
@@ -153,12 +154,12 @@ func TestRunTimeout(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()
 	p := New(WithJobs(1))
-	_, err := p.Run(ctx, 1000, func(ctx context.Context, _ int) (int64, error) {
+	_, err := p.Run(ctx, 1000, func(ctx context.Context, _ int) (Report, error) {
 		select {
 		case <-ctx.Done():
-			return 0, ctx.Err()
+			return Report{}, ctx.Err()
 		case <-time.After(time.Millisecond):
-			return 1, nil
+			return Report{Ticks: 1}, nil
 		}
 	})
 	if !errors.Is(err, context.DeadlineExceeded) {
@@ -168,11 +169,11 @@ func TestRunTimeout(t *testing.T) {
 
 func TestRunPanicIsolation(t *testing.T) {
 	p := New(WithJobs(2))
-	stats, err := p.Run(context.Background(), 10, func(_ context.Context, i int) (int64, error) {
+	stats, err := p.Run(context.Background(), 10, func(_ context.Context, i int) (Report, error) {
 		if i == 3 {
 			panic("boom")
 		}
-		return 1, nil
+		return Report{Ticks: 1}, nil
 	})
 	var pe *PanicError
 	if !errors.As(err, &pe) {
@@ -196,12 +197,12 @@ func TestRunFailFast(t *testing.T) {
 	sentinel := errors.New("replica exploded")
 	p := New(WithJobs(1)) // serial: the failure must stop index 1+
 	var ran atomic.Int32
-	stats, err := p.Run(context.Background(), 100, func(_ context.Context, i int) (int64, error) {
+	stats, err := p.Run(context.Background(), 100, func(_ context.Context, i int) (Report, error) {
 		ran.Add(1)
 		if i == 0 {
-			return 0, sentinel
+			return Report{}, sentinel
 		}
-		return 0, nil
+		return Report{}, nil
 	})
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v, want sentinel", err)
@@ -223,8 +224,8 @@ func TestRunProgressMonotonic(t *testing.T) {
 		mu.Unlock()
 	}))
 	const n = 20
-	if _, err := p.Run(context.Background(), n, func(context.Context, int) (int64, error) {
-		return 2, nil
+	if _, err := p.Run(context.Background(), n, func(context.Context, int) (Report, error) {
+		return Report{Ticks: 2}, nil
 	}); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -270,5 +271,52 @@ func TestPanicErrorMessage(t *testing.T) {
 	pe := &PanicError{Index: 7, Value: fmt.Errorf("bad")}
 	if got := pe.Error(); got != "runner: task 7 panicked: bad" {
 		t.Errorf("Error() = %q", got)
+	}
+}
+
+func TestRunAggregatesCounters(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		p := New(WithJobs(jobs))
+		var snaps []Stats
+		p.progress = func(s Stats) { snaps = append(snaps, s) }
+		stats, err := p.Run(context.Background(), 6, func(_ context.Context, i int) (Report, error) {
+			return Report{
+				Ticks:    1,
+				Counters: map[string]int64{"scan_attempts": int64(10 * (i + 1)), "infections": 1},
+			}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[string]int64{"scan_attempts": 10 + 20 + 30 + 40 + 50 + 60, "infections": 6}
+		if !reflect.DeepEqual(stats.Counters, want) {
+			t.Errorf("jobs=%d: Counters = %v, want %v", jobs, stats.Counters, want)
+		}
+		// Progress snapshots own private copies: mutating one must not
+		// leak into the final aggregate.
+		for _, s := range snaps {
+			if s.Counters != nil {
+				s.Counters["scan_attempts"] = -1
+			}
+		}
+		if !reflect.DeepEqual(stats.Counters, want) {
+			t.Errorf("jobs=%d: snapshot mutation leaked into final Counters", jobs)
+		}
+	}
+}
+
+func TestRunNoCountersStaysNil(t *testing.T) {
+	p := New(WithJobs(2))
+	stats, err := p.Run(context.Background(), 4, func(context.Context, int) (Report, error) {
+		return Report{Ticks: 3}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Counters != nil {
+		t.Errorf("Counters = %v, want nil when no task reports counters", stats.Counters)
+	}
+	if stats.Ticks != 12 {
+		t.Errorf("Ticks = %d, want 12", stats.Ticks)
 	}
 }

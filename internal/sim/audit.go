@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/obs"
+)
+
+// auditSnapshot pairs every O(1) counter the hot path maintains with
+// the same quantity recomputed from ground truth — full scans over the
+// link queues, the active-set bitmaps, and the node states — so
+// obs.Auditor can validate them by pure value comparison. O(links +
+// nodes) per call; only run under Config.Check.
+func (e *Engine) auditSnapshot() obs.Snapshot {
+	queued, nonEmpty, flagged := 0, 0, 0
+	for li, q := range e.queues {
+		if len(q) == 0 {
+			continue
+		}
+		queued += len(q)
+		nonEmpty++
+		if e.queueBits[li>>6]&(1<<(uint(li)&63)) != 0 {
+			flagged++
+		}
+	}
+	bitsSet := 0
+	for _, w := range e.queueBits {
+		bitsSet += bits.OnesCount64(w)
+	}
+	infPop := 0
+	for _, w := range e.infectedBits {
+		infPop += bits.OnesCount64(w)
+	}
+	infStates, infFlagged := 0, 0
+	for u, st := range e.state {
+		if st != stateInfected {
+			continue
+		}
+		infStates++
+		if e.infectedBits[u>>6]&(1<<(uint(u)&63)) != 0 {
+			infFlagged++
+		}
+	}
+	return obs.Snapshot{
+		Tick:          e.tick,
+		Backlog:       e.backlog,
+		QueuedPackets: queued,
+
+		QueueBitsSet:          bitsSet,
+		NonEmptyQueues:        nonEmpty,
+		NonEmptyQueuesFlagged: flagged,
+
+		Infected:         e.infected,
+		InfectedPopcount: infPop,
+		InfectedStates:   infStates,
+		InfectedFlagged:  infFlagged,
+
+		EverInfected: e.ever,
+		Removed:      e.removed,
+		Population:   e.popSize,
+
+		Generated: e.genCount,
+		Delivered: e.delivCount,
+		Dropped:   e.dropCount,
+	}
+}
+
+// audit cross-checks the engine's end-of-tick state against ground
+// truth. The returned error wraps the obs.InvariantError, so it still
+// matches errors.Is(err, obs.ErrInvariant).
+func (e *Engine) audit() error {
+	snap := e.auditSnapshot()
+	if err := e.auditor.Check(&snap); err != nil {
+		return fmt.Errorf("sim: invariant audit failed (engine state is corrupt): %w", err)
+	}
+	return nil
+}

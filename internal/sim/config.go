@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/ratelimit"
 	"repro/internal/routing"
 	"repro/internal/topology"
@@ -193,6 +194,23 @@ type Config struct {
 	// tripling the traffic exposed to rate limiting.
 	ProbeFirst bool
 
+	// Collector, when non-nil, receives structured per-tick metrics and
+	// events (see internal/obs). It is owned by this run's engine and
+	// called from the engine's goroutine only. With no collector the
+	// engine skips all metrics assembly.
+	Collector obs.Collector
+	// CollectorFactory, when non-nil, builds one collector per replica
+	// for MultiRun batches (run is the replica index, 0-based). It is
+	// called from worker goroutines and must be safe for concurrent
+	// calls with distinct run values. Single-engine runs ignore it.
+	CollectorFactory func(run int) obs.Collector
+	// Check enables the per-tick invariant audit: every tick the
+	// engine's O(1) counters and active-set bitmaps are cross-checked
+	// against ground truth recomputed from first principles. A violation
+	// aborts the run with an error matching obs.ErrInvariant. Costs
+	// O(links + nodes) per tick; meant for tests, CI, and debugging.
+	Check bool
+
 	// RecordInfections keeps a per-infection genealogy log (tick, victim,
 	// source) in the result — who infected whom, enabling
 	// infection-tree analysis. Off by default (costs memory).
@@ -328,6 +346,13 @@ type Result struct {
 	// always-on deployment, -1 if a configured quarantine never
 	// triggered. Per-run data; MultiRun keeps the first run's value.
 	QuarantineTick int
+	// Counters are the batch-level observability totals, summed key-wise
+	// across replicas (see obs.Summary.Counters for the key set). Only
+	// populated by MultiRun when Config.CollectorFactory builds
+	// collectors implementing obs.Summarizer; nil otherwise. Key-wise
+	// summation is order-independent, so the map is identical for every
+	// job count.
+	Counters map[string]int64
 }
 
 // InfectionDepths returns, for every ever-infected node, its generation

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/topology"
@@ -100,17 +101,25 @@ func MultiRunContext(ctx context.Context, cfg Config, runs int, opts ...runner.O
 
 	results := make([]*Result, runs)
 	pool := runner.New(opts...)
-	if _, err := pool.Run(ctx, runs, func(ctx context.Context, r int) (int64, error) {
+	stats, err := pool.Run(ctx, runs, func(ctx context.Context, r int) (runner.Report, error) {
 		c := cfg
 		c.Seed = cfg.Seed + int64(r)
+		if cfg.CollectorFactory != nil {
+			c.Collector = cfg.CollectorFactory(r)
+		}
 		eng, err := newEngine(c, ns)
 		if err != nil {
-			return 0, fmt.Errorf("sim: run %d: %w", r, err)
+			return runner.Report{}, fmt.Errorf("sim: run %d: %w", r, err)
 		}
 		res, err := eng.RunContext(ctx)
 		results[r] = res
-		return int64(len(res.Infected)), err
-	}); err != nil {
+		rep := runner.Report{Ticks: int64(len(res.Infected))}
+		if s, ok := c.Collector.(obs.Summarizer); ok {
+			rep.Counters = s.Summary().Counters()
+		}
+		return rep, err
+	})
+	if err != nil {
 		return nil, err
 	}
 
@@ -146,6 +155,9 @@ func MultiRunContext(ctx context.Context, cfg Config, runs int, opts ...runner.O
 			agg.QuarantineTick = res.QuarantineTick
 		}
 	}
+	// Key-wise summed counters are order-independent, so the aggregate
+	// is identical for every job count.
+	agg.Counters = stats.Counters
 	inv := 1 / float64(runs)
 	for i := 0; i < cfg.Ticks; i++ {
 		agg.Infected[i] *= inv

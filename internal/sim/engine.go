@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/ratelimit"
 	"repro/internal/routing"
 	"repro/internal/topology"
@@ -124,11 +125,35 @@ type Engine struct {
 	immunizing bool
 
 	// Dynamic quarantine state: the configured limits only bite once
-	// defenseActive is set.
-	defenseActive bool
-	triggerTick   int // tick at which activation is scheduled (-1 = not yet)
-	activatedTick int // tick at which the defense engaged (-1 = never)
-	scansThisTick int
+	// defenseActive is set. scansThisTick counts scan attempts at the
+	// monitor point (post β roll and self-target skip, pre host limiter):
+	// the pre-throttle stream a detector at the backbone would observe.
+	// The trigger is evaluated at the *start* of a tick against the
+	// previous tick's completed counters, so a tick is either fully open
+	// or fully defended — detection can never react to traffic of the
+	// tick it gates.
+	defenseActive     bool
+	triggerTick       int // tick at which activation is scheduled (-1 = not yet)
+	activatedTick     int // tick at which the defense engaged (-1 = never)
+	scansThisTick     int
+	throttledThisTick int // contacts a host limiter blocked this tick
+
+	// Cumulative packet-flow counters (plain increments, kept with or
+	// without a collector so the invariant audit can always check
+	// conservation: genCount == delivCount + dropCount + backlog).
+	genCount   uint64
+	delivCount uint64
+	dropCount  uint64
+
+	// collector receives per-tick metrics and events when non-nil; the
+	// prev* fields turn the cumulative counters into per-tick deltas.
+	collector   obs.Collector
+	auditor     obs.Auditor
+	prevGen     uint64
+	prevDeliv   uint64
+	prevDrop    uint64
+	prevEver    int
+	prevRemoved int
 
 	// hostLimiters gates outgoing scans of filtered hosts
 	// (HostLimiterNodes); nil entries are unfiltered, nil slice means
@@ -237,10 +262,14 @@ func newEngine(cfg Config, ns *netState) (*Engine, error) {
 	if e.defenseActive {
 		e.activatedTick = 0
 	}
+	e.collector = cfg.Collector
 	e.tick = -1 // seed infections predate tick 0
 	if err := e.seedInfections(); err != nil {
 		return nil, err
 	}
+	// Seeds predate tick 0: NewInfections at tick 0 reports propagation
+	// only, not the initial compromise.
+	e.prevEver = e.ever
 	return e, nil
 }
 
@@ -426,15 +455,23 @@ func (e *Engine) infect(u, source int) {
 }
 
 // Run executes the configured number of ticks and returns the series.
+// With Config.Check set, an invariant-audit failure panics: it means
+// the engine corrupted its own state, and Run has no error channel.
+// Use RunContext to handle audit failures as errors.
 func (e *Engine) Run() *Result {
-	res, _ := e.RunContext(context.Background())
+	res, err := e.RunContext(context.Background())
+	if err != nil {
+		panic(err)
+	}
 	return res
 }
 
 // RunContext executes the configured number of ticks, checking ctx
 // between ticks. On cancellation it returns the partial series
 // simulated so far together with ctx's error; the per-tick slices then
-// hold fewer than Config.Ticks entries.
+// hold fewer than Config.Ticks entries. With Config.Check set, every
+// tick ends with an invariant audit; a violation stops the run and
+// returns the partial series with an error matching obs.ErrInvariant.
 func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	res := &Result{
 		Infected:     make([]float64, 0, e.cfg.Ticks),
@@ -448,14 +485,25 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 			break
 		}
 		e.tick = tick
-		e.scansThisTick = 0
-		e.generate()
+		// Quarantine state updates at the tick boundary, judging the
+		// previous tick's completed counters: detection cannot see the
+		// traffic of the tick it is gating.
 		e.updateQuarantine()
+		e.scansThisTick = 0
+		e.throttledThisTick = 0
+		e.generate()
 		e.rechargeLinks()
 		e.transmit()
 		e.deliver()
 		e.immunize(tick)
 		e.record(res)
+		e.observe()
+		if e.cfg.Check {
+			if aerr := e.audit(); aerr != nil {
+				err = aerr
+				break
+			}
+		}
 	}
 	res.Infections = e.infections
 	res.QuarantineTick = e.activatedTick
@@ -464,7 +512,12 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 
 // updateQuarantine evaluates the dynamic-defense trigger and activates
 // the configured limits once the detection condition (plus deployment
-// delay) is met.
+// delay) is met. It runs at the start of a tick, before the tick's
+// counters are reset: the scan-rate trigger judges the previous tick's
+// pre-throttle attempt stream, and the level trigger the infection
+// state as of the previous tick's deliveries. With Delay == 0 the
+// defense is therefore active for the whole first tick after the
+// threshold crossing — never retroactively for the tick that crossed.
 func (e *Engine) updateQuarantine() {
 	q := e.cfg.Quarantine
 	if q == nil || e.defenseActive {
@@ -480,11 +533,20 @@ func (e *Engine) updateQuarantine() {
 		}
 		if fired {
 			e.triggerTick = e.tick + q.Delay
+			if e.collector != nil {
+				e.collector.Event(obs.Event{
+					Tick: e.tick, Kind: obs.EventQuarantineTriggered,
+					Detail: fmt.Sprintf("activation scheduled for tick %d", e.triggerTick),
+				})
+			}
 		}
 	}
 	if e.triggerTick >= 0 && e.tick >= e.triggerTick {
 		e.defenseActive = true
 		e.activatedTick = e.tick
+		if e.collector != nil {
+			e.collector.Event(obs.Event{Tick: e.tick, Kind: obs.EventQuarantineActivated})
+		}
 	}
 }
 
@@ -514,14 +576,21 @@ func (e *Engine) generate() {
 				if target < 0 || target == u {
 					continue
 				}
-				if e.defenseActive && limiter != nil && !limiter.Allow(int64(e.tick), ratelimit.IP(target)) {
+				// Monitor point: the attempt is counted before the host
+				// limiter so the quarantine trigger sees the pre-throttle
+				// scan stream. Host contact limiters are host-side filters
+				// and apply whenever installed (like ScanRateOverride),
+				// independent of the network-side quarantine state.
+				e.scansThisTick++
+				if limiter != nil && !limiter.Allow(int64(e.tick), ratelimit.IP(target)) {
+					e.throttledThisTick++
 					continue // throttled: contact blocked this tick
 				}
-				e.scansThisTick++
 				kind := kindExploit
 				if e.cfg.ProbeFirst {
 					kind = kindProbe
 				}
+				e.genCount++
 				e.routePacket(int32(u), packet{
 					src: int32(u), dst: int32(target), kind: kind, birth: int32(e.tick),
 				})
@@ -539,10 +608,12 @@ func (e *Engine) routePacket(u int32, pkt packet) {
 	}
 	li := e.hopLink[int(u)*e.n+int(pkt.dst)]
 	if li < 0 {
+		e.dropCount++
 		return // unreachable: scan packet lost
 	}
 	q := e.queues[li]
 	if e.cfg.MaxQueue > 0 && len(q) >= e.cfg.MaxQueue {
+		e.dropCount++
 		return // DropTail: buffer full, packet lost
 	}
 	if q == nil {
@@ -602,8 +673,11 @@ func (e *Engine) transmit() {
 				e.spendLink(li, allowed)
 			}
 			switch {
-			case allowed == len(q), e.cfg.Policy == PolicyDrop:
-				e.clearQueue(li) // drained, or excess discarded
+			case allowed == len(q):
+				e.clearQueue(li) // drained
+			case e.cfg.Policy == PolicyDrop:
+				e.dropCount += uint64(len(q) - allowed)
+				e.clearQueue(li) // excess discarded
 			default:
 				e.queues[li] = append(q[:0], q[allowed:]...)
 				e.backlog -= allowed
@@ -626,6 +700,7 @@ func (e *Engine) transmitCapped(u, budget int) {
 		if e.cfg.Policy == PolicyDrop {
 			for k := 0; k < deg; k++ {
 				if li := base + k; len(e.queues[li]) > 0 {
+					e.dropCount += uint64(len(e.queues[li]))
 					e.clearQueue(li)
 				}
 			}
@@ -670,8 +745,11 @@ func (e *Engine) transmitCapped(u, budget int) {
 		}
 		switch {
 		case len(q) == 0:
-		case s >= len(q), e.cfg.Policy == PolicyDrop:
-			e.clearQueue(li) // drained or dropped
+		case s >= len(q):
+			e.clearQueue(li) // drained
+		case e.cfg.Policy == PolicyDrop:
+			e.dropCount += uint64(len(q) - s)
+			e.clearQueue(li) // excess discarded
 		default:
 			e.queues[li] = append(q[:0], q[s:]...)
 			e.backlog -= s
@@ -694,6 +772,7 @@ func (e *Engine) deliver() {
 
 // deliverAt handles a packet that reached its destination.
 func (e *Engine) deliverAt(pkt packet) {
+	e.delivCount++
 	if e.cfg.TrackLatency {
 		e.latSum += int64(e.tick) - int64(pkt.birth)
 		e.latCount++
@@ -705,6 +784,7 @@ func (e *Engine) deliverAt(pkt packet) {
 		// The probed target answers the ping; the echo reply travels
 		// back to the scanner. Patched hosts still answer pings — only
 		// the exploit fails against them.
+		e.genCount++
 		e.routePacket(pkt.dst, packet{
 			src: pkt.dst, dst: pkt.src, kind: kindReply, birth: int32(e.tick),
 		})
@@ -714,6 +794,7 @@ func (e *Engine) deliverAt(pkt packet) {
 		scanner := pkt.dst
 		target := pkt.src
 		if e.state[scanner] == stateInfected {
+			e.genCount++
 			e.routePacket(scanner, packet{
 				src: scanner, dst: target, kind: kindExploit, birth: int32(e.tick),
 			})
@@ -742,6 +823,9 @@ func (e *Engine) immunize(tick int) {
 			e.immunizing = true
 		default:
 			return
+		}
+		if e.collector != nil {
+			e.collector.Event(obs.Event{Tick: tick, Kind: obs.EventImmunizationStarted})
 		}
 	}
 	for u := 0; u < e.n; u++ {
@@ -798,4 +882,31 @@ func (e *Engine) record(res *Result) {
 		res.MeanLatency = append(res.MeanLatency, lat)
 		e.latSum, e.latCount = 0, 0
 	}
+}
+
+// observe hands this tick's structured metrics to the collector. With
+// no collector configured the method is a single nil check: the hot
+// path's observability overhead is the handful of plain integer
+// increments feeding the cumulative counters.
+func (e *Engine) observe() {
+	if e.collector == nil {
+		return
+	}
+	e.collector.Tick(obs.TickMetrics{
+		Tick:              e.tick,
+		ScanAttempts:      e.scansThisTick,
+		ThrottledContacts: e.throttledThisTick,
+		PacketsGenerated:  int(e.genCount - e.prevGen),
+		PacketsDelivered:  int(e.delivCount - e.prevDeliv),
+		PacketsDropped:    int(e.dropCount - e.prevDrop),
+		Backlog:           e.backlog,
+		Infected:          e.infected,
+		EverInfected:      e.ever,
+		Immunized:         e.removed,
+		NewInfections:     e.ever - e.prevEver,
+		NewImmunized:      e.removed - e.prevRemoved,
+		QuarantineActive:  e.defenseActive,
+	})
+	e.prevGen, e.prevDeliv, e.prevDrop = e.genCount, e.delivCount, e.dropCount
+	e.prevEver, e.prevRemoved = e.ever, e.removed
 }
