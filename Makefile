@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet audit bench bench-figures bench-smoke figures clean
+.PHONY: check build test race vet audit chaos bench bench-figures bench-smoke figures clean
 
 ## check: the full gate — vet, build, race-enabled tests.
 check: vet build race
@@ -22,6 +22,16 @@ race:
 ## bookkeeping holds on every pinned scenario.
 audit:
 	$(GO) test -run 'TestGoldenSeriesAudited|TestAuditorCatchesSeededCorruption|TestAuditCatchesCorruption' -v ./internal/sim ./internal/obs
+
+## chaos: the fault-tolerance smoke — replica panics degrade batches
+## gracefully, retries resume from checkpoints, corrupted or
+## version-skewed checkpoints are rejected, domain faults (detector
+## errors, limiter outages, lost patches) inject deterministically,
+## and the CLIs survive an interrupt-resume cycle.
+chaos:
+	$(GO) test -run 'TestMultiRun|TestSnapshotRejects|TestRestoreRejects|TestFalseAlarm|TestMissedDetection|TestLimiterOutage|TestImmunizationDelay|TestImmunizationLoss' -v ./internal/sim
+	$(GO) test -run 'TestRunCheckpointResume|TestRunResume' -v ./cmd/wormsim ./cmd/figures
+	$(GO) test -v ./internal/fault ./internal/runner ./internal/safeio
 
 ## bench: the per-tick engine microbenchmarks, repeated so the output
 ## feeds benchstat directly (`make bench > new.txt && benchstat old.txt

@@ -7,12 +7,24 @@
 // Usage:
 //
 //	figures [-out out] [-runs 10] [-jobs N] [-timeout 10m] [-quick] \
-//	        [-metrics batch.jsonl] [-check] [fig4 fig9a ...]
+//	        [-metrics batch.jsonl] [-check] \
+//	        [-checkpoint dir] [-checkpoint-every 10] [-resume] \
+//	        [-retries 2] [-replica-timeout 2m] [-keep-going] \
+//	        [fig4 fig9a ...]
 //
 // With no figure IDs, every experiment is regenerated. -jobs bounds the
 // figure-level parallelism (default GOMAXPROCS; each figure then
 // averages its replicas serially, so the whole batch uses about -jobs
 // cores). -timeout aborts the batch; Ctrl-C cancels it mid-run.
+//
+// Fault tolerance: -checkpoint writes every simulation replica's
+// engine snapshot under the directory (grouped by figure and batch);
+// rerunning with -resume and identical flags restarts each replica
+// from its last checkpoint instead of tick zero. -retries re-runs
+// failed replicas with backoff; with -keep-going a figure whose
+// replicas partially fail still averages the completed ones, a figure
+// that fails outright is skipped, and figures exits non-zero naming
+// what was lost after writing everything that succeeded.
 package main
 
 import (
@@ -24,11 +36,14 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/prof"
 	"repro/internal/runner"
+	"repro/internal/safeio"
 )
 
 func main() {
@@ -51,6 +66,13 @@ func run(ctx context.Context, args []string) error {
 	progress := fs.Bool("progress", false, "print per-figure completion to stderr")
 	metricsPath := fs.String("metrics", "", "write per-figure JSONL observability counters to this file")
 	check := fs.Bool("check", false, "audit engine invariants every simulated tick (slower; aborts on violation)")
+	checkpoint := fs.String("checkpoint", "", "write per-replica engine checkpoints under this directory")
+	checkpointEvery := fs.Int("checkpoint-every", 10, "ticks between checkpoints (with -checkpoint)")
+	resume := fs.Bool("resume", false, "resume replicas from the checkpoints under -checkpoint")
+	retries := fs.Int("retries", 0, "retry a failed simulation replica this many times (with backoff)")
+	retryBackoff := fs.Duration("retry-backoff", 500*time.Millisecond, "base delay of the retry backoff")
+	replicaTimeout := fs.Duration("replica-timeout", 0, "fail one replica attempt after this duration (0 = none)")
+	keepGoing := fs.Bool("keep-going", false, "degrade instead of aborting: average over surviving replicas, skip failed figures, exit non-zero at the end")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the batch to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile after the batch to this file")
 	if err := fs.Parse(args); err != nil {
@@ -63,6 +85,14 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("-jobs must be >= 0 (0 = GOMAXPROCS), got %d", *jobs)
 	case *timeout < 0:
 		return fmt.Errorf("-timeout must be >= 0, got %v", *timeout)
+	case *checkpointEvery <= 0:
+		return fmt.Errorf("-checkpoint-every must be positive, got %d", *checkpointEvery)
+	case *retries < 0:
+		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
+	case *replicaTimeout < 0:
+		return fmt.Errorf("-replica-timeout must be >= 0, got %v", *replicaTimeout)
+	case *resume && *checkpoint == "":
+		return fmt.Errorf("-resume needs -checkpoint to name the checkpoint directory")
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -89,11 +119,19 @@ func run(ctx context.Context, args []string) error {
 	// Parallelize across figures and keep each figure's replica loop
 	// serial: whole figures are the coarser, more evenly sized work
 	// units, so figure-level workers scale better than nested pools.
-	opt := experiment.Options{Runs: *runs, Quick: *quick, Jobs: 1, Check: *check}
+	opt := experiment.Options{
+		Runs: *runs, Quick: *quick, Jobs: 1, Check: *check,
+		Retries: *retries, RetryBackoff: *retryBackoff,
+		ReplicaTimeout: *replicaTimeout, KeepGoing: *keepGoing,
+		Checkpoint: *checkpoint, CheckpointEvery: *checkpointEvery, Resume: *resume,
+	}
 	if *metricsPath != "" {
 		opt.Metrics = &experiment.BatchMetrics{}
 	}
 	ropts := []runner.Option{runner.WithJobs(*jobs)}
+	if *keepGoing {
+		ropts = append(ropts, runner.WithKeepGoing())
+	}
 	if *progress {
 		total := len(ids)
 		ropts = append(ropts, runner.WithProgress(func(s runner.Stats) {
@@ -101,7 +139,7 @@ func run(ctx context.Context, args []string) error {
 				s.Completed, total, s.Wall.Seconds())
 		}))
 	}
-	results, err := experiment.RunAll(ctx, ids, opt, ropts...)
+	results, stats, err := experiment.RunAllStats(ctx, ids, opt, ropts...)
 	if opt.Metrics != nil {
 		// Write whatever was collected even when the batch failed:
 		// partial counters are exactly what a post-mortem needs.
@@ -118,6 +156,9 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	for _, res := range results {
+		if res == nil {
+			continue // failed under -keep-going; reported below
+		}
 		if err := writeResult(*out, res); err != nil {
 			return err
 		}
@@ -132,6 +173,13 @@ func run(ctx context.Context, args []string) error {
 		printMetrics(res.Metrics)
 		fmt.Println()
 	}
+	if len(stats.Failures) > 0 {
+		descs := make([]string, len(stats.Failures))
+		for i, f := range stats.Failures {
+			descs[i] = fmt.Sprintf("%s (%d attempts): %v", ids[f.Index], f.Attempts, f.Err)
+		}
+		return fmt.Errorf("%d of %d figures failed: %s", stats.Failed, len(ids), strings.Join(descs, "; "))
+	}
 	return nil
 }
 
@@ -139,10 +187,11 @@ func run(ctx context.Context, args []string) error {
 // observability counters summed over every simulation replica the
 // figure ran, in sorted figure order.
 func writeBatchMetrics(path string, bm *experiment.BatchMetrics) error {
-	f, err := os.Create(path)
+	f, err := safeio.Create(path)
 	if err != nil {
 		return fmt.Errorf("metrics: %w", err)
 	}
+	defer f.Close()
 	enc := json.NewEncoder(f)
 	for _, id := range bm.IDs() {
 		rec := struct {
@@ -151,18 +200,17 @@ func writeBatchMetrics(path string, bm *experiment.BatchMetrics) error {
 			Counters map[string]int64 `json:"counters"`
 		}{"figure", id, bm.Figure(id)}
 		if err := enc.Encode(rec); err != nil {
-			f.Close()
 			return fmt.Errorf("metrics: %w", err)
 		}
 	}
-	if err := f.Close(); err != nil {
+	if err := f.Commit(); err != nil {
 		return fmt.Errorf("metrics: %w", err)
 	}
 	return nil
 }
 
 func writeResult(dir string, res *experiment.Result) error {
-	dat, err := os.Create(filepath.Join(dir, res.ID+".dat"))
+	dat, err := safeio.Create(filepath.Join(dir, res.ID+".dat"))
 	if err != nil {
 		return fmt.Errorf("%s: %w", res.ID, err)
 	}
@@ -170,7 +218,10 @@ func writeResult(dir string, res *experiment.Result) error {
 	if err := res.Figure.WriteDat(dat); err != nil {
 		return fmt.Errorf("%s: %w", res.ID, err)
 	}
-	met, err := os.Create(filepath.Join(dir, res.ID+".metrics"))
+	if err := dat.Commit(); err != nil {
+		return fmt.Errorf("%s: %w", res.ID, err)
+	}
+	met, err := safeio.Create(filepath.Join(dir, res.ID+".metrics"))
 	if err != nil {
 		return fmt.Errorf("%s: %w", res.ID, err)
 	}
@@ -184,6 +235,9 @@ func writeResult(dir string, res *experiment.Result) error {
 		if _, err := fmt.Fprintf(met, "%s\t%g\n", k, res.Metrics[k]); err != nil {
 			return fmt.Errorf("%s: %w", res.ID, err)
 		}
+	}
+	if err := met.Commit(); err != nil {
+		return fmt.Errorf("%s: %w", res.ID, err)
 	}
 	return nil
 }

@@ -9,11 +9,23 @@
 //	wormsim -topology powerlaw -n 1000 -worm random -beta 0.8 \
 //	        -defense backbone -rate 0.4 -ticks 150 -runs 10 \
 //	        [-jobs N] [-timeout 5m] [-progress] \
-//	        [-metrics run.jsonl] [-check]
+//	        [-metrics run.jsonl] [-check] \
+//	        [-checkpoint dir] [-checkpoint-every 10] [-resume path] \
+//	        [-retries 2] [-replica-timeout 2m]
 //
 // -metrics streams every replica's per-tick structured counters, events,
 // and summary as JSON Lines; -check cross-checks the engine's internal
 // invariants every tick and aborts on the first violation.
+//
+// Fault tolerance: -checkpoint periodically writes each replica's
+// engine snapshot (atomically) into the directory; -resume restarts
+// replicas from those snapshots (same flags required — a checkpoint
+// from a different scenario is rejected). -retries re-runs a crashed,
+// failed, or timed-out replica with backoff, resuming from its last
+// checkpoint when -checkpoint and -resume point at the same directory.
+// Replicas that still fail do not abort the batch: the averaged series
+// covers the completed replicas, partial metrics are flushed, and
+// wormsim exits non-zero naming the failed replicas.
 package main
 
 import (
@@ -22,12 +34,15 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/runner"
+	"repro/internal/safeio"
 	"repro/internal/topology"
 )
 
@@ -64,6 +79,12 @@ func run(ctx context.Context, args []string) error {
 	progress := fs.Bool("progress", false, "print replica completion and throughput to stderr")
 	metricsPath := fs.String("metrics", "", "write per-replica JSONL metrics (ticks, events, summaries) to this file")
 	check := fs.Bool("check", false, "audit engine invariants every tick (slower; aborts on violation)")
+	checkpoint := fs.String("checkpoint", "", "write per-replica engine checkpoints into this directory")
+	checkpointEvery := fs.Int("checkpoint-every", 10, "ticks between checkpoints (with -checkpoint)")
+	resume := fs.String("resume", "", "resume replicas from checkpoints: a checkpoint directory, or one .ckpt file when -runs 1")
+	retries := fs.Int("retries", 0, "retry a failed replica this many times (with backoff)")
+	retryBackoff := fs.Duration("retry-backoff", 500*time.Millisecond, "base delay of the retry backoff")
+	replicaTimeout := fs.Duration("replica-timeout", 0, "fail one replica attempt after this duration (0 = none)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the batch to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile after the batch to this file")
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +105,12 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("-jobs must be >= 0 (0 = GOMAXPROCS), got %d", *jobs)
 	case *timeout < 0:
 		return fmt.Errorf("-timeout must be >= 0, got %v", *timeout)
+	case *checkpointEvery <= 0:
+		return fmt.Errorf("-checkpoint-every must be positive, got %d", *checkpointEvery)
+	case *retries < 0:
+		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
+	case *replicaTimeout < 0:
+		return fmt.Errorf("-replica-timeout must be >= 0, got %v", *replicaTimeout)
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -145,7 +172,22 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
-	opts := []core.RunOption{core.WithJobs(*jobs), core.WithTimeout(*timeout)}
+	// Keep-going is always on: one dead replica must not discard the
+	// batch. Failures surface as a non-zero exit after the results (and
+	// any partial metrics) are flushed.
+	opts := []core.RunOption{core.WithJobs(*jobs), core.WithTimeout(*timeout), core.WithKeepGoing()}
+	if *checkpoint != "" {
+		opts = append(opts, core.WithCheckpoints(*checkpoint, *checkpointEvery))
+	}
+	if *resume != "" {
+		opts = append(opts, core.WithResume(*resume))
+	}
+	if *retries > 0 {
+		opts = append(opts, core.WithRetry(*retries, *retryBackoff))
+	}
+	if *replicaTimeout > 0 {
+		opts = append(opts, core.WithReplicaTimeout(*replicaTimeout))
+	}
 	if *progress {
 		opts = append(opts, core.WithProgress(func(s runner.Stats) {
 			fmt.Fprintf(os.Stderr, "wormsim: %d/%d runs (%.0f ticks/sec)\n",
@@ -163,7 +205,7 @@ func run(ctx context.Context, args []string) error {
 	if *check {
 		opts = append(opts, core.WithCheck())
 	}
-	res, err := sc.SimulateContext(ctx, *runs, opts...)
+	res, stats, err := sc.SimulateStats(ctx, *runs, opts...)
 	if rings != nil {
 		// Write whatever was collected even when the batch failed:
 		// partial metrics are exactly what a post-mortem needs.
@@ -190,27 +232,38 @@ func run(ctx context.Context, args []string) error {
 			c["scan_attempts"], c["throttled_contacts"], c["packets_generated"],
 			c["packets_delivered"], c["packets_dropped"], c["infections"])
 	}
+	if len(stats.Failures) > 0 {
+		// The batch degraded: the series above averages the completed
+		// replicas only. Name every lost replica and exit non-zero.
+		descs := make([]string, len(stats.Failures))
+		for i, f := range stats.Failures {
+			descs[i] = fmt.Sprintf("replica %d (%d attempts): %v", f.Index, f.Attempts, f.Err)
+		}
+		return fmt.Errorf("%d of %d replicas failed: %s", stats.Failed, *runs, strings.Join(descs, "; "))
+	}
 	return nil
 }
 
 // writeMetrics emits every replica's collected metrics as one JSONL
 // stream, each record tagged with its replica index. Replicas a
-// cancelled batch never started are skipped.
+// cancelled batch never started are skipped. The file is committed
+// atomically: a failure mid-write leaves any previous metrics file
+// intact.
 func writeMetrics(path string, rings []*obs.Ring) error {
-	f, err := os.Create(path)
+	f, err := safeio.Create(path)
 	if err != nil {
 		return fmt.Errorf("metrics: %w", err)
 	}
+	defer f.Close()
 	for r, ring := range rings {
 		if ring == nil {
 			continue
 		}
 		if err := obs.WriteJSONL(f, r, ring); err != nil {
-			f.Close()
 			return fmt.Errorf("metrics: %w", err)
 		}
 	}
-	if err := f.Close(); err != nil {
+	if err := f.Commit(); err != nil {
 		return fmt.Errorf("metrics: %w", err)
 	}
 	return nil

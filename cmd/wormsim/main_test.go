@@ -193,6 +193,120 @@ func TestRunMetricsOffIdenticalOutput(t *testing.T) {
 	}
 }
 
+// TestRunCheckpointResume pins the CLI-level resume contract: a run
+// resumed from its checkpoints prints byte-identical output to an
+// uninterrupted run with the same flags.
+func TestRunCheckpointResume(t *testing.T) {
+	base := []string{"-topology", "star", "-n", "50", "-defense", "hub", "-hubcap", "2",
+		"-scans", "3", "-ticks", "40", "-runs", "2"}
+	clean := captureStdout(t, func() {
+		if err := run(context.Background(), base); err != nil {
+			t.Errorf("clean run: %v", err)
+		}
+	})
+
+	ckpt := t.TempDir()
+	if err := run(context.Background(), append(base,
+		"-checkpoint", ckpt, "-checkpoint-every", "10")); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	for _, f := range []string{"replica-000.ckpt", "replica-001.ckpt"} {
+		if _, err := os.Stat(filepath.Join(ckpt, f)); err != nil {
+			t.Fatalf("missing checkpoint %s: %v", f, err)
+		}
+	}
+
+	resumed := captureStdout(t, func() {
+		if err := run(context.Background(), append(base, "-resume", ckpt)); err != nil {
+			t.Errorf("resumed run: %v", err)
+		}
+	})
+	if resumed != clean {
+		t.Error("resumed output differs from the uninterrupted run")
+	}
+}
+
+// TestRunResumeAfterInterrupt is the crash-recovery path end to end: a
+// run killed by a timeout leaves valid checkpoints behind; rerunning
+// with -resume completes and reproduces the uninterrupted output
+// exactly, wherever the cut fell (including before the first
+// checkpoint).
+func TestRunResumeAfterInterrupt(t *testing.T) {
+	base := []string{"-topology", "powerlaw", "-n", "150", "-defense", "backbone",
+		"-rate", "0.4", "-scans", "3", "-ticks", "300", "-runs", "2"}
+	clean := captureStdout(t, func() {
+		if err := run(context.Background(), base); err != nil {
+			t.Errorf("clean run: %v", err)
+		}
+	})
+
+	ckpt := t.TempDir()
+	err := run(context.Background(), append(base,
+		"-checkpoint", ckpt, "-checkpoint-every", "5", "-timeout", "25ms"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("interrupted run err = %v, want context.DeadlineExceeded", err)
+	}
+
+	resumed := captureStdout(t, func() {
+		if err := run(context.Background(), append(base,
+			"-checkpoint", ckpt, "-resume", ckpt)); err != nil {
+			t.Errorf("resumed run: %v", err)
+		}
+	})
+	if resumed != clean {
+		t.Error("post-interrupt resume diverged from the uninterrupted run")
+	}
+}
+
+// TestRunResumeSingleFile: -runs 1 accepts one checkpoint file as the
+// -resume target; multi-run batches must name the directory.
+func TestRunResumeSingleFile(t *testing.T) {
+	base := []string{"-topology", "star", "-n", "40", "-ticks", "30", "-runs", "1"}
+	clean := captureStdout(t, func() {
+		if err := run(context.Background(), base); err != nil {
+			t.Errorf("clean run: %v", err)
+		}
+	})
+	ckpt := t.TempDir()
+	if err := run(context.Background(), append(base,
+		"-checkpoint", ckpt, "-checkpoint-every", "10")); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	file := filepath.Join(ckpt, "replica-000.ckpt")
+	resumed := captureStdout(t, func() {
+		if err := run(context.Background(), append(base, "-resume", file)); err != nil {
+			t.Errorf("file resume: %v", err)
+		}
+	})
+	if resumed != clean {
+		t.Error("single-file resume diverged")
+	}
+
+	multi := []string{"-topology", "star", "-n", "40", "-ticks", "30", "-runs", "2", "-resume", file}
+	if err := run(context.Background(), multi); err == nil || !strings.Contains(err.Error(), "runs=1") {
+		t.Errorf("file resume with -runs 2 should be rejected, got %v", err)
+	}
+}
+
+// TestRunResumeCorruptCheckpoint: a damaged checkpoint fails the run
+// explicitly — it is never silently ignored.
+func TestRunResumeCorruptCheckpoint(t *testing.T) {
+	base := []string{"-topology", "star", "-n", "40", "-ticks", "30", "-runs", "1"}
+	ckpt := t.TempDir()
+	if err := run(context.Background(), append(base,
+		"-checkpoint", ckpt, "-checkpoint-every", "10")); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	file := filepath.Join(ckpt, "replica-000.ckpt")
+	if err := os.WriteFile(file, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), append(base, "-resume", ckpt))
+	if err == nil || !strings.Contains(err.Error(), "snapshot") {
+		t.Errorf("corrupt resume err = %v, want a snapshot error", err)
+	}
+}
+
 // captureStdout runs fn with os.Stdout redirected to a pipe and
 // returns what it printed.
 func captureStdout(t *testing.T, fn func()) string {

@@ -24,7 +24,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/model"
@@ -324,11 +327,18 @@ type RunOption func(*runConfig)
 
 // runConfig is the resolved option set of one SimulateContext call.
 type runConfig struct {
-	jobs       int
-	timeout    time.Duration
-	progress   func(runner.Stats)
-	collectors func(run int) obs.Collector
-	check      bool
+	jobs           int
+	timeout        time.Duration
+	progress       func(runner.Stats)
+	collectors     func(run int) obs.Collector
+	check          bool
+	retries        int
+	retryBackoff   time.Duration
+	replicaTimeout time.Duration
+	keepGoing      bool
+	checkpointDir  string
+	checkpointN    int
+	resumePath     string
 }
 
 // WithJobs bounds the replica worker pool at n concurrent simulations
@@ -365,6 +375,62 @@ func WithCheck() RunOption {
 	return func(c *runConfig) { c.check = true }
 }
 
+// WithRetry retries a failed replica (error, panic, or timeout) up to
+// max extra attempts with exponential backoff from base (0 means
+// 500ms) plus deterministic jitter. Combined with WithCheckpoints and
+// WithResume, a retried replica restarts from its own last checkpoint
+// rather than tick zero.
+func WithRetry(max int, base time.Duration) RunOption {
+	return func(c *runConfig) {
+		c.retries = max
+		c.retryBackoff = base
+	}
+}
+
+// WithReplicaTimeout bounds the wall-clock time of one replica attempt;
+// an attempt that exceeds it fails with runner.ErrTaskTimeout (and is
+// retried under WithRetry).
+func WithReplicaTimeout(d time.Duration) RunOption {
+	return func(c *runConfig) { c.replicaTimeout = d }
+}
+
+// WithKeepGoing degrades gracefully instead of aborting the batch when
+// a replica fails after its retries: the averaged result covers the
+// replicas that completed, and SimulateStats' runner.Stats.Failures
+// names what was lost. A batch where every replica failed still
+// errors.
+func WithKeepGoing() RunOption {
+	return func(c *runConfig) { c.keepGoing = true }
+}
+
+// WithCheckpoints writes each replica's engine snapshot into dir (one
+// file per replica, replica-NNN.ckpt) every `every` ticks (0 means
+// 10), through the atomic safeio path: a crash mid-write never leaves
+// a truncated checkpoint.
+func WithCheckpoints(dir string, every int) RunOption {
+	return func(c *runConfig) {
+		c.checkpointDir = dir
+		c.checkpointN = every
+	}
+}
+
+// WithResume resumes each replica from a previously written
+// checkpoint. path is either a checkpoint directory (each replica
+// loads its own replica-NNN.ckpt; replicas without one start fresh)
+// or, for single-replica batches, one checkpoint file. A checkpoint
+// that exists but fails verification (corruption, version skew, or a
+// config mismatch) fails the replica explicitly — it is never silently
+// ignored.
+func WithResume(path string) RunOption {
+	return func(c *runConfig) { c.resumePath = path }
+}
+
+// checkpointFile is the per-replica checkpoint naming scheme shared by
+// WithCheckpoints and WithResume.
+func checkpointFile(dir string, run int) string {
+	return filepath.Join(dir, fmt.Sprintf("replica-%03d.ckpt", run))
+}
+
 // Simulate runs the scenario `runs` times (averaging the series) and
 // returns the per-tick result. It is SimulateContext with a background
 // context and default options.
@@ -379,6 +445,15 @@ func (s *Scenario) Simulate(runs int) (*sim.Result, error) {
 // ctx (or exceeding WithTimeout) aborts the batch between simulation
 // ticks and returns the context's error.
 func (s *Scenario) SimulateContext(ctx context.Context, runs int, opts ...RunOption) (*sim.Result, error) {
+	res, _, err := s.SimulateStats(ctx, runs, opts...)
+	return res, err
+}
+
+// SimulateStats is SimulateContext returning the batch's final
+// runner.Stats (replicas completed/failed/retried, ticks simulated,
+// failure details) alongside the averaged result, for callers that
+// report batch health.
+func (s *Scenario) SimulateStats(ctx context.Context, runs int, opts ...RunOption) (*sim.Result, runner.Stats, error) {
 	var rc runConfig
 	for _, o := range opts {
 		o(&rc)
@@ -390,10 +465,43 @@ func (s *Scenario) SimulateContext(ctx context.Context, runs int, opts ...RunOpt
 	}
 	cfg, err := s.build()
 	if err != nil {
-		return nil, err
+		return nil, runner.Stats{}, err
 	}
 	cfg.CollectorFactory = rc.collectors
 	cfg.Check = rc.check
+	if rc.checkpointDir != "" {
+		if err := os.MkdirAll(rc.checkpointDir, 0o755); err != nil {
+			return nil, runner.Stats{}, fmt.Errorf("core: checkpoint dir: %w", err)
+		}
+		cfg.CheckpointEvery = rc.checkpointN
+		if cfg.CheckpointEvery <= 0 {
+			cfg.CheckpointEvery = 10
+		}
+		dir := rc.checkpointDir
+		cfg.CheckpointFactory = func(run int) func(*sim.Snapshot) error {
+			path := checkpointFile(dir, run)
+			return func(snap *sim.Snapshot) error { return sim.WriteSnapshot(path, snap) }
+		}
+	}
+	if rc.resumePath != "" {
+		resume := rc.resumePath
+		info, statErr := os.Stat(resume)
+		fromFile := statErr == nil && !info.IsDir()
+		if fromFile && runs != 1 {
+			return nil, runner.Stats{}, fmt.Errorf("core: -resume with a single checkpoint file needs runs=1, got %d (pass the checkpoint directory instead)", runs)
+		}
+		cfg.ResumeFactory = func(run int) (*sim.Snapshot, error) {
+			path := checkpointFile(resume, run)
+			if fromFile {
+				path = resume
+			}
+			snap, err := sim.ReadSnapshot(path)
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil, nil // no checkpoint for this replica: start fresh
+			}
+			return snap, err
+		}
+	}
 	var ropts []runner.Option
 	if rc.jobs > 0 {
 		ropts = append(ropts, runner.WithJobs(rc.jobs))
@@ -401,7 +509,20 @@ func (s *Scenario) SimulateContext(ctx context.Context, runs int, opts ...RunOpt
 	if rc.progress != nil {
 		ropts = append(ropts, runner.WithProgress(rc.progress))
 	}
-	return sim.MultiRunContext(ctx, cfg, runs, ropts...)
+	if rc.retries > 0 {
+		base := rc.retryBackoff
+		if base <= 0 {
+			base = 500 * time.Millisecond
+		}
+		ropts = append(ropts, runner.WithRetry(rc.retries, base))
+	}
+	if rc.replicaTimeout > 0 {
+		ropts = append(ropts, runner.WithTaskTimeout(rc.replicaTimeout))
+	}
+	if rc.keepGoing {
+		ropts = append(ropts, runner.WithKeepGoing())
+	}
+	return sim.MultiRunStats(ctx, cfg, runs, ropts...)
 }
 
 // Validate checks the scenario spec without running anything: topology

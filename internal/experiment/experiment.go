@@ -7,10 +7,16 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io/fs"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/plot"
@@ -45,10 +51,48 @@ type Options struct {
 	// sink. Safe for concurrent figures.
 	Metrics *BatchMetrics
 
+	// Retries is how many times a failed simulation replica is retried
+	// (with exponential backoff) before it counts as failed. 0 disables
+	// retries.
+	Retries int
+	// RetryBackoff is the base delay of the retry backoff (0 means
+	// 100ms; attempt k waits base<<k plus deterministic jitter).
+	RetryBackoff time.Duration
+	// ReplicaTimeout bounds the wall-clock time of one simulation
+	// replica attempt; a replica that exceeds it fails with
+	// runner.ErrTaskTimeout (and is retried when Retries > 0). 0 means
+	// no deadline.
+	ReplicaTimeout time.Duration
+	// KeepGoing degrades gracefully instead of failing the figure when
+	// replicas die: each figure's batch averages over the replicas that
+	// completed, and the per-figure "replica_failed"/"replica_retries"
+	// counters (in Metrics) record what was lost. A figure still fails
+	// when every one of its replicas failed.
+	KeepGoing bool
+	// Checkpoint, when set, writes every simulation replica's engine
+	// snapshot under this directory every CheckpointEvery ticks, laid
+	// out as <dir>/<figure>/batch-NN/replica-NNN.ckpt. Batches are
+	// numbered in the order the figure runs them, which is
+	// deterministic (builders run their batches sequentially).
+	Checkpoint string
+	// CheckpointEvery is the tick interval between checkpoints (0
+	// means 10).
+	CheckpointEvery int
+	// Resume restarts replicas from the checkpoints under Checkpoint
+	// left by a previous interrupted run with identical options.
+	// Replicas without a checkpoint start fresh; a checkpoint that
+	// exists but fails verification fails its replica explicitly.
+	Resume bool
+
 	// figID is the figure currently being built; RunContext stamps it on
 	// the copy of Options it hands the builder so multiRun can attribute
 	// counters.
 	figID string
+	// ckptSeq numbers the figure's simulation batches for the
+	// checkpoint layout; RunContext initializes one per figure
+	// invocation (the pointer survives the by-value Options copies the
+	// builders make).
+	ckptSeq *atomic.Int32
 }
 
 // BatchMetrics accumulates the observability counters of every
@@ -109,20 +153,63 @@ func (b *BatchMetrics) IDs() []string {
 }
 
 // multiRun is the one funnel every figure builder runs its simulation
-// batches through: it applies the audit and metrics options, bounds the
-// replica pool at Options.Jobs, and attributes the batch's counters to
-// the figure being built.
+// batches through: it applies the audit, metrics, and fault-tolerance
+// options, bounds the replica pool at Options.Jobs, and attributes the
+// batch's counters to the figure being built.
 func (o Options) multiRun(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
 	cfg.Check = o.Check
 	if o.Metrics != nil {
 		cfg.CollectorFactory = func(int) obs.Collector { return obs.NewTally() }
 	}
-	res, err := sim.MultiRunContext(ctx, cfg, o.runs(), runner.WithJobs(o.Jobs))
+	ropts := []runner.Option{runner.WithJobs(o.Jobs)}
+	if o.Retries > 0 {
+		base := o.RetryBackoff
+		if base <= 0 {
+			base = 100 * time.Millisecond
+		}
+		ropts = append(ropts, runner.WithRetry(o.Retries, base))
+	}
+	if o.ReplicaTimeout > 0 {
+		ropts = append(ropts, runner.WithTaskTimeout(o.ReplicaTimeout))
+	}
+	if o.KeepGoing {
+		ropts = append(ropts, runner.WithKeepGoing())
+	}
+	if o.Checkpoint != "" && o.ckptSeq != nil {
+		dir := filepath.Join(o.Checkpoint, o.figID, fmt.Sprintf("batch-%02d", o.ckptSeq.Add(1)))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("experiment: checkpoint dir: %w", err)
+		}
+		cfg.CheckpointEvery = o.CheckpointEvery
+		if cfg.CheckpointEvery <= 0 {
+			cfg.CheckpointEvery = 10
+		}
+		cfg.CheckpointFactory = func(run int) func(*sim.Snapshot) error {
+			path := filepath.Join(dir, fmt.Sprintf("replica-%03d.ckpt", run))
+			return func(s *sim.Snapshot) error { return sim.WriteSnapshot(path, s) }
+		}
+		if o.Resume {
+			cfg.ResumeFactory = func(run int) (*sim.Snapshot, error) {
+				snap, err := sim.ReadSnapshot(filepath.Join(dir, fmt.Sprintf("replica-%03d.ckpt", run)))
+				if errors.Is(err, fs.ErrNotExist) {
+					return nil, nil // no checkpoint for this replica: start fresh
+				}
+				return snap, err
+			}
+		}
+	}
+	res, stats, err := sim.MultiRunStats(ctx, cfg, o.runs(), ropts...)
 	if err != nil {
 		return nil, err
 	}
 	if o.Metrics != nil {
 		o.Metrics.add(o.figID, res.Counters)
+		if stats.Retries > 0 || stats.Failed > 0 {
+			o.Metrics.add(o.figID, map[string]int64{
+				"replica_retries": int64(stats.Retries),
+				"replica_failed":  int64(stats.Failed),
+			})
+		}
 	}
 	return res, nil
 }
@@ -202,6 +289,7 @@ func registry() []struct {
 		{"abl-probe", AblProbeFirst},
 		{"abl-topology", AblTopology},
 		{"abl-hybrid", AblHybridWindow},
+		{"fault-detector", FaultDetector},
 	}
 }
 
@@ -232,6 +320,11 @@ func RunContext(ctx context.Context, id string, opt Options) (*Result, error) {
 	for _, r := range registry() {
 		if r.id == id {
 			opt.figID = id
+			if opt.Checkpoint != "" {
+				// Fresh batch numbering per figure invocation, so a
+				// figure-level retry rebuilds the same checkpoint layout.
+				opt.ckptSeq = new(atomic.Int32)
+			}
 			return r.fn(ctx, opt)
 		}
 	}
@@ -256,12 +349,23 @@ func RunContext(ctx context.Context, id string, opt Options) (*Result, error) {
 // (cmd/figures uses 1) and let the figure-level pool own the
 // parallelism — whole figures are coarser, more evenly sized units.
 func RunAll(ctx context.Context, ids []string, opt Options, ropts ...runner.Option) ([]*Result, error) {
+	res, _, err := RunAllStats(ctx, ids, opt, ropts...)
+	return res, err
+}
+
+// RunAllStats is RunAll returning the figure-level runner.Stats
+// alongside the results, for callers that report batch health. With
+// runner.WithKeepGoing the batch degrades gracefully: a figure that
+// fails (after any runner.WithRetry attempts) leaves a nil slot in the
+// results and an entry in Stats.Failures instead of aborting the
+// batch; only a batch where every figure failed returns an error.
+func RunAllStats(ctx context.Context, ids []string, opt Options, ropts ...runner.Option) ([]*Result, runner.Stats, error) {
 	if ids == nil {
 		ids = IDs()
 	}
 	results := make([]*Result, len(ids))
 	pool := runner.New(ropts...)
-	if _, err := pool.Run(ctx, len(ids), func(ctx context.Context, i int) (runner.Report, error) {
+	stats, err := pool.Run(ctx, len(ids), func(ctx context.Context, i int) (runner.Report, error) {
 		res, err := RunContext(ctx, ids[i], opt)
 		if err != nil {
 			return runner.Report{}, fmt.Errorf("experiment: %s: %w", ids[i], err)
@@ -272,10 +376,23 @@ func RunAll(ctx context.Context, ids []string, opt Options, ropts ...runner.Opti
 			rep.Counters = opt.Metrics.Figure(ids[i])
 		}
 		return rep, nil
-	}); err != nil {
-		return nil, err
+	})
+	if err != nil {
+		return nil, stats, err
 	}
-	return results, nil
+	if stats.Failed > 0 {
+		ok := 0
+		for _, r := range results {
+			if r != nil {
+				ok++
+			}
+		}
+		if ok == 0 {
+			f := stats.Failures[0]
+			return nil, stats, fmt.Errorf("experiment: all %d figures failed; first: %w", len(ids), f.Err)
+		}
+	}
+	return results, stats, nil
 }
 
 // figureTicks estimates the simulated ticks behind one figure result

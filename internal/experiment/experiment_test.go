@@ -39,8 +39,8 @@ func TestRunUnknownID(t *testing.T) {
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 24 {
-		t.Fatalf("IDs = %d entries, want 24", len(ids))
+	if len(ids) != 25 {
+		t.Fatalf("IDs = %d entries, want 25", len(ids))
 	}
 	seen := make(map[string]bool)
 	for _, id := range ids {
@@ -52,7 +52,7 @@ func TestIDsComplete(t *testing.T) {
 	for _, want := range []string{
 		"fig1a", "fig10", "tbl-rates", "tbl-claims",
 		"abl-targeting", "abl-queue", "abl-weights", "abl-patch",
-		"abl-probe", "abl-topology", "abl-hybrid",
+		"abl-probe", "abl-topology", "abl-hybrid", "fault-detector",
 	} {
 		if !seen[want] {
 			t.Errorf("missing id %q", want)

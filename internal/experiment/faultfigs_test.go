@@ -1,0 +1,29 @@
+package experiment
+
+import "testing"
+
+func TestFaultDetectorShape(t *testing.T) {
+	res := runFig(t, "fault-detector", Options{Runs: 2})
+	m := res.Metrics
+	if !(m["ever_perfect"] < m["ever_undefended"]) {
+		t.Errorf("perfect detector should contain the worm: defended %v vs undefended %v",
+			m["ever_perfect"], m["ever_undefended"])
+	}
+	if !(m["ever_miss95"] > m["ever_perfect"]) {
+		t.Errorf("a 95%%-miss detector should erode containment: %v vs perfect %v",
+			m["ever_miss95"], m["ever_perfect"])
+	}
+	if m["ever_miss95"] > m["ever_undefended"]+0.02 {
+		t.Errorf("missed detections cannot do worse than no defense: %v vs %v",
+			m["ever_miss95"], m["ever_undefended"])
+	}
+	if m["ever_falsealarm"] > m["ever_perfect"]+0.02 {
+		t.Errorf("false alarms should not hurt containment: %v vs perfect %v",
+			m["ever_falsealarm"], m["ever_perfect"])
+	}
+	for _, s := range res.Figure.Series {
+		if len(s.X) != 6 || s.X[0] != 0 || s.X[len(s.X)-1] != 0.95 {
+			t.Errorf("series %q grid wrong: %v", s.Label, s.X)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+func TestRandDeterministicAndRestorable(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	mid := a.State()
+	want := []float64{a.Float64(), a.Float64(), a.Float64()}
+	c := NewRand(0)
+	c.SetState(mid)
+	for i, w := range want {
+		if got := c.Float64(); got != w {
+			t.Fatalf("draw %d after SetState = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Error("adjacent seeds produce identical first draws")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	bad := []Profile{
+		{FalseAlarmPerTick: -0.1},
+		{MissRate: 1.5},
+		{ImmunizationLossRate: 2},
+		{ImmunizationDelay: -1},
+		{LimiterOutages: []Window{{Start: 10, End: 5}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %d: Validate accepted invalid profile %+v", i, p)
+		}
+	}
+	good := Profile{Seed: 1, MissRate: 0.5, LimiterOutages: []Window{{Start: 5, End: 10}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}
+
+func TestInjectorNilForInertProfile(t *testing.T) {
+	if in := NewInjector(nil); in != nil {
+		t.Error("nil profile should yield nil injector")
+	}
+	if in := NewInjector(&Profile{Seed: 99}); in != nil {
+		t.Error("profile with no faults should yield nil injector")
+	}
+	if in := NewInjector(&Profile{MissRate: 0.1}); in == nil {
+		t.Error("active profile should yield an injector")
+	}
+}
+
+func TestInjectorDeterministicSequence(t *testing.T) {
+	p := &Profile{Seed: 7, FalseAlarmPerTick: 0.3, MissRate: 0.4}
+	a, b := NewInjector(p), NewInjector(p)
+	for i := 0; i < 500; i++ {
+		if a.FalseAlarm() != b.FalseAlarm() || a.MissDetection() != b.MissDetection() {
+			t.Fatal("same profile+seed produced different fault sequences")
+		}
+	}
+}
+
+func TestInjectorRates(t *testing.T) {
+	in := NewInjector(&Profile{Seed: 3, FalseAlarmPerTick: 0.25})
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if in.FalseAlarm() {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.22 || got > 0.28 {
+		t.Errorf("false-alarm frequency %v, want ≈0.25", got)
+	}
+}
+
+func TestLimiterDownWindows(t *testing.T) {
+	in := NewInjector(&Profile{LimiterOutages: []Window{{Start: 10, End: 20}, {Start: 40, End: 41}}})
+	cases := map[int]bool{0: false, 9: false, 10: true, 19: true, 20: false, 40: true, 41: false}
+	for tick, want := range cases {
+		if got := in.LimiterDown(tick); got != want {
+			t.Errorf("LimiterDown(%d) = %v, want %v", tick, got, want)
+		}
+	}
+}
+
+func TestInjectorStateRoundTrip(t *testing.T) {
+	p := &Profile{Seed: 11, MissRate: 0.5}
+	a := NewInjector(p)
+	for i := 0; i < 137; i++ {
+		a.MissDetection()
+	}
+	state := a.State()
+	want := make([]bool, 100)
+	for i := range want {
+		want[i] = a.MissDetection()
+	}
+	b := NewInjector(p)
+	b.SetState(state)
+	for i, w := range want {
+		if got := b.MissDetection(); got != w {
+			t.Fatalf("draw %d after state restore = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestPlanPermanentFailureDegradesBatch(t *testing.T) {
+	plan := &Plan{Seed: 5, FailIndexes: []int{3}}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	task := plan.Wrap(func(_ context.Context, i int) (runner.Report, error) {
+		return runner.Report{Ticks: 1}, nil
+	})
+	p := runner.New(runner.WithJobs(2), runner.WithRetry(2, 0), runner.WithKeepGoing())
+	stats, err := p.Run(context.Background(), 6, task)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Completed != 5 || stats.Failed != 1 {
+		t.Errorf("stats = %+v, want 5 completed 1 failed", stats)
+	}
+	if len(stats.Failures) != 1 || stats.Failures[0].Index != 3 || stats.Failures[0].Attempts != 3 {
+		t.Errorf("failures = %+v, want replica 3 after 3 attempts", stats.Failures)
+	}
+	var pe *runner.PanicError
+	if !errors.As(stats.Failures[0].Err, &pe) {
+		t.Errorf("failure error %v, want a captured panic", stats.Failures[0].Err)
+	}
+}
+
+func TestPlanTransientErrorRetriedToSuccess(t *testing.T) {
+	// ErrorProb 1 on attempt... every attempt errors; instead use a plan
+	// where the draw depends on the attempt: with ErrorProb 0.5 and
+	// enough retries, some attempt succeeds — but that is probabilistic
+	// per seed, so pin a seed that recovers within the retry budget.
+	plan := &Plan{Seed: 21, ErrorProb: 0.5}
+	task := plan.Wrap(func(_ context.Context, i int) (runner.Report, error) {
+		return runner.Report{Ticks: 1}, nil
+	})
+	p := runner.New(runner.WithJobs(1), runner.WithRetry(6, 0), runner.WithKeepGoing())
+	stats, err := p.Run(context.Background(), 4, task)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Completed != 4 {
+		t.Fatalf("stats = %+v, want all 4 recovered via retries (reseed the plan if this seed cannot)", stats)
+	}
+	if stats.Retries == 0 {
+		t.Error("expected at least one retry under ErrorProb 0.5")
+	}
+}
+
+func TestPlanStallHitsTaskDeadline(t *testing.T) {
+	plan := &Plan{Seed: 1, StallProb: 1, StallFor: 10 * time.Second}
+	task := plan.Wrap(func(_ context.Context, i int) (runner.Report, error) {
+		return runner.Report{}, nil
+	})
+	p := runner.New(runner.WithJobs(1), runner.WithTaskTimeout(20*time.Millisecond), runner.WithKeepGoing())
+	start := time.Now()
+	stats, err := p.Run(context.Background(), 2, task)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("stalled replicas blocked the batch")
+	}
+	if stats.Failed != 2 {
+		t.Errorf("stats = %+v, want both stalled replicas timed out", stats)
+	}
+	for _, f := range stats.Failures {
+		if !errors.Is(f.Err, runner.ErrTaskTimeout) {
+			t.Errorf("failure %v, want ErrTaskTimeout", f.Err)
+		}
+	}
+}
+
+func TestCorruptChangesDataDeterministically(t *testing.T) {
+	data := bytes.Repeat([]byte("checkpoint payload "), 50)
+	a := Corrupt(data, 13)
+	b := Corrupt(data, 13)
+	if !bytes.Equal(a, b) {
+		t.Error("corruption not deterministic for fixed seed")
+	}
+	if bytes.Equal(a, data) {
+		t.Error("corruption left data unchanged")
+	}
+	if !bytes.Equal(data, bytes.Repeat([]byte("checkpoint payload "), 50)) {
+		t.Error("Corrupt mutated its input")
+	}
+	if len(Corrupt(nil, 1)) != 0 {
+		t.Error("corrupting empty input should stay empty")
+	}
+	if bytes.Equal(Corrupt([]byte{0x00}, 9), []byte{0x00}) {
+		t.Error("single-byte input must still be flipped")
+	}
+}

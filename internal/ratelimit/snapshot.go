@@ -1,0 +1,238 @@
+package ratelimit
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// StateMarshaler is implemented by every limiter in this package so an
+// engine checkpoint can capture and restore limiter history. Map-shaped
+// internals are serialized in sorted order, so the same state always
+// produces the same bytes (checkpoints of identical runs are
+// byte-comparable).
+type StateMarshaler interface {
+	// MarshalState serializes the limiter's mutable state. The static
+	// configuration (window sizes, budgets) is not included: restore
+	// targets a limiter freshly built with the same parameters.
+	MarshalState() ([]byte, error)
+	// UnmarshalState restores state produced by MarshalState.
+	UnmarshalState(data []byte) error
+}
+
+func sortIPs(ips []IP) {
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+}
+
+type uniqueIPState struct {
+	WinStart int64 `json:"win_start"`
+	Seen     []IP  `json:"seen"`
+}
+
+// MarshalState implements StateMarshaler.
+func (l *UniqueIPWindow) MarshalState() ([]byte, error) {
+	st := uniqueIPState{WinStart: l.winStart, Seen: make([]IP, 0, len(l.seen))}
+	for ip := range l.seen {
+		st.Seen = append(st.Seen, ip)
+	}
+	sortIPs(st.Seen)
+	return json.Marshal(st)
+}
+
+// UnmarshalState implements StateMarshaler.
+func (l *UniqueIPWindow) UnmarshalState(data []byte) error {
+	var st uniqueIPState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	l.winStart = st.WinStart
+	clear(l.seen)
+	for _, ip := range st.Seen {
+		l.seen[ip] = struct{}{}
+	}
+	return nil
+}
+
+type slidingEntryState struct {
+	Tick int64 `json:"tick"`
+	Dst  IP    `json:"dst"`
+}
+
+type slidingState struct {
+	Admissions []slidingEntryState `json:"admissions"`
+}
+
+// MarshalState implements StateMarshaler. Only the admission log is
+// stored; the recency index is replayed from it on restore.
+func (l *SlidingUniqueIPWindow) MarshalState() ([]byte, error) {
+	st := slidingState{Admissions: make([]slidingEntryState, len(l.admissions))}
+	for i, e := range l.admissions {
+		st.Admissions[i] = slidingEntryState{Tick: e.tick, Dst: e.dst}
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalState implements StateMarshaler.
+func (l *SlidingUniqueIPWindow) UnmarshalState(data []byte) error {
+	var st slidingState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	l.admissions = l.admissions[:0]
+	clear(l.lastSeen)
+	for _, e := range st.Admissions {
+		l.admissions = append(l.admissions, slidingEntry{tick: e.Tick, dst: e.Dst})
+		l.lastSeen[e.Dst] = e.Tick
+	}
+	return nil
+}
+
+type williamsonState struct {
+	// LRU is the working set, most recent first.
+	LRU       []IP  `json:"lru"`
+	Queue     []IP  `json:"queue"`
+	LastDrain int64 `json:"last_drain"`
+}
+
+// MarshalState implements StateMarshaler.
+func (t *WilliamsonThrottle) MarshalState() ([]byte, error) {
+	st := williamsonState{
+		LRU:       make([]IP, 0, t.lru.Len()),
+		Queue:     append([]IP{}, t.queue...),
+		LastDrain: t.lastDrain,
+	}
+	for e := t.lru.Front(); e != nil; e = e.Next() {
+		st.LRU = append(st.LRU, e.Value.(IP))
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalState implements StateMarshaler.
+func (t *WilliamsonThrottle) UnmarshalState(data []byte) error {
+	var st williamsonState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	t.lru = list.New()
+	clear(t.inSet)
+	for _, ip := range st.LRU {
+		t.inSet[ip] = t.lru.PushBack(ip)
+	}
+	t.queue = append(t.queue[:0], st.Queue...)
+	t.lastDrain = st.LastDrain
+	return nil
+}
+
+type dnsEntryState struct {
+	Addr   IP    `json:"addr"`
+	Expiry int64 `json:"expiry"`
+}
+
+type dnsState struct {
+	Inner json.RawMessage `json:"inner"`
+	DNS   []dnsEntryState `json:"dns"`
+	Peers []IP            `json:"peers"`
+}
+
+// MarshalState implements StateMarshaler.
+func (t *DNSThrottle) MarshalState() ([]byte, error) {
+	inner, err := t.inner.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	st := dnsState{Inner: inner, DNS: make([]dnsEntryState, 0, len(t.dnsValidUntil))}
+	for addr, exp := range t.dnsValidUntil {
+		st.DNS = append(st.DNS, dnsEntryState{Addr: addr, Expiry: exp})
+	}
+	sort.Slice(st.DNS, func(i, j int) bool { return st.DNS[i].Addr < st.DNS[j].Addr })
+	st.Peers = make([]IP, 0, len(t.peers))
+	for ip := range t.peers {
+		st.Peers = append(st.Peers, ip)
+	}
+	sortIPs(st.Peers)
+	return json.Marshal(st)
+}
+
+// UnmarshalState implements StateMarshaler.
+func (t *DNSThrottle) UnmarshalState(data []byte) error {
+	var st dnsState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if err := t.inner.UnmarshalState(st.Inner); err != nil {
+		return fmt.Errorf("dns throttle inner window: %w", err)
+	}
+	clear(t.dnsValidUntil)
+	for _, e := range st.DNS {
+		t.dnsValidUntil[e.Addr] = e.Expiry
+	}
+	clear(t.peers)
+	for _, ip := range st.Peers {
+		t.peers[ip] = struct{}{}
+	}
+	return nil
+}
+
+type hybridState struct {
+	Short json.RawMessage `json:"short"`
+	Long  json.RawMessage `json:"long"`
+}
+
+// MarshalState implements StateMarshaler.
+func (h *HybridWindow) MarshalState() ([]byte, error) {
+	s, err := h.short.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	l, err := h.long.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(hybridState{Short: s, Long: l})
+}
+
+// UnmarshalState implements StateMarshaler.
+func (h *HybridWindow) UnmarshalState(data []byte) error {
+	var st hybridState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if err := h.short.UnmarshalState(st.Short); err != nil {
+		return fmt.Errorf("hybrid short window: %w", err)
+	}
+	if err := h.long.UnmarshalState(st.Long); err != nil {
+		return fmt.Errorf("hybrid long window: %w", err)
+	}
+	return nil
+}
+
+type tokenBucketState struct {
+	Tokens float64 `json:"tokens"`
+	Last   int64   `json:"last"`
+	Primed bool    `json:"primed"`
+}
+
+// MarshalState implements StateMarshaler.
+func (b *TokenBucket) MarshalState() ([]byte, error) {
+	return json.Marshal(tokenBucketState{Tokens: b.tokens, Last: b.last, Primed: b.primed})
+}
+
+// UnmarshalState implements StateMarshaler.
+func (b *TokenBucket) UnmarshalState(data []byte) error {
+	var st tokenBucketState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	b.tokens, b.last, b.primed = st.Tokens, st.Last, st.Primed
+	return nil
+}
+
+var (
+	_ StateMarshaler = (*UniqueIPWindow)(nil)
+	_ StateMarshaler = (*SlidingUniqueIPWindow)(nil)
+	_ StateMarshaler = (*WilliamsonThrottle)(nil)
+	_ StateMarshaler = (*DNSThrottle)(nil)
+	_ StateMarshaler = (*HybridWindow)(nil)
+	_ StateMarshaler = (*TokenBucket)(nil)
+)

@@ -1,0 +1,216 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetryEventuallySucceeds(t *testing.T) {
+	var calls [3]atomic.Int32
+	p := New(WithJobs(2), WithRetry(3, time.Microsecond))
+	stats, err := p.Run(context.Background(), 3, func(_ context.Context, i int) (Report, error) {
+		// Task 1 fails its first two attempts, then succeeds.
+		if i == 1 && calls[i].Add(1) <= 2 {
+			return Report{}, errors.New("transient")
+		}
+		calls[i].Add(1)
+		return Report{Ticks: 1}, nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Completed != 3 || stats.Failed != 0 {
+		t.Errorf("stats = %+v, want 3 completed", stats)
+	}
+	if stats.Retries != 2 {
+		t.Errorf("retries = %d, want 2", stats.Retries)
+	}
+	if len(stats.Failures) != 0 {
+		t.Errorf("failures = %v, want none", stats.Failures)
+	}
+}
+
+func TestKeepGoingRecordsFailureAndFinishesBatch(t *testing.T) {
+	const n = 8
+	permanent := errors.New("permanently broken")
+	p := New(WithJobs(3), WithRetry(2, 0), WithKeepGoing())
+	var attempts atomic.Int32
+	stats, err := p.Run(context.Background(), n, func(_ context.Context, i int) (Report, error) {
+		if i == 4 {
+			attempts.Add(1)
+			return Report{}, permanent
+		}
+		return Report{Ticks: 1}, nil
+	})
+	if err != nil {
+		t.Fatalf("keep-going Run returned error: %v", err)
+	}
+	if stats.Completed != n-1 || stats.Failed != 1 {
+		t.Errorf("stats = %+v, want %d completed 1 failed", stats, n-1)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("failing task attempted %d times, want 3 (1 + 2 retries)", got)
+	}
+	if len(stats.Failures) != 1 {
+		t.Fatalf("failures = %v, want exactly one", stats.Failures)
+	}
+	f := stats.Failures[0]
+	if f.Index != 4 || f.Attempts != 3 || !errors.Is(f.Err, permanent) {
+		t.Errorf("failure = %+v, want index 4, 3 attempts, permanent error", f)
+	}
+}
+
+func TestKeepGoingPanicIsolated(t *testing.T) {
+	p := New(WithJobs(2), WithKeepGoing())
+	stats, err := p.Run(context.Background(), 5, func(_ context.Context, i int) (Report, error) {
+		if i == 2 {
+			panic("injected")
+		}
+		return Report{}, nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Completed != 4 || stats.Failed != 1 {
+		t.Errorf("stats = %+v, want 4 completed 1 failed", stats)
+	}
+	var pe *PanicError
+	if len(stats.Failures) != 1 || !errors.As(stats.Failures[0].Err, &pe) {
+		t.Fatalf("failures = %v, want one PanicError", stats.Failures)
+	}
+	if pe.Index != 2 || len(pe.Stack) == 0 {
+		t.Errorf("panic error = %+v, want index 2 with captured stack", pe)
+	}
+}
+
+func TestTaskTimeoutAbandonsHungAttempt(t *testing.T) {
+	p := New(WithJobs(2), WithTaskTimeout(20*time.Millisecond), WithKeepGoing())
+	release := make(chan struct{})
+	start := time.Now()
+	stats, err := p.Run(context.Background(), 3, func(ctx context.Context, i int) (Report, error) {
+		if i == 1 {
+			// A stalled replica that ignores its deadline for a while.
+			select {
+			case <-release:
+			case <-time.After(5 * time.Second):
+			}
+			return Report{}, nil
+		}
+		return Report{}, nil
+	})
+	close(release)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("hung task stalled the batch past its deadline")
+	}
+	if stats.Completed != 2 || stats.Failed != 1 {
+		t.Errorf("stats = %+v, want 2 completed 1 failed", stats)
+	}
+	if len(stats.Failures) != 1 || !errors.Is(stats.Failures[0].Err, ErrTaskTimeout) {
+		t.Errorf("failures = %v, want one ErrTaskTimeout", stats.Failures)
+	}
+}
+
+func TestTaskTimeoutDoesNotFirePerBatch(t *testing.T) {
+	// The per-task deadline is per attempt, not per batch: many tasks
+	// each shorter than the deadline must all pass even though the batch
+	// as a whole takes longer.
+	p := New(WithJobs(1), WithTaskTimeout(50*time.Millisecond))
+	stats, err := p.Run(context.Background(), 10, func(context.Context, int) (Report, error) {
+		time.Sleep(10 * time.Millisecond)
+		return Report{}, nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Completed != 10 {
+		t.Errorf("completed = %d, want 10", stats.Completed)
+	}
+}
+
+func TestFailFastStillDefault(t *testing.T) {
+	var started atomic.Int32
+	p := New(WithJobs(1), WithRetry(1, 0))
+	boom := errors.New("boom")
+	_, err := p.Run(context.Background(), 100, func(_ context.Context, i int) (Report, error) {
+		started.Add(1)
+		if i == 0 {
+			return Report{}, boom
+		}
+		return Report{}, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Index 0 attempted twice (one retry), then the batch aborted.
+	if got := started.Load(); got > 3 {
+		t.Errorf("%d task invocations after fail-fast abort, want <= 3", got)
+	}
+}
+
+func TestBackoffCancelledMidSleep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := New(WithJobs(1), WithRetry(5, time.Hour), WithKeepGoing())
+	done := make(chan struct{})
+	var stats Stats
+	go func() {
+		defer close(done)
+		stats, _ = p.Run(ctx, 1, func(context.Context, int) (Report, error) {
+			return Report{}, errors.New("always fails")
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // let it enter the hour-long backoff
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("backoff sleep ignored cancellation")
+	}
+	if stats.Failed != 1 {
+		t.Errorf("stats = %+v, want the task recorded as failed", stats)
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	for _, idx := range []int{0, 1, 7} {
+		a := splitmix64(uint64(idx)<<32 | 1)
+		b := splitmix64(uint64(idx)<<32 | 1)
+		if a != b {
+			t.Fatalf("jitter hash not deterministic for index %d", idx)
+		}
+	}
+	if splitmix64(1) == splitmix64(2) {
+		t.Error("jitter hash collides on adjacent inputs")
+	}
+}
+
+func TestProgressSnapshotFailuresPrivate(t *testing.T) {
+	var seen []Failure
+	p := New(WithJobs(1), WithKeepGoing(), WithProgress(func(s Stats) {
+		if len(s.Failures) > 0 {
+			seen = s.Failures
+		}
+	}))
+	stats, err := p.Run(context.Background(), 3, func(_ context.Context, i int) (Report, error) {
+		if i == 0 {
+			return Report{}, fmt.Errorf("fail %d", i)
+		}
+		return Report{}, nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("progress callback never saw the failure")
+	}
+	seen[0].Index = 999 // mutating the snapshot must not corrupt the final stats
+	if stats.Failures[0].Index != 0 {
+		t.Error("final stats share the progress snapshot's failure slice")
+	}
+}

@@ -11,6 +11,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -42,8 +43,28 @@ type Stats struct {
 	// callbacks carry a private copy; the final Stats returned by Run
 	// own theirs.
 	Counters map[string]int64
+	// Retries is the total number of retry attempts across the batch
+	// (attempts beyond each task's first), whether or not they
+	// eventually succeeded.
+	Retries int
+	// Failures records every task that exhausted its attempts, in
+	// completion order. Snapshots handed to progress callbacks carry a
+	// private copy.
+	Failures []Failure
 	// Wall is the elapsed time since the batch started.
 	Wall time.Duration
+}
+
+// Failure describes one task that failed after all its attempts.
+type Failure struct {
+	// Index is the failed task's batch index.
+	Index int
+	// Attempts is how many times the task was tried (>= 1).
+	Attempts int
+	// Err is the final attempt's error. A *PanicError carries the
+	// panicking goroutine's stack; ErrTaskTimeout marks an attempt that
+	// exceeded the per-task deadline.
+	Err error
 }
 
 // TicksPerSec is the batch's aggregate simulation throughput so far.
@@ -94,11 +115,21 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("runner: task %d panicked: %v", e.Index, e.Value)
 }
 
+// ErrTaskTimeout marks a task attempt that exceeded the per-task
+// deadline installed with WithTaskTimeout. The attempt's goroutine is
+// abandoned (it exits when it next observes its cancelled context);
+// the pool moves on — a hung replica cannot stall the batch.
+var ErrTaskTimeout = errors.New("runner: task attempt exceeded deadline")
+
 // Pool executes batches with a fixed number of worker goroutines.
 // A Pool is stateless between Run calls and safe for concurrent use.
 type Pool struct {
-	jobs     int
-	progress func(Stats)
+	jobs        int
+	progress    func(Stats)
+	retries     int
+	backoff     time.Duration
+	taskTimeout time.Duration
+	keepGoing   bool
 }
 
 // Option configures a Pool.
@@ -120,6 +151,45 @@ func WithJobs(n int) Option {
 // runs on the worker that just finished.
 func WithProgress(fn func(Stats)) Option {
 	return func(p *Pool) { p.progress = fn }
+}
+
+// WithRetry retries a failed task up to max additional attempts,
+// sleeping between attempts with exponential backoff (base, 2·base,
+// 4·base, ... capped at 64·base) plus up to 50% deterministic jitter
+// derived from the task index and attempt number — no global
+// randomness, so retry schedules are reproducible. max <= 0 disables
+// retries; base <= 0 retries immediately.
+func WithRetry(max int, base time.Duration) Option {
+	return func(p *Pool) {
+		if max > 0 {
+			p.retries = max
+			p.backoff = base
+		}
+	}
+}
+
+// WithTaskTimeout gives every task attempt its own deadline, distinct
+// from any batch-level timeout on the caller's context. An attempt
+// exceeding it fails with an error wrapping ErrTaskTimeout and — since
+// a hung task cannot be forcibly killed — its goroutine is abandoned to
+// exit on its own when it observes the cancelled context. Abandoned
+// attempts must therefore not mutate state the caller reads after
+// Run returns without synchronization.
+func WithTaskTimeout(d time.Duration) Option {
+	return func(p *Pool) {
+		if d > 0 {
+			p.taskTimeout = d
+		}
+	}
+}
+
+// WithKeepGoing turns off fail-fast: a task that exhausts its attempts
+// is recorded in Stats.Failures and the batch continues with the
+// remaining tasks instead of aborting. Run then returns a nil error
+// for task failures (inspect Stats.Failures); cancellation of the
+// caller's context still aborts the batch and is still returned.
+func WithKeepGoing() Option {
+	return func(p *Pool) { p.keepGoing = true }
 }
 
 // New builds a pool. With no options it runs GOMAXPROCS workers and
@@ -155,7 +225,8 @@ func (b *batch) snapshotLocked() {
 	}
 }
 
-// withCounterCopy returns s with Counters replaced by a private copy.
+// withCounterCopy returns s with Counters and Failures replaced by
+// private copies.
 func (s Stats) withCounterCopy() Stats {
 	if s.Counters != nil {
 		c := make(map[string]int64, len(s.Counters))
@@ -163,6 +234,9 @@ func (s Stats) withCounterCopy() Stats {
 			c[k] = v
 		}
 		s.Counters = c
+	}
+	if s.Failures != nil {
+		s.Failures = append([]Failure(nil), s.Failures...)
 	}
 	return s
 }
@@ -173,10 +247,11 @@ func (b *batch) noteStarted() {
 	b.mu.Unlock()
 }
 
-func (b *batch) noteFinished(rep Report, err error) {
+func (b *batch) noteFinished(index, attempts int, rep Report, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.stats.Ticks += rep.Ticks
+	b.stats.Retries += attempts - 1
 	if len(rep.Counters) > 0 {
 		if b.stats.Counters == nil {
 			b.stats.Counters = make(map[string]int64, len(rep.Counters))
@@ -187,6 +262,7 @@ func (b *batch) noteFinished(rep Report, err error) {
 	}
 	if err != nil {
 		b.stats.Failed++
+		b.stats.Failures = append(b.stats.Failures, Failure{Index: index, Attempts: attempts, Err: err})
 		if b.firstErr == nil {
 			b.firstErr = err
 		}
@@ -197,11 +273,15 @@ func (b *batch) noteFinished(rep Report, err error) {
 }
 
 // Run executes runs tasks on the pool and blocks until they finish or
-// the batch is aborted. The batch aborts on the first task error (the
-// remaining tasks are cancelled via ctx and not started) and when ctx
-// is cancelled or times out. The returned Stats are final for this
-// batch — after an abort they describe the partial progress. The error
-// is the first task error, or ctx's error when the caller's context
+// the batch is aborted. By default the batch aborts on the first task
+// error (fail-fast: the remaining tasks are cancelled via ctx and not
+// started); with WithKeepGoing, failed tasks are recorded in
+// Stats.Failures and the rest of the batch still runs. Failed tasks
+// are first retried per WithRetry, and each attempt is bounded by
+// WithTaskTimeout. Cancelling ctx always aborts the batch. The
+// returned Stats are final for this batch — after an abort they
+// describe the partial progress. The error is the first task error
+// (fail-fast mode only), or ctx's error when the caller's context
 // ended the batch, or nil.
 func (p *Pool) Run(ctx context.Context, runs int, task Task) (Stats, error) {
 	b := &batch{stats: Stats{Runs: runs}, start: time.Now(), progress: p.progress}
@@ -243,9 +323,9 @@ func (p *Pool) Run(ctx context.Context, runs int, task Task) (Stats, error) {
 					return
 				}
 				b.noteStarted()
-				rep, err := runTask(runCtx, i, task)
-				b.noteFinished(rep, err)
-				if err != nil {
+				rep, attempts, err := p.runWithRetry(runCtx, i, task)
+				b.noteFinished(i, attempts, rep, err)
+				if err != nil && !p.keepGoing {
 					cancel() // fail fast: abort the rest of the batch
 					return
 				}
@@ -258,12 +338,101 @@ func (p *Pool) Run(ctx context.Context, runs int, task Task) (Stats, error) {
 	b.stats.Wall = time.Since(b.start)
 	stats, err := b.stats.withCounterCopy(), b.firstErr
 	b.mu.Unlock()
+	if p.keepGoing {
+		// Task failures are data (Stats.Failures), not a batch error.
+		err = nil
+	}
 	if cerr := ctx.Err(); cerr != nil {
 		// The caller's context ended the batch; prefer reporting that
 		// over the secondary errors it induced in in-flight tasks.
 		err = cerr
 	}
 	return stats, err
+}
+
+// runWithRetry executes one task until it succeeds, exhausts the
+// pool's retry budget, or the batch is cancelled. It returns the number
+// of attempts made (>= 1) alongside the last attempt's report/error.
+func (p *Pool) runWithRetry(ctx context.Context, index int, task Task) (Report, int, error) {
+	attempts := 0
+	for {
+		attempts++
+		rep, err := p.runAttempt(ctx, index, task)
+		if err == nil || attempts > p.retries {
+			return rep, attempts, err
+		}
+		if ctx.Err() != nil {
+			// The batch is over; the attempt's error is a symptom of the
+			// cancellation, not something a retry can fix.
+			return rep, attempts, err
+		}
+		if !sleepBackoff(ctx, p.backoff, index, attempts) {
+			return rep, attempts, err
+		}
+	}
+}
+
+// sleepBackoff waits the exponential-backoff-with-jitter delay before
+// retry number attempt of the given task. Returns false when the batch
+// was cancelled during the wait.
+func sleepBackoff(ctx context.Context, base time.Duration, index, attempt int) bool {
+	if base <= 0 {
+		return ctx.Err() == nil
+	}
+	d := base << min(attempt-1, 6) // cap the exponent: 64·base
+	// Up to +50% deterministic jitter, derived from (index, attempt) so
+	// the schedule is reproducible and concurrent retries desynchronize.
+	frac := float64(splitmix64(uint64(index)<<32|uint64(attempt))>>11) / (1 << 53)
+	d += time.Duration(frac * 0.5 * float64(d))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// splitmix64 is the SplitMix64 mixing function — a tiny, seedable,
+// statistically solid hash used only for retry jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// runAttempt invokes one task attempt under the pool's per-task
+// deadline. Without a deadline the task runs inline on the worker; with
+// one it runs on its own goroutine so an attempt that overstays can be
+// abandoned — the goroutine exits when the task observes its cancelled
+// context, and its eventual result is discarded.
+func (p *Pool) runAttempt(ctx context.Context, index int, task Task) (Report, error) {
+	if p.taskTimeout <= 0 {
+		return runTask(ctx, index, task)
+	}
+	actx, cancel := context.WithTimeout(ctx, p.taskTimeout)
+	defer cancel()
+	type outcome struct {
+		rep Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, err := runTask(actx, index, task)
+		done <- outcome{rep, err}
+	}()
+	select {
+	case o := <-done:
+		return o.rep, o.err
+	case <-actx.Done():
+		if ctx.Err() != nil {
+			// The batch itself ended; report that, not a task timeout.
+			return Report{}, ctx.Err()
+		}
+		return Report{}, fmt.Errorf("task %d after %v: %w", index, p.taskTimeout, ErrTaskTimeout)
+	}
 }
 
 // runTask invokes one task, converting a panic into a *PanicError.

@@ -1,0 +1,115 @@
+// Package safeio is the one atomic file-write helper every output path
+// of the system goes through: metrics JSONL streams, golden-fixture
+// regeneration, figure .dat/.metrics files, and engine checkpoints. A
+// write happens into a temp file in the destination directory, is
+// fsynced, and is renamed over the target only on success — so a crash,
+// SIGKILL, or mid-write error never leaves a truncated or
+// partially-written file at the destination: the old content (or
+// nothing) survives intact.
+package safeio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is an atomically-committed file. Writes go to a hidden temp file
+// next to the destination; Commit fsyncs, closes, and renames it into
+// place. Close before Commit aborts the write and removes the temp
+// file, leaving any previous destination content untouched. After
+// Commit, Close is a no-op, so `defer f.Close()` is always safe.
+type File struct {
+	tmp       *os.File
+	path      string
+	committed bool
+	closed    bool
+}
+
+var _ io.WriteCloser = (*File)(nil)
+
+// Create opens an atomic writer targeting path. The temp file lives in
+// path's directory so the final rename cannot cross filesystems.
+func Create(path string) (*File, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("safeio: create temp for %s: %w", path, err)
+	}
+	return &File{tmp: tmp, path: path}, nil
+}
+
+// Write implements io.Writer, appending to the temp file.
+func (f *File) Write(p []byte) (int, error) { return f.tmp.Write(p) }
+
+// Commit makes the written content durable and visible at the target
+// path: fsync the temp file, close it, rename it over the destination.
+// On any error the temp file is removed and the destination is left as
+// it was.
+func (f *File) Commit() error {
+	if f.committed {
+		return nil
+	}
+	if f.closed {
+		return fmt.Errorf("safeio: commit after close: %s", f.path)
+	}
+	if err := f.tmp.Sync(); err != nil {
+		f.abort()
+		return fmt.Errorf("safeio: sync %s: %w", f.path, err)
+	}
+	if err := f.tmp.Close(); err != nil {
+		f.closed = true
+		os.Remove(f.tmp.Name())
+		return fmt.Errorf("safeio: close %s: %w", f.path, err)
+	}
+	f.closed = true
+	if err := os.Rename(f.tmp.Name(), f.path); err != nil {
+		os.Remove(f.tmp.Name())
+		return fmt.Errorf("safeio: rename %s: %w", f.path, err)
+	}
+	f.committed = true
+	return nil
+}
+
+// Close aborts the write when Commit has not run: the temp file is
+// removed and the destination keeps its previous content. After Commit
+// it does nothing.
+func (f *File) Close() error {
+	if f.committed || f.closed {
+		return nil
+	}
+	f.abort()
+	return nil
+}
+
+// abort closes and removes the temp file.
+func (f *File) abort() {
+	f.tmp.Close()
+	os.Remove(f.tmp.Name())
+	f.closed = true
+}
+
+// Name returns the destination path the file commits to.
+func (f *File) Name() string { return f.path }
+
+// WriteFile atomically replaces path with data (temp file + fsync +
+// rename): readers never observe a partial write, and a crash leaves
+// either the old content or the new, never a mix.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return fmt.Errorf("safeio: write %s: %w", path, err)
+	}
+	if err := f.tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("safeio: chmod %s: %w", path, err)
+	}
+	return f.Commit()
+}

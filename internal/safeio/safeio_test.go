@@ -1,0 +1,114 @@
+package safeio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("content = %q, want hello", got)
+	}
+}
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("content = %q, want new", got)
+	}
+}
+
+func TestCloseWithoutCommitPreservesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("partial garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil { // abort, no Commit
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "precious" {
+		t.Fatalf("aborted write clobbered destination: %q", got)
+	}
+	leftovers(t, dir, "out.txt")
+}
+
+func TestCommitThenCloseIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "data" {
+		t.Fatalf("content = %q, want data", got)
+	}
+	leftovers(t, dir, "out.txt")
+}
+
+func TestCommitAfterCloseFails(t *testing.T) {
+	f, err := Create(filepath.Join(t.TempDir(), "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := f.Commit(); err == nil {
+		t.Fatal("Commit after Close should fail")
+	}
+}
+
+// leftovers fails the test if the directory holds anything besides the
+// named files: an aborted or committed write must not leak temp files.
+func leftovers(t *testing.T, dir string, keep ...string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		ok := false
+		for _, k := range keep {
+			if e.Name() == k {
+				ok = true
+			}
+		}
+		if !ok || strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover file %s", e.Name())
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/ratelimit"
 	"repro/internal/routing"
@@ -183,6 +184,34 @@ type Config struct {
 	// rather than an always-on deployment.
 	Quarantine *Quarantine
 
+	// Faults, when non-nil, injects domain faults into the defense: an
+	// imperfect detector (false alarms, misses), limiter outage windows,
+	// and lost or delayed immunization. The injector draws from its own
+	// seeded RNG, never the engine's, so the worm dynamics of a faulted
+	// run diverge only through the fault *effects*, and the fault RNG
+	// state rides along in checkpoints.
+	Faults *fault.Profile
+
+	// CheckpointEvery, when > 0, snapshots the engine after every
+	// CheckpointEvery-th completed tick and hands the snapshot to
+	// Checkpoint. A checkpoint failure aborts the run.
+	CheckpointEvery int
+	// Checkpoint receives periodic snapshots (required when
+	// CheckpointEvery > 0 for single-engine runs; MultiRun fills it per
+	// replica from CheckpointFactory). Typically sim.WriteSnapshot into
+	// a run directory.
+	Checkpoint func(*Snapshot) error
+	// CheckpointFactory builds the per-replica checkpoint sink for
+	// MultiRun batches (run is the replica index). Called from worker
+	// goroutines; must be safe for concurrent calls with distinct run
+	// values. Single-engine runs ignore it.
+	CheckpointFactory func(run int) func(*Snapshot) error
+	// ResumeFactory, when non-nil, lets MultiRun resume replicas from
+	// checkpoints: it returns the snapshot to resume replica run from,
+	// or nil to start that replica fresh. Single-engine runs ignore it
+	// (use Restore directly).
+	ResumeFactory func(run int) (*Snapshot, error)
+
 	// HostsOnly restricts infection to RoleHost nodes (routers are
 	// infrastructure). Default false: every node is susceptible, as in
 	// the paper's "percentage of nodes infected" plots.
@@ -307,6 +336,17 @@ func (c *Config) Validate() error {
 		if err := c.Quarantine.validate(); err != nil {
 			return err
 		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("sim: checkpoint interval %d must be >= 0", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery > 0 && c.Checkpoint == nil && c.CheckpointFactory == nil {
+		return fmt.Errorf("sim: checkpoint interval set without a checkpoint sink")
 	}
 	return nil
 }

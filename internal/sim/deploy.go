@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/routing"
@@ -84,43 +85,118 @@ func MultiRun(cfg Config, runs int) (*Result, error) {
 // ticks and returns ctx's error; a progress callback installed via
 // runner.WithProgress observes partial runner.Stats in that case.
 func MultiRunContext(ctx context.Context, cfg Config, runs int, opts ...runner.Option) (*Result, error) {
+	res, _, err := MultiRunStats(ctx, cfg, runs, opts...)
+	return res, err
+}
+
+// MultiRunStats is MultiRunContext returning the final runner.Stats
+// alongside the aggregate, for callers that report batch health.
+//
+// Fault tolerance: with runner.WithKeepGoing the batch degrades
+// gracefully — a replica that fails (after any configured retries) is
+// recorded in Stats.Failures, and the aggregate averages over the
+// replicas that completed; only a batch where *every* replica failed
+// returns an error. With Config.CheckpointFactory each replica
+// periodically writes snapshots through its own sink, and with
+// Config.ResumeFactory each replica (including a retry of a crashed
+// one) first asks for a snapshot to resume from, so a retried replica
+// restarts from its own last checkpoint rather than tick zero.
+func MultiRunStats(ctx context.Context, cfg Config, runs int, opts ...runner.Option) (*Result, runner.Stats, error) {
 	if runs < 1 {
-		return nil, fmt.Errorf("sim: runs %d must be >= 1", runs)
+		return nil, runner.Stats{}, fmt.Errorf("sim: runs %d must be >= 1", runs)
 	}
 	// Validate once up front so workers cannot fail on config errors.
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, runner.Stats{}, err
 	}
 	if !cfg.Graph.Connected() {
-		return nil, topology.ErrDisconnected
+		return nil, runner.Stats{}, topology.ErrDisconnected
 	}
 	// All replicas route over the same graph: build the shared routing
 	// state (shortest-path table, link enumeration, hop table) once;
 	// it is read-only after construction.
 	ns := newNetState(cfg.Graph)
 
+	// results/done are committed under mu: with a per-task deadline the
+	// runner abandons a timed-out attempt's goroutine, which may still
+	// finish concurrently with a retry of the same replica (both compute
+	// the identical result — the lock makes the duplicate commit safe).
+	var mu sync.Mutex
 	results := make([]*Result, runs)
+	done := make([]bool, runs)
 	pool := runner.New(opts...)
 	stats, err := pool.Run(ctx, runs, func(ctx context.Context, r int) (runner.Report, error) {
 		c := cfg
 		c.Seed = cfg.Seed + int64(r)
+		if cfg.Faults != nil {
+			// Replicas decorrelate their fault streams exactly like their
+			// simulation streams: each gets the deterministic fault seed
+			// Faults.Seed + its index (re-derived identically on a retry).
+			p := *cfg.Faults
+			p.Seed += int64(r)
+			c.Faults = &p
+		}
 		if cfg.CollectorFactory != nil {
 			c.Collector = cfg.CollectorFactory(r)
 		}
-		eng, err := newEngine(c, ns)
-		if err != nil {
-			return runner.Report{}, fmt.Errorf("sim: run %d: %w", r, err)
+		if cfg.CheckpointFactory != nil {
+			c.Checkpoint = cfg.CheckpointFactory(r)
 		}
-		res, err := eng.RunContext(ctx)
+		var eng *Engine
+		if cfg.ResumeFactory != nil {
+			snap, rerr := cfg.ResumeFactory(r)
+			if rerr != nil {
+				return runner.Report{}, fmt.Errorf("sim: run %d: resume: %w", r, rerr)
+			}
+			if snap != nil {
+				eng, rerr = restoreEngine(c, snap, ns)
+				if rerr != nil {
+					return runner.Report{}, fmt.Errorf("sim: run %d: %w", r, rerr)
+				}
+			}
+		}
+		if eng == nil {
+			var nerr error
+			eng, nerr = newEngine(c, ns)
+			if nerr != nil {
+				return runner.Report{}, fmt.Errorf("sim: run %d: %w", r, nerr)
+			}
+		}
+		res, rerr := eng.RunContext(ctx)
+		if rerr != nil {
+			// Partial series are not committed: a degraded batch must
+			// average complete replicas only.
+			return runner.Report{Ticks: int64(len(res.Infected))}, fmt.Errorf("sim: run %d: %w", r, rerr)
+		}
+		mu.Lock()
 		results[r] = res
+		done[r] = true
+		mu.Unlock()
 		rep := runner.Report{Ticks: int64(len(res.Infected))}
 		if s, ok := c.Collector.(obs.Summarizer); ok {
 			rep.Counters = s.Summary().Counters()
 		}
-		return rep, err
+		return rep, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, stats, err
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	completed := 0
+	for _, ok := range done {
+		if ok {
+			completed++
+		}
+	}
+	if completed == 0 {
+		err := fmt.Errorf("sim: all %d replicas failed", runs)
+		if len(stats.Failures) > 0 {
+			err = fmt.Errorf("sim: all %d replicas failed; replica %d: %w",
+				runs, stats.Failures[0].Index, stats.Failures[0].Err)
+		}
+		return nil, stats, err
 	}
 
 	agg := &Result{
@@ -135,7 +211,11 @@ func MultiRunContext(ctx context.Context, cfg Config, runs int, opts ...runner.O
 	if cfg.TrackLatency {
 		agg.MeanLatency = make([]float64, cfg.Ticks)
 	}
+	first := true
 	for r, res := range results {
+		if !done[r] {
+			continue
+		}
 		for i := 0; i < cfg.Ticks; i++ {
 			agg.Infected[i] += res.Infected[i]
 			agg.EverInfected[i] += res.EverInfected[i]
@@ -148,22 +228,24 @@ func MultiRunContext(ctx context.Context, cfg Config, runs int, opts ...runner.O
 				agg.MeanLatency[i] += res.MeanLatency[i]
 			}
 		}
-		if r == 0 {
+		if first {
+			first = false
 			// Genealogy and activation tick are per-run data; keep the
-			// first run's values.
+			// first completed run's values.
 			agg.Infections = res.Infections
 			agg.QuarantineTick = res.QuarantineTick
 		}
 	}
 	// Key-wise summed counters are order-independent, so the aggregate
-	// is identical for every job count.
+	// is identical for every job count. Failed replicas contribute no
+	// counters (their Reports carry none).
 	agg.Counters = stats.Counters
-	inv := 1 / float64(runs)
+	inv := 1 / float64(completed)
 	for i := 0; i < cfg.Ticks; i++ {
 		agg.Infected[i] *= inv
 		agg.EverInfected[i] *= inv
 		agg.Immunized[i] *= inv
-		agg.Backlog[i] /= runs
+		agg.Backlog[i] /= completed
 		if cfg.TrackSubnets {
 			agg.WithinSubnet[i] *= inv
 		}
@@ -171,5 +253,5 @@ func MultiRunContext(ctx context.Context, cfg Config, runs int, opts ...runner.O
 			agg.MeanLatency[i] *= inv
 		}
 	}
-	return agg, nil
+	return agg, stats, nil
 }

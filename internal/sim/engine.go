@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"math/rand"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/ratelimit"
 	"repro/internal/routing"
@@ -64,8 +65,11 @@ type arrival struct {
 // in ascending order, so idle nodes and idle links cost nothing while
 // the visit order stays identical to a full scan.
 type Engine struct {
-	cfg   Config
-	rng   *rand.Rand
+	cfg Config
+	rng *rand.Rand
+	// src is rng's underlying draw-counting source; its counter is what
+	// makes the RNG checkpointable (see countedSource).
+	src   *countedSource
 	links *routing.Links
 	// hopLink[u*n+d] is the directed-link index of u's next hop toward
 	// d (-1 if unreachable): the entire routing decision of the
@@ -123,6 +127,9 @@ type Engine struct {
 	ever       int
 	removed    int
 	immunizing bool
+	// immunizePending is the tick at which a fault-delayed immunization
+	// process actually starts (-1 = no delayed start scheduled).
+	immunizePending int
 
 	// Dynamic quarantine state: the configured limits only bite once
 	// defenseActive is set. scansThisTick counts scan attempts at the
@@ -137,6 +144,16 @@ type Engine struct {
 	activatedTick     int // tick at which the defense engaged (-1 = never)
 	scansThisTick     int
 	throttledThisTick int // contacts a host limiter blocked this tick
+
+	// faults is the domain fault injector (nil when Config.Faults is nil
+	// or inert). It draws from its own RNG, never the engine's, so a
+	// faulted run consumes the identical engine RNG stream as the
+	// fault-free run. limitsDown marks ticks inside a limiter outage
+	// window; limitsActive is the effective per-tick defense state
+	// (defenseActive minus outages) the transmit path checks.
+	faults       *fault.Injector
+	limitsDown   bool
+	limitsActive bool
 
 	// Cumulative packet-flow counters (plain increments, kept with or
 	// without a collector so the invariant audit can always check
@@ -171,6 +188,12 @@ type Engine struct {
 	// infections is the genealogy log when RecordInfections is on.
 	infections []Infection
 	tick       int
+
+	// nextTick is the first tick RunContext still has to simulate: 0 for
+	// a fresh engine, the checkpointed boundary after a restore. res is
+	// the (possibly restored, partial) series RunContext appends to.
+	nextTick int
+	res      *Result
 
 	// latSum/latCount accumulate this tick's delivered-packet latency.
 	latSum   int64
@@ -216,9 +239,11 @@ func newEngine(cfg Config, ns *netState) (*Engine, error) {
 		ns = newNetState(cfg.Graph)
 	}
 	n := cfg.Graph.N()
+	src := newCountedSource(cfg.Seed)
 	e := &Engine{
 		cfg:          cfg,
-		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		rng:          rand.New(src),
+		src:          src,
 		links:        ns.links,
 		hopLink:      ns.hopLink,
 		n:            n,
@@ -262,6 +287,8 @@ func newEngine(cfg Config, ns *netState) (*Engine, error) {
 	if e.defenseActive {
 		e.activatedTick = 0
 	}
+	e.faults = fault.NewInjector(cfg.Faults)
+	e.immunizePending = -1
 	e.collector = cfg.Collector
 	e.tick = -1 // seed infections predate tick 0
 	if err := e.seedInfections(); err != nil {
@@ -473,14 +500,17 @@ func (e *Engine) Run() *Result {
 // tick ends with an invariant audit; a violation stops the run and
 // returns the partial series with an error matching obs.ErrInvariant.
 func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
-	res := &Result{
-		Infected:     make([]float64, 0, e.cfg.Ticks),
-		EverInfected: make([]float64, 0, e.cfg.Ticks),
-		Immunized:    make([]float64, 0, e.cfg.Ticks),
-		Backlog:      make([]int, 0, e.cfg.Ticks),
+	if e.res == nil {
+		e.res = &Result{
+			Infected:     make([]float64, 0, e.cfg.Ticks),
+			EverInfected: make([]float64, 0, e.cfg.Ticks),
+			Immunized:    make([]float64, 0, e.cfg.Ticks),
+			Backlog:      make([]int, 0, e.cfg.Ticks),
+		}
 	}
+	res := e.res
 	var err error
-	for tick := 0; tick < e.cfg.Ticks; tick++ {
+	for tick := e.nextTick; tick < e.cfg.Ticks; tick++ {
 		if err = ctx.Err(); err != nil {
 			break
 		}
@@ -489,6 +519,11 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		// previous tick's completed counters: detection cannot see the
 		// traffic of the tick it is gating.
 		e.updateQuarantine()
+		// The effective defense state for this tick: an injected limiter
+		// outage bypasses the whole rate-limiting deployment without
+		// touching the trigger state machine.
+		e.limitsDown = e.faults != nil && e.faults.LimiterDown(tick)
+		e.limitsActive = e.defenseActive && !e.limitsDown
 		e.scansThisTick = 0
 		e.throttledThisTick = 0
 		e.generate()
@@ -501,6 +536,17 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		if e.cfg.Check {
 			if aerr := e.audit(); aerr != nil {
 				err = aerr
+				break
+			}
+		}
+		e.nextTick = tick + 1
+		if e.cfg.CheckpointEvery > 0 && e.cfg.Checkpoint != nil && e.nextTick%e.cfg.CheckpointEvery == 0 {
+			snap, serr := e.Snapshot()
+			if serr == nil {
+				serr = e.cfg.Checkpoint(snap)
+			}
+			if serr != nil {
+				err = fmt.Errorf("sim: checkpoint after tick %d: %w", tick, serr)
 				break
 			}
 		}
@@ -530,6 +576,20 @@ func (e *Engine) updateQuarantine() {
 		}
 		if q.TriggerLevel > 0 && float64(e.infected)/float64(e.popSize) >= q.TriggerLevel {
 			fired = true
+		}
+		if e.faults != nil {
+			// Detector imperfections: a false alarm is drawn every armed
+			// tick; a miss suppresses a genuine threshold crossing (the
+			// detector gets another chance next tick). The false-alarm
+			// draw happens unconditionally so the fault RNG stream does
+			// not depend on whether the genuine condition held.
+			falseAlarm := e.faults.FalseAlarm()
+			if fired && e.faults.MissDetection() {
+				fired = false
+			}
+			if falseAlarm {
+				fired = true
+			}
 		}
 		if fired {
 			e.triggerTick = e.tick + q.Delay
@@ -582,7 +642,7 @@ func (e *Engine) generate() {
 				// and apply whenever installed (like ScanRateOverride),
 				// independent of the network-side quarantine state.
 				e.scansThisTick++
-				if limiter != nil && !limiter.Allow(int64(e.tick), ratelimit.IP(target)) {
+				if limiter != nil && !e.limitsDown && !limiter.Allow(int64(e.tick), ratelimit.IP(target)) {
 					e.throttledThisTick++
 					continue // throttled: contact blocked this tick
 				}
@@ -641,7 +701,7 @@ func (e *Engine) routePacket(u int32, pkt packet) {
 func (e *Engine) transmit() {
 	e.arrivals = e.arrivals[:0]
 	tick := int32(e.tick)
-	capped := e.defenseActive && e.nodeCap != nil
+	capped := e.limitsActive && e.nodeCap != nil
 	for w, word := range e.queueBits {
 		for word != 0 {
 			li := w<<6 + bits.TrailingZeros64(word)
@@ -659,7 +719,7 @@ func (e *Engine) transmit() {
 			}
 			q := e.queues[li]
 			allowed := len(q)
-			if e.linkLimited[li] && e.defenseActive && e.linkBudget[li] < allowed {
+			if e.linkLimited[li] && e.limitsActive && e.linkBudget[li] < allowed {
 				allowed = e.linkBudget[li]
 				if allowed < 0 {
 					allowed = 0
@@ -816,14 +876,31 @@ func (e *Engine) immunize(tick int) {
 		return
 	}
 	if !e.immunizing {
-		switch {
-		case im.StartTick >= 0 && tick >= im.StartTick:
-			e.immunizing = true
-		case im.StartTick < 0 && float64(e.infected)/float64(e.popSize) >= im.StartLevel:
-			e.immunizing = true
-		default:
-			return
+		if e.immunizePending >= 0 {
+			// An injected dissemination lag: the trigger condition already
+			// fired; patching waits out the delay.
+			if tick < e.immunizePending {
+				return
+			}
+		} else {
+			met := false
+			switch {
+			case im.StartTick >= 0 && tick >= im.StartTick:
+				met = true
+			case im.StartTick < 0 && float64(e.infected)/float64(e.popSize) >= im.StartLevel:
+				met = true
+			}
+			if !met {
+				return
+			}
+			if e.faults != nil {
+				if d := e.faults.ImmunizationDelay(); d > 0 {
+					e.immunizePending = tick + d
+					return
+				}
+			}
 		}
+		e.immunizing = true
 		if e.collector != nil {
 			e.collector.Event(obs.Event{Tick: tick, Kind: obs.EventImmunizationStarted})
 		}
@@ -836,6 +913,12 @@ func (e *Engine) immunize(tick int) {
 			continue
 		}
 		if e.rng.Float64() >= im.Mu {
+			continue
+		}
+		// The engine-RNG µ roll above happens for every candidate exactly
+		// as in a fault-free run; the loss fault draws from the injector's
+		// own stream afterwards, leaving the engine stream untouched.
+		if e.faults != nil && e.faults.DropImmunization() {
 			continue
 		}
 		if e.state[u] == stateInfected {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/ratelimit"
 	"repro/internal/routing"
+	"repro/internal/safeio"
 	"repro/internal/topology"
 	"repro/internal/worm"
 )
@@ -179,7 +180,7 @@ func TestGoldenSeries(t *testing.T) {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+		if err := safeio.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		t.Logf("rewrote %s with %d scenarios", goldenPath, len(got))

@@ -1,0 +1,41 @@
+package sim
+
+import "math/rand"
+
+// countedSource wraps math/rand's seeded source and counts the draws
+// taken from it, making the engine RNG checkpointable as (seed, draw
+// count): restore re-seeds and fast-forwards. It deliberately
+// implements only rand.Source — not Source64 — so rand.Rand derives
+// every value (Float64, Intn, Shuffle, ...) from Int63 alone, exactly
+// as it does for the bare rand.NewSource; the stream, and therefore
+// every golden series, is unchanged by the wrapper.
+type countedSource struct {
+	src   rand.Source
+	draws uint64
+}
+
+func newCountedSource(seed int64) *countedSource {
+	return &countedSource{src: rand.NewSource(seed)}
+}
+
+// Int63 implements rand.Source.
+func (c *countedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+// Seed implements rand.Source.
+func (c *countedSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
+}
+
+// fastForward discards n draws from the underlying source and pins the
+// counter at n, positioning a freshly seeded source at a checkpointed
+// stream offset.
+func (c *countedSource) fastForward(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Int63()
+	}
+	c.draws = n
+}

@@ -1,0 +1,539 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/ratelimit"
+	"repro/internal/safeio"
+	"repro/internal/worm"
+)
+
+// SnapshotVersion is the checkpoint payload version this build writes
+// and reads. The rule: any change to the payload schema, to what the
+// engine stores versus recomputes, or to the meaning of a stored field
+// bumps the version; old files are then rejected with a versioned
+// error rather than misread. There is no cross-version migration — a
+// checkpoint is a mid-run artifact, not an archive format.
+const SnapshotVersion = 1
+
+// snapshotFormat identifies checkpoint files regardless of version.
+const snapshotFormat = "wormsim-checkpoint"
+
+// ErrSnapshot marks every snapshot decode/restore failure: wrong
+// format, wrong version, checksum mismatch, or a payload inconsistent
+// with the restoring configuration. Corrupted checkpoints surface as
+// errors.Is(err, ErrSnapshot) — never a panic, never a silent resume
+// from garbage.
+var ErrSnapshot = errors.New("sim: invalid snapshot")
+
+// Snapshot is a complete serialized engine state at a tick boundary:
+// restoring it into an engine built from the identical Config resumes
+// the run with byte-identical remaining series. Only state that cannot
+// be recomputed is stored; active-set bitmaps, per-subnet counts, and
+// link budgets are rebuilt on restore. Fields are exported for JSON
+// only — treat the struct as opaque.
+type Snapshot struct {
+	// Identity of the run this snapshot belongs to; Restore rejects a
+	// snapshot whose identity does not match the rebuilding Config.
+	Nodes    int   `json:"nodes"`
+	Links    int   `json:"links"`
+	Ticks    int   `json:"ticks"`
+	Seed     int64 `json:"seed"`
+	NextTick int   `json:"next_tick"`
+
+	// RNGDraws is the engine RNG position: draws consumed from the
+	// seeded source. FaultState is the fault injector's RNG state.
+	RNGDraws   uint64 `json:"rng_draws"`
+	FaultState uint64 `json:"fault_state,omitempty"`
+
+	// States is one nodeState byte per node.
+	States []byte `json:"states"`
+
+	Infected int `json:"infected"`
+	Ever     int `json:"ever"`
+	Removed  int `json:"removed"`
+
+	Immunizing        bool `json:"immunizing"`
+	ImmunizePending   int  `json:"immunize_pending"`
+	DefenseActive     bool `json:"defense_active"`
+	TriggerTick       int  `json:"trigger_tick"`
+	ActivatedTick     int  `json:"activated_tick"`
+	ScansThisTick     int  `json:"scans_this_tick"`
+	ThrottledThisTick int  `json:"throttled_this_tick"`
+
+	GenCount    uint64 `json:"gen_count"`
+	DelivCount  uint64 `json:"deliv_count"`
+	DropCount   uint64 `json:"drop_count"`
+	PrevGen     uint64 `json:"prev_gen"`
+	PrevDeliv   uint64 `json:"prev_deliv"`
+	PrevDrop    uint64 `json:"prev_drop"`
+	PrevEver    int    `json:"prev_ever"`
+	PrevRemoved int    `json:"prev_removed"`
+
+	// LinkCredit holds the fractional credit of each limited link, in
+	// limited-index order. RRPos is the per-node round-robin resume
+	// position when node caps are configured.
+	LinkCredit []float64 `json:"link_credit,omitempty"`
+	RRPos      []int32   `json:"rr_pos,omitempty"`
+
+	Queues   []queueSnap   `json:"queues,omitempty"`
+	Limiters []limiterSnap `json:"limiters,omitempty"`
+	Pickers  []pickerSnap  `json:"pickers,omitempty"`
+
+	Infections []Infection `json:"infections,omitempty"`
+
+	Series seriesSnap `json:"series"`
+}
+
+// queueSnap is one non-empty link queue: packets flattened as
+// (src, dst, kind, birth) quads.
+type queueSnap struct {
+	Link int32   `json:"link"`
+	Pkts []int32 `json:"pkts"`
+}
+
+// limiterSnap is one host contact limiter's serialized state.
+type limiterSnap struct {
+	Node  int             `json:"node"`
+	State json.RawMessage `json:"state"`
+}
+
+// pickerSnap is one infected node's stateful-picker state.
+type pickerSnap struct {
+	Node  int             `json:"node"`
+	State json.RawMessage `json:"state"`
+}
+
+// seriesSnap is the partial per-tick series recorded so far.
+type seriesSnap struct {
+	Infected     []float64 `json:"infected"`
+	EverInfected []float64 `json:"ever_infected"`
+	Immunized    []float64 `json:"immunized"`
+	Backlog      []int     `json:"backlog"`
+	WithinSubnet []float64 `json:"within_subnet,omitempty"`
+	MeanLatency  []float64 `json:"mean_latency,omitempty"`
+}
+
+// snapshotEnvelope is the on-disk container: the payload plus enough
+// framing to reject foreign files, future versions, and corruption.
+type snapshotEnvelope struct {
+	Format  string          `json:"format"`
+	Version int             `json:"version"`
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Encode serializes the snapshot into its checksummed file format.
+func (s *Snapshot) Encode() ([]byte, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("sim: encode snapshot: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	return json.Marshal(snapshotEnvelope{
+		Format:  snapshotFormat,
+		Version: SnapshotVersion,
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: payload,
+	})
+}
+
+// DecodeSnapshot parses and verifies a checkpoint file. Every failure
+// — not a checkpoint, a different version, a corrupted payload —
+// returns an error matching ErrSnapshot.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var env snapshotEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: not a checkpoint file: %v", ErrSnapshot, err)
+	}
+	if env.Format != snapshotFormat {
+		return nil, fmt.Errorf("%w: format %q, want %q", ErrSnapshot, env.Format, snapshotFormat)
+	}
+	if env.Version != SnapshotVersion {
+		return nil, fmt.Errorf("%w: version %d (this build reads version %d)",
+			ErrSnapshot, env.Version, SnapshotVersion)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return nil, fmt.Errorf("%w: payload checksum mismatch (file corrupted or truncated)", ErrSnapshot)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(env.Payload, &s); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrSnapshot, err)
+	}
+	return &s, nil
+}
+
+// WriteSnapshot writes the snapshot to path crash-safely (temp file in
+// the same directory, fsync, atomic rename): a crash mid-write leaves
+// the previous checkpoint intact, never a half-written file.
+func WriteSnapshot(path string, s *Snapshot) error {
+	data, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	return safeio.WriteFile(path, data, 0o644)
+}
+
+// ReadSnapshot reads and verifies the checkpoint at path.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSnapshot(data)
+}
+
+// Snapshot captures the engine's complete state at the current tick
+// boundary. It fails if a configured host limiter or stateful picker
+// cannot serialize its state; stateless pickers are skipped (the
+// strategy factory rebuilds them).
+func (e *Engine) Snapshot() (*Snapshot, error) {
+	s := &Snapshot{
+		Nodes:    e.n,
+		Links:    e.links.Count(),
+		Ticks:    e.cfg.Ticks,
+		Seed:     e.cfg.Seed,
+		NextTick: e.nextTick,
+		RNGDraws: e.src.draws,
+
+		States: append([]byte(nil), stateBytes(e.state)...),
+
+		Infected: e.infected,
+		Ever:     e.ever,
+		Removed:  e.removed,
+
+		Immunizing:        e.immunizing,
+		ImmunizePending:   e.immunizePending,
+		DefenseActive:     e.defenseActive,
+		TriggerTick:       e.triggerTick,
+		ActivatedTick:     e.activatedTick,
+		ScansThisTick:     e.scansThisTick,
+		ThrottledThisTick: e.throttledThisTick,
+
+		GenCount:    e.genCount,
+		DelivCount:  e.delivCount,
+		DropCount:   e.dropCount,
+		PrevGen:     e.prevGen,
+		PrevDeliv:   e.prevDeliv,
+		PrevDrop:    e.prevDrop,
+		PrevEver:    e.prevEver,
+		PrevRemoved: e.prevRemoved,
+	}
+	if e.faults != nil {
+		s.FaultState = e.faults.State()
+	}
+	if len(e.limitedIdx) > 0 {
+		s.LinkCredit = make([]float64, len(e.limitedIdx))
+		for i, li := range e.limitedIdx {
+			s.LinkCredit[i] = e.linkCredit[li]
+		}
+	}
+	if e.rrPos != nil {
+		s.RRPos = append([]int32(nil), e.rrPos...)
+	}
+	for li, q := range e.queues {
+		if len(q) == 0 {
+			continue
+		}
+		pkts := make([]int32, 0, len(q)*4)
+		for _, p := range q {
+			pkts = append(pkts, p.src, p.dst, int32(p.kind), p.birth)
+		}
+		s.Queues = append(s.Queues, queueSnap{Link: int32(li), Pkts: pkts})
+	}
+	for u, l := range e.hostLimiters {
+		if l == nil {
+			continue
+		}
+		m, ok := l.(ratelimit.StateMarshaler)
+		if !ok {
+			return nil, fmt.Errorf("sim: host limiter of node %d (%T) does not support snapshots", u, l)
+		}
+		data, err := m.MarshalState()
+		if err != nil {
+			return nil, fmt.Errorf("sim: snapshot limiter of node %d: %w", u, err)
+		}
+		s.Limiters = append(s.Limiters, limiterSnap{Node: u, State: data})
+	}
+	for u, st := range e.state {
+		if st != stateInfected {
+			continue
+		}
+		m, ok := e.pickers[u].(worm.StateMarshaler)
+		if !ok {
+			continue // stateless picker: the factory rebuilds it exactly
+		}
+		data, err := m.MarshalState()
+		if err != nil {
+			return nil, fmt.Errorf("sim: snapshot picker of node %d: %w", u, err)
+		}
+		s.Pickers = append(s.Pickers, pickerSnap{Node: u, State: data})
+	}
+	if e.cfg.RecordInfections {
+		s.Infections = append([]Infection(nil), e.infections...)
+	}
+	if e.res != nil {
+		s.Series = seriesSnap{
+			Infected:     append([]float64(nil), e.res.Infected...),
+			EverInfected: append([]float64(nil), e.res.EverInfected...),
+			Immunized:    append([]float64(nil), e.res.Immunized...),
+			Backlog:      append([]int(nil), e.res.Backlog...),
+			WithinSubnet: append([]float64(nil), e.res.WithinSubnet...),
+			MeanLatency:  append([]float64(nil), e.res.MeanLatency...),
+		}
+	}
+	return s, nil
+}
+
+// stateBytes reinterprets the node-state slice as raw bytes.
+func stateBytes(st []nodeState) []byte {
+	b := make([]byte, len(st))
+	for i, s := range st {
+		b[i] = byte(s)
+	}
+	return b
+}
+
+// Restore builds an engine from cfg positioned at the snapshot's tick
+// boundary. cfg must be the configuration the snapshot was taken under
+// (same graph, parameters, seed); mismatches that are cheap to detect
+// are rejected with ErrSnapshot, the rest are the caller's contract.
+// The restored engine's RunContext continues at snapshot.NextTick and
+// produces the byte-identical remaining series of an uninterrupted run.
+func Restore(cfg Config, snap *Snapshot) (*Engine, error) {
+	return restoreEngine(cfg, snap, nil)
+}
+
+// restoreEngine is Restore with an optional shared netState (MultiRun
+// resumes replicas over the routing state it already built).
+func restoreEngine(cfg Config, snap *Snapshot, ns *netState) (*Engine, error) {
+	e, err := newEngine(cfg, ns)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.restore(snap); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// restore overwrites a freshly built engine's mutable state with the
+// snapshot's, validating everything the configuration lets it check.
+func (e *Engine) restore(s *Snapshot) error {
+	if s.Nodes != e.n || s.Links != e.links.Count() {
+		return fmt.Errorf("%w: snapshot of %d nodes / %d links, config builds %d / %d",
+			ErrSnapshot, s.Nodes, s.Links, e.n, e.links.Count())
+	}
+	if s.Seed != e.cfg.Seed {
+		return fmt.Errorf("%w: snapshot of seed %d, config has seed %d", ErrSnapshot, s.Seed, e.cfg.Seed)
+	}
+	if s.Ticks != e.cfg.Ticks {
+		return fmt.Errorf("%w: snapshot of a %d-tick run, config has %d", ErrSnapshot, s.Ticks, e.cfg.Ticks)
+	}
+	if s.NextTick < 0 || s.NextTick > e.cfg.Ticks {
+		return fmt.Errorf("%w: next tick %d out of [0,%d]", ErrSnapshot, s.NextTick, e.cfg.Ticks)
+	}
+	if len(s.States) != e.n {
+		return fmt.Errorf("%w: %d node states for %d nodes", ErrSnapshot, len(s.States), e.n)
+	}
+	if len(s.Series.Infected) != s.NextTick || len(s.Series.EverInfected) != s.NextTick ||
+		len(s.Series.Immunized) != s.NextTick || len(s.Series.Backlog) != s.NextTick {
+		return fmt.Errorf("%w: series length != %d completed ticks", ErrSnapshot, s.NextTick)
+	}
+	if e.cfg.TrackSubnets && len(s.Series.WithinSubnet) != s.NextTick {
+		return fmt.Errorf("%w: within-subnet series length %d != %d (was the snapshot taken without TrackSubnets?)",
+			ErrSnapshot, len(s.Series.WithinSubnet), s.NextTick)
+	}
+	if e.cfg.TrackLatency && len(s.Series.MeanLatency) != s.NextTick {
+		return fmt.Errorf("%w: latency series length %d != %d (was the snapshot taken without TrackLatency?)",
+			ErrSnapshot, len(s.Series.MeanLatency), s.NextTick)
+	}
+
+	// Node states, with the derived counts and active sets rebuilt and
+	// cross-checked against the stored totals.
+	clear(e.infectedBits)
+	for i := range e.subnetInfected {
+		e.subnetInfected[i] = 0
+	}
+	nInfected, nRemoved := 0, 0
+	for u, b := range s.States {
+		st := nodeState(b)
+		switch st {
+		case stateSusceptible:
+		case stateInfected:
+			nInfected++
+			e.infectedBits[u>>6] |= 1 << (uint(u) & 63)
+			if e.cfg.TrackSubnets {
+				if sub := e.env.Subnet[u]; sub >= 0 {
+					e.subnetInfected[sub]++
+				}
+			}
+		case stateRemoved:
+			nRemoved++
+		default:
+			return fmt.Errorf("%w: node %d has unknown state %d", ErrSnapshot, u, b)
+		}
+		e.state[u] = st
+	}
+	if nInfected != s.Infected || nRemoved != s.Removed {
+		return fmt.Errorf("%w: stored counts (%d infected, %d removed) disagree with states (%d, %d)",
+			ErrSnapshot, s.Infected, s.Removed, nInfected, nRemoved)
+	}
+	if s.Ever < nInfected || s.Ever > e.n {
+		return fmt.Errorf("%w: ever-infected count %d out of [%d,%d]", ErrSnapshot, s.Ever, nInfected, e.n)
+	}
+	e.infected, e.ever, e.removed = s.Infected, s.Ever, s.Removed
+
+	// Pickers: rebuild via the strategy factory for the restored
+	// infected set, then overlay recorded stateful-picker state.
+	for u := range e.pickers {
+		e.pickers[u] = nil
+		if e.state[u] == stateInfected {
+			e.pickers[u] = e.cfg.Strategy(e.env, u)
+		}
+	}
+	for _, ps := range s.Pickers {
+		if ps.Node < 0 || ps.Node >= e.n || e.state[ps.Node] != stateInfected {
+			return fmt.Errorf("%w: picker state for node %d which is not infected", ErrSnapshot, ps.Node)
+		}
+		m, ok := e.pickers[ps.Node].(worm.StateMarshaler)
+		if !ok {
+			return fmt.Errorf("%w: picker state recorded for node %d but the configured strategy is stateless",
+				ErrSnapshot, ps.Node)
+		}
+		if err := m.UnmarshalState(ps.State); err != nil {
+			return fmt.Errorf("%w: picker of node %d: %v", ErrSnapshot, ps.Node, err)
+		}
+	}
+
+	// Link queues.
+	nLinks := e.links.Count()
+	for li := range e.queues {
+		if e.queues[li] != nil {
+			e.queues[li] = e.queues[li][:0]
+		}
+	}
+	clear(e.queueBits)
+	e.backlog = 0
+	for _, qs := range s.Queues {
+		li := int(qs.Link)
+		if li < 0 || li >= nLinks {
+			return fmt.Errorf("%w: queue for link %d out of [0,%d)", ErrSnapshot, li, nLinks)
+		}
+		if len(qs.Pkts)%4 != 0 || len(qs.Pkts) == 0 {
+			return fmt.Errorf("%w: link %d queue has %d values (not non-empty quads)", ErrSnapshot, li, len(qs.Pkts))
+		}
+		if len(e.queues[li]) > 0 {
+			return fmt.Errorf("%w: duplicate queue entry for link %d", ErrSnapshot, li)
+		}
+		q := make([]packet, 0, max(len(qs.Pkts)/4, e.cfg.MaxQueue))
+		for i := 0; i < len(qs.Pkts); i += 4 {
+			p := packet{src: qs.Pkts[i], dst: qs.Pkts[i+1], kind: packetKind(qs.Pkts[i+2]), birth: qs.Pkts[i+3]}
+			if p.src < 0 || int(p.src) >= e.n || p.dst < 0 || int(p.dst) >= e.n {
+				return fmt.Errorf("%w: link %d carries packet with endpoints %d->%d", ErrSnapshot, li, p.src, p.dst)
+			}
+			if p.kind > kindReply {
+				return fmt.Errorf("%w: link %d carries packet of unknown kind %d", ErrSnapshot, li, p.kind)
+			}
+			q = append(q, p)
+		}
+		e.queues[li] = q
+		e.queueBits[li>>6] |= 1 << (uint(li) & 63)
+		e.backlog += len(q)
+	}
+
+	// Host limiter state: every configured limiter must have been
+	// recorded, and every recorded limiter must still be configured.
+	configured := 0
+	for _, l := range e.hostLimiters {
+		if l != nil {
+			configured++
+		}
+	}
+	if len(s.Limiters) != configured {
+		return fmt.Errorf("%w: %d limiter states for %d configured host limiters",
+			ErrSnapshot, len(s.Limiters), configured)
+	}
+	for _, ls := range s.Limiters {
+		if ls.Node < 0 || ls.Node >= e.n || e.hostLimiters == nil || e.hostLimiters[ls.Node] == nil {
+			return fmt.Errorf("%w: limiter state for node %d which has no host limiter", ErrSnapshot, ls.Node)
+		}
+		m, ok := e.hostLimiters[ls.Node].(ratelimit.StateMarshaler)
+		if !ok {
+			return fmt.Errorf("%w: host limiter of node %d (%T) does not support snapshots",
+				ErrSnapshot, ls.Node, e.hostLimiters[ls.Node])
+		}
+		if err := m.UnmarshalState(ls.State); err != nil {
+			return fmt.Errorf("%w: limiter of node %d: %v", ErrSnapshot, ls.Node, err)
+		}
+	}
+
+	// Link credits and round-robin positions.
+	if len(s.LinkCredit) != len(e.limitedIdx) {
+		return fmt.Errorf("%w: %d link credits for %d limited links", ErrSnapshot, len(s.LinkCredit), len(e.limitedIdx))
+	}
+	for i, li := range e.limitedIdx {
+		e.linkCredit[li] = s.LinkCredit[i]
+	}
+	if (e.rrPos == nil) != (len(s.RRPos) == 0) {
+		return fmt.Errorf("%w: node-cap scheduler state disagrees with configured NodeCaps", ErrSnapshot)
+	}
+	if e.rrPos != nil {
+		if len(s.RRPos) != e.n {
+			return fmt.Errorf("%w: %d round-robin positions for %d nodes", ErrSnapshot, len(s.RRPos), e.n)
+		}
+		copy(e.rrPos, s.RRPos)
+		for u := range e.cappedServed {
+			e.cappedServed[u] = -1
+		}
+	}
+
+	// Defense, immunization, and counter state.
+	e.immunizing = s.Immunizing
+	e.immunizePending = s.ImmunizePending
+	e.defenseActive = s.DefenseActive
+	e.triggerTick = s.TriggerTick
+	e.activatedTick = s.ActivatedTick
+	e.scansThisTick = s.ScansThisTick
+	e.throttledThisTick = s.ThrottledThisTick
+	e.genCount, e.delivCount, e.dropCount = s.GenCount, s.DelivCount, s.DropCount
+	e.prevGen, e.prevDeliv, e.prevDrop = s.PrevGen, s.PrevDeliv, s.PrevDrop
+	e.prevEver, e.prevRemoved = s.PrevEver, s.PrevRemoved
+	e.latSum, e.latCount = 0, 0
+
+	if e.cfg.RecordInfections {
+		e.infections = append(e.infections[:0], s.Infections...)
+	}
+	if e.faults != nil {
+		e.faults.SetState(s.FaultState)
+	}
+
+	// RNG: re-seed and fast-forward to the checkpointed stream position.
+	e.src = newCountedSource(e.cfg.Seed)
+	e.src.fastForward(s.RNGDraws)
+	e.rng = rand.New(e.src)
+
+	// Partial series; RunContext appends the remaining ticks.
+	e.res = &Result{
+		Infected:     append(make([]float64, 0, e.cfg.Ticks), s.Series.Infected...),
+		EverInfected: append(make([]float64, 0, e.cfg.Ticks), s.Series.EverInfected...),
+		Immunized:    append(make([]float64, 0, e.cfg.Ticks), s.Series.Immunized...),
+		Backlog:      append(make([]int, 0, e.cfg.Ticks), s.Series.Backlog...),
+	}
+	if e.cfg.TrackSubnets {
+		e.res.WithinSubnet = append(make([]float64, 0, e.cfg.Ticks), s.Series.WithinSubnet...)
+	}
+	if e.cfg.TrackLatency {
+		e.res.MeanLatency = append(make([]float64, 0, e.cfg.Ticks), s.Series.MeanLatency...)
+	}
+	e.nextTick = s.NextTick
+	e.tick = s.NextTick - 1
+	return nil
+}

@@ -1,0 +1,60 @@
+package worm
+
+import "encoding/json"
+
+// StateMarshaler is implemented by stateful pickers so an engine
+// checkpoint can capture and restore their scan position. Stateless
+// pickers (Random, LocalPreferential) do not implement it; the engine
+// skips them — rebuilding via the Factory reproduces them exactly.
+type StateMarshaler interface {
+	// MarshalState serializes the picker's mutable state.
+	MarshalState() ([]byte, error)
+	// UnmarshalState restores state produced by MarshalState on a
+	// freshly built picker of the same strategy.
+	UnmarshalState(data []byte) error
+}
+
+type sequentialState struct {
+	Cursor int `json:"cursor"`
+}
+
+// MarshalState implements StateMarshaler.
+func (s *Sequential) MarshalState() ([]byte, error) {
+	return json.Marshal(sequentialState{Cursor: s.cursor})
+}
+
+// UnmarshalState implements StateMarshaler.
+func (s *Sequential) UnmarshalState(data []byte) error {
+	var st sequentialState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	s.cursor = st.Cursor
+	return nil
+}
+
+type hitListState struct {
+	Next int `json:"next"`
+}
+
+// MarshalState implements StateMarshaler. The claim cursor is shared by
+// every picker of one population, so each infected node records the
+// same value; restoring any of them restores all.
+func (h *HitList) MarshalState() ([]byte, error) {
+	return json.Marshal(hitListState{Next: h.shared.next})
+}
+
+// UnmarshalState implements StateMarshaler.
+func (h *HitList) UnmarshalState(data []byte) error {
+	var st hitListState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	h.shared.next = st.Next
+	return nil
+}
+
+var (
+	_ StateMarshaler = (*Sequential)(nil)
+	_ StateMarshaler = (*HitList)(nil)
+)
