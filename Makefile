@@ -1,8 +1,10 @@
 GO ?= go
 
-.PHONY: check build test race vet audit chaos bench bench-figures bench-smoke figures clean
+.PHONY: check build test race vet audit chaos bench bench-figures bench-smoke bench-scale figures clean
 
-## check: the full gate — vet, build, race-enabled tests.
+## check: the full gate — vet, build, race-enabled tests. The race run
+## covers the intra-run parallel engine (cross-worker determinism and
+## snapshot-resume tests in internal/sim shard real work at Workers=2/8).
 check: vet build race
 
 build:
@@ -45,9 +47,18 @@ bench-figures:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 ## bench-smoke: one iteration of every benchmark in the module, so
-## benchmark code cannot bit-rot (CI runs this).
+## benchmark code cannot bit-rot (CI runs this). -short keeps the scale
+## suite to sizes a CI runner can hold (<= 10k hosts).
 bench-smoke:
-	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(GO) test -short -run xxx -bench . -benchtime 1x ./...
+
+## bench-scale: the large-topology scale suite (BenchmarkEngineTickScale:
+## two-level AS graphs from 1k to 1M hosts, 1 and NumCPU intra-run
+## workers; ns/tick and B/host recorded in BENCH_engine.json). The
+## full run includes the 1M-host size (~400 MB peak RSS); CI smokes it
+## with `make bench-scale SHORT=-short`, which stops at 10k hosts.
+bench-scale:
+	$(GO) test $(SHORT) -run xxx -bench BenchmarkEngineTickScale -benchtime 1x -count 1 ./internal/sim
 
 ## figures: regenerate every table and figure into out/.
 figures:

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	figures [-out out] [-runs 10] [-jobs N] [-timeout 10m] [-quick] \
+//	figures [-out out] [-runs 10] [-jobs N] [-workers N] [-timeout 10m] [-quick] \
 //	        [-metrics batch.jsonl] [-check] \
 //	        [-checkpoint dir] [-checkpoint-every 10] [-resume] \
 //	        [-retries 2] [-replica-timeout 2m] [-keep-going] \
@@ -15,7 +15,10 @@
 // With no figure IDs, every experiment is regenerated. -jobs bounds the
 // figure-level parallelism (default GOMAXPROCS; each figure then
 // averages its replicas serially, so the whole batch uses about -jobs
-// cores). -timeout aborts the batch; Ctrl-C cancels it mid-run.
+// cores). -workers shards each replica's per-tick work (identical
+// results for any value; rarely useful here — the paper's figure
+// topologies are small, so figure-level parallelism is the better use
+// of cores). -timeout aborts the batch; Ctrl-C cancels it mid-run.
 //
 // Fault tolerance: -checkpoint writes every simulation replica's
 // engine snapshot under the directory (grouped by figure and batch);
@@ -60,6 +63,7 @@ func run(ctx context.Context, args []string) error {
 	out := fs.String("out", "out", "output directory for .dat and metrics files")
 	runs := fs.Int("runs", 10, "simulation replicas to average per figure")
 	jobs := fs.Int("jobs", 0, "figures regenerated concurrently (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "goroutines sharding each replica's per-tick work (0 = serial; results identical for any value)")
 	timeout := fs.Duration("timeout", 0, "abort the batch after this duration (0 = none)")
 	quick := fs.Bool("quick", false, "reduced populations and horizons")
 	ascii := fs.Bool("ascii", true, "print ASCII renderings")
@@ -83,6 +87,8 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("-runs must be positive, got %d", *runs)
 	case *jobs < 0:
 		return fmt.Errorf("-jobs must be >= 0 (0 = GOMAXPROCS), got %d", *jobs)
+	case *workers < 0:
+		return fmt.Errorf("-workers must be >= 0 (0 = serial), got %d", *workers)
 	case *timeout < 0:
 		return fmt.Errorf("-timeout must be >= 0, got %v", *timeout)
 	case *checkpointEvery <= 0:
@@ -93,6 +99,11 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("-replica-timeout must be >= 0, got %v", *replicaTimeout)
 	case *resume && *checkpoint == "":
 		return fmt.Errorf("-resume needs -checkpoint to name the checkpoint directory")
+	}
+	if *workers > 1 {
+		// Results are unaffected (DESIGN.md §12), but the paper's figure
+		// topologies sit below the intra-run sharding threshold.
+		fmt.Fprintln(os.Stderr, "figures: warning: -workers > 1 rarely helps here: figure topologies are small; prefer -jobs")
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -120,7 +131,7 @@ func run(ctx context.Context, args []string) error {
 	// serial: whole figures are the coarser, more evenly sized work
 	// units, so figure-level workers scale better than nested pools.
 	opt := experiment.Options{
-		Runs: *runs, Quick: *quick, Jobs: 1, Check: *check,
+		Runs: *runs, Quick: *quick, Jobs: 1, Workers: *workers, Check: *check,
 		Retries: *retries, RetryBackoff: *retryBackoff,
 		ReplicaTimeout: *replicaTimeout, KeepGoing: *keepGoing,
 		Checkpoint: *checkpoint, CheckpointEvery: *checkpointEvery, Resume: *resume,

@@ -2,16 +2,22 @@
 // prints the per-tick infected / ever-infected / immunized fractions as
 // tab-separated values (tick first), suitable for plotting. Replicas
 // run concurrently on a bounded worker pool; the averaged series is
-// identical for every -jobs value. Ctrl-C or -timeout aborts the batch.
+// identical for every -jobs value, and each replica's own series is
+// identical for every -workers value (intra-run sharding, DESIGN.md
+// §12). Ctrl-C or -timeout aborts the batch.
 //
 // Usage:
 //
 //	wormsim -topology powerlaw -n 1000 -worm random -beta 0.8 \
 //	        -defense backbone -rate 0.4 -ticks 150 -runs 10 \
-//	        [-jobs N] [-timeout 5m] [-progress] \
+//	        [-jobs N] [-workers N] [-timeout 5m] [-progress] \
 //	        [-metrics run.jsonl] [-check] \
 //	        [-checkpoint dir] [-checkpoint-every 10] [-resume path] \
 //	        [-retries 2] [-replica-timeout 2m]
+//
+// -jobs spends cores across replicas (best for batches of small runs);
+// -workers spends them inside one replica (best for -runs 1 on a large
+// -topology twolevel graph). See README.md's performance guide.
 //
 // -metrics streams every replica's per-tick structured counters, events,
 // and summary as JSON Lines; -check cross-checks the engine's internal
@@ -57,8 +63,8 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("wormsim", flag.ContinueOnError)
-	topo := fs.String("topology", "powerlaw", "topology: star | powerlaw | enterprise")
-	n := fs.Int("n", 1000, "node count (star/powerlaw)")
+	topo := fs.String("topology", "powerlaw", "topology: star | powerlaw | enterprise | twolevel")
+	n := fs.Int("n", 1000, "node count (star/powerlaw; approximate host count for twolevel)")
 	wormKind := fs.String("worm", "random", "worm targeting: random | localpref | sequential")
 	beta := fs.Float64("beta", 0.8, "per-scan infection probability β")
 	scans := fs.Int("scans", 1, "scan attempts per tick")
@@ -75,6 +81,7 @@ func run(ctx context.Context, args []string) error {
 	immunizeAt := fs.Float64("immunize-at", 0, "start patching at this infected fraction (0 = off)")
 	mu := fs.Float64("mu", 0.1, "per-tick patch probability")
 	jobs := fs.Int("jobs", 0, "replicas simulated concurrently (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "goroutines sharding each replica's per-tick work (0 = serial; results identical for any value)")
 	timeout := fs.Duration("timeout", 0, "abort the batch after this duration (0 = none)")
 	progress := fs.Bool("progress", false, "print replica completion and throughput to stderr")
 	metricsPath := fs.String("metrics", "", "write per-replica JSONL metrics (ticks, events, summaries) to this file")
@@ -103,6 +110,8 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("-scans must be >= 0, got %d", *scans)
 	case *jobs < 0:
 		return fmt.Errorf("-jobs must be >= 0 (0 = GOMAXPROCS), got %d", *jobs)
+	case *workers < 0:
+		return fmt.Errorf("-workers must be >= 0 (0 = serial), got %d", *workers)
 	case *timeout < 0:
 		return fmt.Errorf("-timeout must be >= 0, got %v", *timeout)
 	case *checkpointEvery <= 0:
@@ -126,6 +135,7 @@ func run(ctx context.Context, args []string) error {
 		Ticks:           *ticks,
 		Seed:            *seed,
 		InitialInfected: *initial,
+		Workers:         *workers,
 	}
 	switch *topo {
 	case "star":
@@ -135,6 +145,15 @@ func run(ctx context.Context, args []string) error {
 	case "enterprise":
 		sc.Topology = core.Enterprise(topology.HierarchicalConfig{
 			Backbones: 2, EdgesPer: 5, HostsPerSubnet: *n / 10,
+		})
+	case "twolevel":
+		// A BRITE-style AS internet with ~n hosts in 256-host stub
+		// subnets; 5% of ASes are transit-only. This is the scale
+		// topology: above ~4k nodes the engine routes it structurally
+		// (no dense hop table), so -n 100000 and beyond stay cheap.
+		stubs := max(*n/256, 4)
+		sc.Topology = core.ASInternet(topology.TwoLevelConfig{
+			ASes: stubs * 20 / 19, AttachM: 2, TransitFraction: 0.05, HostsPerStub: 256,
 		})
 	default:
 		return fmt.Errorf("unknown topology %q", *topo)
@@ -170,6 +189,9 @@ func run(ctx context.Context, args []string) error {
 	}
 	if err := sc.Validate(); err != nil {
 		return err
+	}
+	for _, w := range sc.Warnings() {
+		fmt.Fprintln(os.Stderr, "wormsim: warning:", w)
 	}
 
 	// Keep-going is always on: one dead replica must not discard the

@@ -16,6 +16,12 @@
 //   - cmd/figures, cmd/wormsim, cmd/wormmodel, cmd/tracegen,
 //     cmd/traceanalyze — command-line tools
 //
+// Every run is deterministic by construction — per-node RNG streams
+// make results independent of both replica-level (-jobs) and
+// intra-run (-workers) parallelism (DESIGN.md §12) — and the
+// simulator scales to million-host two-level topologies without an
+// O(N²) routing table (DESIGN.md §9, `make bench-scale`).
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured numbers. The benchmarks in
 // bench_test.go regenerate each figure (go test -bench=Fig -benchtime 1x).

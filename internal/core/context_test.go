@@ -100,3 +100,41 @@ func TestValidate(t *testing.T) {
 		t.Error("negative initial infections should fail validation")
 	}
 }
+
+func TestScenarioWorkers(t *testing.T) {
+	bad := smallScenario()
+	bad.Workers = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("Workers=-1 should fail validation")
+	}
+
+	small := smallScenario()
+	small.Workers = 4
+	if err := small.Validate(); err != nil {
+		t.Fatalf("Workers=4: %v", err)
+	}
+	if w := small.Warnings(); len(w) == 0 {
+		t.Error("Workers=4 on a 150-node topology should warn about unprofitable sharding")
+	}
+	small.Workers = 1
+	if w := small.Warnings(); len(w) != 0 {
+		t.Errorf("Workers=1 should not warn, got %v", w)
+	}
+
+	// The worker count is a throughput knob only: the averaged series
+	// must be byte-identical to the serial run.
+	serial := smallScenario()
+	parallel := smallScenario()
+	parallel.Workers = 4
+	want, err := serial.Simulate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parallel.Simulate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Infected, want.Infected) || !reflect.DeepEqual(got.Backlog, want.Backlog) {
+		t.Error("Workers=4 series diverged from serial")
+	}
+}

@@ -175,6 +175,12 @@ type Scenario struct {
 	InitialInfected int
 	// MaxQueue bounds link buffers (default 50).
 	MaxQueue int
+	// Workers shards each replica's per-tick work across this many
+	// goroutines (0 or 1 = serial). The series is byte-identical for
+	// every worker count — see DESIGN.md §12; this is a throughput knob
+	// for large topologies, orthogonal to WithJobs (replica
+	// parallelism).
+	Workers int
 }
 
 // ErrUnsupported reports a scenario combination with no implementation.
@@ -271,6 +277,7 @@ func (s *Scenario) build() (sim.Config, error) {
 		Ticks:           ticks,
 		Seed:            seed,
 		MaxQueue:        maxQ,
+		Workers:         s.Workers,
 	}
 
 	switch s.Defense.kind {
@@ -537,6 +544,45 @@ func (s *Scenario) Validate() error {
 	return cfg.Validate()
 }
 
+// specNodes computes the scenario topology's node count from the spec
+// alone, without materializing the graph.
+func (s *Scenario) specNodes() (int, error) {
+	switch s.Topology.kind {
+	case "star", "powerlaw":
+		return s.Topology.n, nil
+	case "hier":
+		h := s.Topology.hier
+		return h.Backbones + h.Backbones*h.EdgesPer*(1+h.HostsPerSubnet), nil
+	case "twolevel":
+		tl := s.Topology.twolevel
+		nTransit := int(tl.TransitFraction * float64(tl.ASes))
+		if tl.TransitFraction > 0 && nTransit == 0 {
+			nTransit = 1
+		}
+		return tl.ASes + (tl.ASes-nTransit)*tl.HostsPerStub, nil
+	default:
+		return 0, errors.New("core: scenario needs a topology")
+	}
+}
+
+// Warnings reports advisory (non-fatal) spec issues: configurations
+// that will run correctly but probably not the way the user hoped.
+// Currently it flags intra-run workers on topologies too small to
+// shard profitably — the result is identical either way (DESIGN.md
+// §12), but the goroutine handoff costs more than it saves below
+// sim.MinShardNodes nodes.
+func (s *Scenario) Warnings() []string {
+	var warns []string
+	if s.Workers > 1 {
+		if n, err := s.specNodes(); err == nil && n > 0 && n < sim.MinShardNodes {
+			warns = append(warns, fmt.Sprintf(
+				"core: %d workers on a %d-node topology: sharding pays off above ~%d nodes; expect serial-or-worse speed (results are unaffected)",
+				s.Workers, n, sim.MinShardNodes))
+		}
+	}
+	return warns
+}
+
 // Model returns the paper's analytical model matching the scenario
 // (topology size N, worm β, defense), where one exists. Scenarios with
 // no closed-form counterpart return ErrUnsupported.
@@ -544,23 +590,11 @@ func (s *Scenario) Model() (model.Curve, error) {
 	if s.Worm.strategy == nil {
 		return nil, errors.New("core: scenario needs a worm")
 	}
-	var n float64
-	switch s.Topology.kind {
-	case "star", "powerlaw":
-		n = float64(s.Topology.n)
-	case "hier":
-		h := s.Topology.hier
-		n = float64(h.Backbones + h.Backbones*h.EdgesPer*(1+h.HostsPerSubnet))
-	case "twolevel":
-		tl := s.Topology.twolevel
-		nTransit := int(tl.TransitFraction * float64(tl.ASes))
-		if tl.TransitFraction > 0 && nTransit == 0 {
-			nTransit = 1
-		}
-		n = float64(tl.ASes + (tl.ASes-nTransit)*tl.HostsPerStub)
-	default:
-		return nil, errors.New("core: scenario needs a topology")
+	nodes, err := s.specNodes()
+	if err != nil {
+		return nil, err
 	}
+	n := float64(nodes)
 	i0 := float64(s.InitialInfected)
 	if i0 == 0 {
 		i0 = 1

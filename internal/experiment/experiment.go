@@ -42,6 +42,13 @@ type Options struct {
 	// replicas (0 = GOMAXPROCS). When figures themselves run in
 	// parallel (RunAll), keep Jobs small to avoid oversubscription.
 	Jobs int
+	// Workers shards each replica's per-tick work across this many
+	// goroutines (sim.Config.Workers; 0 or 1 = serial). Results are
+	// byte-identical for every worker count (DESIGN.md §12). Workers
+	// multiply with Jobs — for the paper's small figure topologies
+	// replica parallelism (Jobs) is the better use of cores; Workers
+	// pays off on large single runs.
+	Workers int
 	// Check runs every simulation replica under the engine's per-tick
 	// invariant audit (sim.Config.Check). Slower; meant for CI and
 	// debugging.
@@ -158,6 +165,7 @@ func (b *BatchMetrics) IDs() []string {
 // batch's counters to the figure being built.
 func (o Options) multiRun(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
 	cfg.Check = o.Check
+	cfg.Workers = o.Workers
 	if o.Metrics != nil {
 		cfg.CollectorFactory = func(int) obs.Collector { return obs.NewTally() }
 	}

@@ -4,6 +4,15 @@
 // routing-table load. The load is what the paper calls "the number of
 // routing table entries the link occupies" and is used to scale each
 // rate-limited link's packet budget.
+//
+// Two next-hop representations exist. The dense form
+// (Links.HopTable) stores every (source, destination) next hop in one
+// O(N²) slice — exact, including tie-breaks, and the right choice for
+// paper-sized graphs. Structural (NewStructural) serves host-majority
+// graphs (star, hierarchical, two-level, m=1 power-law) with host
+// up-links plus a core-only table — O(N + core²), same hop counts,
+// possibly different equal-length tie-breaks; the simulation engine
+// switches to it above a node-count threshold (DESIGN.md §9).
 package routing
 
 import (

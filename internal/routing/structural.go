@@ -1,0 +1,143 @@
+package routing
+
+import "repro/internal/topology"
+
+// Structural is the memory-lean routing mode for host-and-core
+// topologies (topology.TwoLevel, Hierarchical, and any graph whose
+// population is mostly degree-1 hosts hanging off a router core, which
+// includes m=1 preferential-attachment trees). Instead of the dense
+// per-pair hop table — 4·N² bytes, hopeless at 100k+ nodes — it stores
+// next hops structurally: a host's only move is its uplink, so
+// shortest paths decompose as host → edge router → (core path) → edge
+// router → host, and only the core × core hop table is materialised.
+// A degree-1 host can never be an intermediate node of a shortest path
+// between other nodes, so core-subgraph shortest paths equal full-graph
+// shortest paths and every Structural route has optimal hop count.
+//
+// Memory is O(N + C²) for C core nodes instead of O(N²); with the
+// usual hundreds-of-hosts-per-router fan-out that is a ~10⁴× reduction.
+// A Structural is immutable after NewStructural and safe to share
+// across goroutines.
+type Structural struct {
+	links *Links
+	nc    int
+	// attach[u] is the core router a degree-1 host u hangs off, -1 for
+	// core nodes; upLink[u] is the directed-link index u -> attach[u].
+	attach []int32
+	upLink []int32
+	// coreID[v] is v's dense core index (-1 for hosts).
+	coreID []int32
+	// coreHop[ci*nc+cj] is the directed-link index of core node ci's
+	// next hop toward core node cj (-1 when ci == cj or unreachable).
+	coreHop []int32
+}
+
+// NewStructural builds the structural router for g, or returns nil when
+// the graph does not qualify: structural routing pays O(core²) memory,
+// so it requires at least half the nodes to be degree-1 hosts. Callers
+// fall back to the dense HopTable on nil.
+func NewStructural(g *topology.Graph, links *Links) *Structural {
+	n := g.N()
+	s := &Structural{
+		links:  links,
+		attach: make([]int32, n),
+		upLink: make([]int32, n),
+		coreID: make([]int32, n),
+	}
+	hosts := 0
+	for u := 0; u < n; u++ {
+		s.attach[u] = -1
+		s.upLink[u] = -1
+		s.coreID[u] = -1
+		adj := g.Neighbors(u)
+		if len(adj) == 1 && len(g.Neighbors(int(adj[0]))) > 1 {
+			s.attach[u] = adj[0]
+			s.upLink[u] = int32(links.OutStart(u))
+			hosts++
+		}
+	}
+	if hosts*2 < n {
+		return nil
+	}
+	coreNode := make([]int32, 0, n-hosts)
+	for u := 0; u < n; u++ {
+		if s.attach[u] < 0 {
+			s.coreID[u] = int32(len(coreNode))
+			coreNode = append(coreNode, int32(u))
+		}
+	}
+	nc := len(coreNode)
+	s.nc = nc
+
+	// CSR adjacency of the core-induced subgraph, in each node's
+	// insertion order (matching Build's BFS tie-breaking discipline:
+	// deterministic for a given graph). revLink[k] is the directed-link
+	// index neighbor -> core node, the value a BFS from a destination
+	// writes into the hop table.
+	start := make([]int32, nc+1)
+	adj := make([]int32, 0, nc*4)
+	revLink := make([]int32, 0, nc*4)
+	for ci, u := range coreNode {
+		start[ci] = int32(len(adj))
+		for _, v := range g.Neighbors(int(u)) {
+			if cv := s.coreID[v]; cv >= 0 {
+				adj = append(adj, cv)
+				revLink = append(revLink, int32(links.Index(int(v), int(u))))
+			}
+		}
+	}
+	start[nc] = int32(len(adj))
+
+	s.coreHop = make([]int32, nc*nc)
+	for i := range s.coreHop {
+		s.coreHop[i] = -1
+	}
+	// One BFS per core destination cd: discovering neighbor cw from cv
+	// means cv is cw's parent toward cd, so cw's hop link is the
+	// directed link cw -> cv.
+	queue := make([]int32, 0, nc)
+	for cd := 0; cd < nc; cd++ {
+		queue = append(queue[:0], int32(cd))
+		for len(queue) > 0 {
+			cv := queue[0]
+			queue = queue[1:]
+			for k := start[cv]; k < start[cv+1]; k++ {
+				cw := adj[k]
+				if cw != int32(cd) && s.coreHop[int(cw)*nc+cd] < 0 {
+					s.coreHop[int(cw)*nc+cd] = revLink[k]
+					queue = append(queue, cw)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// HopLink returns the directed-link index of u's next hop toward
+// destination d, or -1 when u == d or d is unreachable — the same
+// contract as an entry of Links.HopTable, computed structurally.
+func (s *Structural) HopLink(u, d int) int32 {
+	if u == d {
+		return -1
+	}
+	if s.attach[u] >= 0 {
+		return s.upLink[u] // a host's only exit
+	}
+	cu := s.coreID[u]
+	var cd int32
+	if a := s.attach[d]; a >= 0 {
+		if int(a) == u {
+			return int32(s.links.Index(u, d)) // final hop down to the host
+		}
+		cd = s.coreID[a]
+	} else {
+		cd = s.coreID[d]
+	}
+	return s.coreHop[int(cu)*s.nc+int(cd)]
+}
+
+// Core returns the number of core (non-host) nodes.
+func (s *Structural) Core() int { return s.nc }
+
+// Hosts returns the number of degree-1 hosts routed structurally.
+func (s *Structural) Hosts() int { return len(s.attach) - s.nc }

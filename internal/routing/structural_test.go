@@ -1,0 +1,103 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// structuralGraphs are small host-and-core topologies the structural
+// router must handle; small enough that exhaustive all-pairs
+// verification against the dense BFS table is cheap.
+func structuralGraphs(t *testing.T) map[string]*topology.Graph {
+	t.Helper()
+	star, err := topology.Star(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, _, _, err := topology.Hierarchical(topology.HierarchicalConfig{
+		Backbones: 2, EdgesPer: 4, HostsPerSubnet: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, _, _, err := topology.TwoLevel(topology.TwoLevelConfig{
+		ASes: 24, AttachM: 2, TransitFraction: 0.25, HostsPerStub: 8,
+	}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An m=1 preferential-attachment tree: most nodes are degree-1
+	// leaves, so it qualifies even without an explicit host tier.
+	ba1, err := topology.BarabasiAlbert(150, 1, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*topology.Graph{
+		"star": star, "hierarchical": hg, "twolevel": tl, "ba-m1": ba1,
+	}
+}
+
+// TestStructuralMatchesDense: every structural route must reach its
+// destination in exactly the dense table's shortest-path hop count
+// (tie-breaks may differ; optimality may not).
+func TestStructuralMatchesDense(t *testing.T) {
+	for name, g := range structuralGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			links := EnumerateLinks(g)
+			s := NewStructural(g, links)
+			if s == nil {
+				t.Fatalf("%s: NewStructural returned nil for a qualifying graph", name)
+			}
+			if s.Hosts()+s.Core() != g.N() {
+				t.Fatalf("hosts %d + core %d != n %d", s.Hosts(), s.Core(), g.N())
+			}
+			tab := Build(g)
+			n := g.N()
+			for u := 0; u < n; u++ {
+				if s.HopLink(u, u) != -1 {
+					t.Fatalf("HopLink(%d,%d) = %d, want -1", u, u, s.HopLink(u, u))
+				}
+				for d := 0; d < n; d++ {
+					if d == u {
+						continue
+					}
+					at, hops := u, 0
+					for at != d {
+						li := s.HopLink(at, d)
+						if li < 0 {
+							t.Fatalf("route %d->%d: stuck at %d after %d hops", u, d, at, hops)
+						}
+						if links.From(int(li)) != at {
+							t.Fatalf("route %d->%d: hop link %d starts at %d, not %d",
+								u, d, li, links.From(int(li)), at)
+						}
+						at = links.To(int(li))
+						hops++
+						if hops > n {
+							t.Fatalf("route %d->%d: did not terminate", u, d)
+						}
+					}
+					if want := tab.Dist(u, d); hops != want {
+						t.Fatalf("route %d->%d: %d hops, shortest path has %d", u, d, hops, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStructuralRejectsDenseCoreGraphs: graphs without a degree-1 host
+// majority must fall back to the dense table (NewStructural returns
+// nil) — structural routing would pay O(core²) for nothing.
+func TestStructuralRejectsDenseCoreGraphs(t *testing.T) {
+	g, err := topology.BarabasiAlbert(120, 2, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := NewStructural(g, EnumerateLinks(g)); s != nil {
+		t.Fatalf("NewStructural accepted an m=2 power-law graph (hosts %d of %d)",
+			s.Hosts(), g.N())
+	}
+}

@@ -7,6 +7,11 @@
 // task derives everything it needs, typically an RNG seed, from its
 // index), which makes results independent of worker count and
 // scheduling order.
+//
+// The pool serves two granularities: batches of whole replicas
+// (sim.MultiRun, experiment.RunAll) and intra-run tick sharding
+// (sim.Config.Workers), where each phase of a simulation tick fans its
+// node/link ranges out as one pool run per tick phase.
 package runner
 
 import (

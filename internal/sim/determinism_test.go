@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/worm"
+)
+
+// The cross-worker determinism contract (DESIGN.md §12): Config.Workers
+// is a throughput knob, never a semantics knob. Every golden scenario
+// must produce byte-identical series, genealogy, and observability
+// counters at Workers=1, 2, and 8, and checkpoints taken under one
+// worker count must resume under any other.
+
+// runTallied runs cfg with the given worker count and a fresh Tally
+// collector, returning the series and the run's counter totals.
+func runTallied(t *testing.T, cfg Config, workers int) (goldenSeries, map[string]int64) {
+	t.Helper()
+	cfg.Workers = workers
+	tally := obs.NewTally()
+	cfg.Collector = tally
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatalf("workers=%d: New: %v", workers, err)
+	}
+	res := eng.Run()
+	sum := tally.Summary()
+	return toGolden(res), sum.Counters()
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	for name, cfg := range goldenScenarios(t) {
+		t.Run(name, func(t *testing.T) {
+			base, baseCounters := runTallied(t, cfg, 1)
+			for _, workers := range []int{2, 8} {
+				got, counters := runTallied(t, cfg, workers)
+				if !reflect.DeepEqual(got, base) {
+					t.Errorf("workers=%d: series diverged from workers=1", workers)
+				}
+				if !reflect.DeepEqual(counters, baseCounters) {
+					t.Errorf("workers=%d: obs counters diverged from workers=1:\n got %v\nwant %v",
+						workers, counters, baseCounters)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerCountInvarianceSharedPicker: a hit-list worm shares a claim
+// cursor across hosts, which forces the generate sweep serial — but the
+// run as a whole (transmit/immunize still shard) must stay worker-count
+// independent.
+func TestWorkerCountInvarianceSharedPicker(t *testing.T) {
+	base := goldenScenarios(t)["powerlaw-drop-immunize"]
+	list := make([]int, 50)
+	for i := range list {
+		list[i] = (i * 3) % base.Graph.N()
+	}
+	hitlist, err := worm.NewHitListFactory(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Strategy = hitlist
+	want, wantCounters := runTallied(t, base, 1)
+	for _, workers := range []int{2, 8} {
+		got, counters := runTallied(t, base, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: hit-list series diverged from workers=1", workers)
+		}
+		if !reflect.DeepEqual(counters, wantCounters) {
+			t.Errorf("workers=%d: hit-list obs counters diverged from workers=1", workers)
+		}
+	}
+}
+
+// TestSnapshotResumeAcrossWorkerCounts: a snapshot is execution state,
+// not execution configuration — checkpoints taken by a 4-worker run
+// must resume byte-identically under 1, 4, or 8 workers.
+func TestSnapshotResumeAcrossWorkerCounts(t *testing.T) {
+	for _, name := range []string{"powerlaw-backbone-limited", "powerlaw-drop-immunize"} {
+		cfg := goldenScenarios(t)[name]
+		cfg.Workers = 4
+		full, snaps := runWithCheckpoints(t, cfg)
+		want := toGolden(full)
+		for _, cut := range []int{0, len(snaps) / 2, len(snaps) - 1} {
+			data, err := snaps[cut].Encode()
+			if err != nil {
+				t.Fatalf("%s: encode snapshot %d: %v", name, cut, err)
+			}
+			snap, err := DecodeSnapshot(data)
+			if err != nil {
+				t.Fatalf("%s: decode snapshot %d: %v", name, cut, err)
+			}
+			for _, workers := range []int{1, 4, 8} {
+				rcfg := cfg
+				rcfg.Workers = workers
+				eng, err := Restore(rcfg, snap)
+				if err != nil {
+					t.Fatalf("%s: restore cut %d under workers=%d: %v", name, cut, workers, err)
+				}
+				if got := toGolden(eng.Run()); !reflect.DeepEqual(got, want) {
+					t.Errorf("%s: resume from cut %d under workers=%d diverged", name, cut, workers)
+				}
+			}
+		}
+	}
+}

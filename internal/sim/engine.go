@@ -4,12 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
-	"math/rand"
 
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/ratelimit"
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/topology"
 	"repro/internal/worm"
 )
@@ -66,16 +66,27 @@ type arrival struct {
 // the visit order stays identical to a full scan.
 type Engine struct {
 	cfg Config
-	rng *rand.Rand
-	// src is rng's underlying draw-counting source; its counter is what
-	// makes the RNG checkpointable (see countedSource).
-	src   *countedSource
-	links *routing.Links
+	// streams is the per-node counter-mode RNG table (index n is the
+	// run-level stream); rands holds one reusable rand.Rand per worker,
+	// re-pointed at the stream of the node being simulated (see rng.go).
+	streams []uint64
+	rands   []*workerRand
+	// workers is the resolved intra-run worker count (>= 1); pool is the
+	// phase-sharding worker pool, nil when workers == 1. serialGen keeps
+	// the generate sweep on one goroutine when a picker shares state
+	// across hosts (worm.SharedStatePicker).
+	workers   int
+	pool      *runner.Pool
+	serialGen bool
+	links     *routing.Links
 	// hopLink[u*n+d] is the directed-link index of u's next hop toward
 	// d (-1 if unreachable): the entire routing decision of the
-	// per-packet path is one slice load.
-	hopLink []int32
-	n       int
+	// per-packet path is one slice load. Above the structural-routing
+	// threshold hopLink is nil and structural computes the same answer
+	// from O(n + core²) state instead of the O(n²) table.
+	hopLink    []int32
+	structural *routing.Structural
+	n          int
 
 	state   []nodeState
 	pickers []worm.Picker
@@ -203,23 +214,45 @@ type Engine struct {
 	// sentScratch is transmitCapped's per-adjacency-slot send counter,
 	// reused across ticks.
 	sentScratch []int32
+
+	// Per-worker phase buffers (one per worker, reused across ticks):
+	// each sharded phase writes worker-private results here and a
+	// sequential merge in worker order folds them into engine state, so
+	// every side effect lands in the same order regardless of worker
+	// count (see parallel.go).
+	genBufs []genBuf
+	txBufs  []txBuf
+	immBufs [][]int32
 }
 
+// structuralThreshold is the node count above which newNetState prefers
+// structural routing over the dense hop table: beyond a few thousand
+// nodes the O(N²) table (and the all-pairs BFS that fills it) dominates
+// memory and construction time. Below it the dense table is small and
+// its tie-breaking is pinned by the golden fixtures.
+const structuralThreshold = 4096
+
 // netState is the immutable, graph-derived routing state every replica
-// of a config shares: the shortest-path table, the stable directed-link
-// enumeration, and their fusion into the per-packet hop table. Built
+// of a config shares: the stable directed-link enumeration plus either
+// the dense per-packet hop table (small graphs) or the structural
+// router (large host-and-core graphs; see routing.Structural). Built
 // once per graph (MultiRun shares one across all replicas; New builds a
 // private one) and safe for concurrent readers.
 type netState struct {
-	tab     *routing.Table
-	links   *routing.Links
-	hopLink []int32
+	links      *routing.Links
+	hopLink    []int32
+	structural *routing.Structural
 }
 
 func newNetState(g *topology.Graph) *netState {
-	tab := routing.Build(g)
 	links := routing.EnumerateLinks(g)
-	return &netState{tab: tab, links: links, hopLink: links.HopTable(tab)}
+	if g.N() >= structuralThreshold {
+		if st := routing.NewStructural(g, links); st != nil {
+			return &netState{links: links, structural: st}
+		}
+	}
+	tab := routing.Build(g)
+	return &netState{links: links, hopLink: links.HopTable(tab)}
 }
 
 // New builds an engine from cfg. The topology must be connected.
@@ -239,17 +272,31 @@ func newEngine(cfg Config, ns *netState) (*Engine, error) {
 		ns = newNetState(cfg.Graph)
 	}
 	n := cfg.Graph.N()
-	src := newCountedSource(cfg.Seed)
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	e := &Engine{
 		cfg:          cfg,
-		rng:          rand.New(src),
-		src:          src,
+		streams:      newStreams(cfg.Seed, n),
+		workers:      workers,
 		links:        ns.links,
 		hopLink:      ns.hopLink,
+		structural:   ns.structural,
 		n:            n,
 		state:        make([]nodeState, n),
 		pickers:      make([]worm.Picker, n),
 		infectedBits: make([]uint64, (n+63)/64),
+	}
+	e.rands = make([]*workerRand, workers)
+	for i := range e.rands {
+		e.rands[i] = newWorkerRand(e.streams)
+	}
+	e.genBufs = make([]genBuf, workers)
+	e.txBufs = make([]txBuf, workers)
+	e.immBufs = make([][]int32, workers)
+	if workers > 1 {
+		e.pool = runner.New(runner.WithJobs(workers))
 	}
 	if e.cfg.BaseRate == 0 {
 		e.cfg.BaseRate = DefaultBaseRate
@@ -451,7 +498,9 @@ func (e *Engine) seedInfections() error {
 		return fmt.Errorf("sim: %d susceptible nodes < %d initial infections",
 			len(candidates), e.cfg.InitialInfected)
 	}
-	e.rng.Shuffle(len(candidates), func(i, j int) {
+	// Seed placement is run-level, not attributable to any node: it
+	// draws from the dedicated run stream (table index n).
+	e.runRand().Shuffle(len(candidates), func(i, j int) {
 		candidates[i], candidates[j] = candidates[j], candidates[i]
 	})
 	for _, u := range candidates[:e.cfg.InitialInfected] {
@@ -471,6 +520,14 @@ func (e *Engine) infect(u, source int) {
 	e.infected++
 	e.ever++
 	e.pickers[u] = e.cfg.Strategy(e.env, u)
+	if !e.serialGen {
+		if _, shared := e.pickers[u].(worm.SharedStatePicker); shared {
+			// A picker with cross-host shared state (hit-list cursor):
+			// sharding the generate sweep would race on it, so this run's
+			// scan generation stays on one goroutine.
+			e.serialGen = true
+		}
+	}
 	if e.cfg.TrackSubnets {
 		if s := e.env.Subnet[u]; s >= 0 {
 			e.subnetInfected[s]++
@@ -610,29 +667,64 @@ func (e *Engine) updateQuarantine() {
 	}
 }
 
-// generate lets every infected node attempt one infection. The
-// infected bitset is scanned ascending, so the visit order (and hence
-// RNG consumption) matches a full 0..n-1 state scan while idle nodes
-// cost one word test per 64.
+// generate lets every infected node attempt one infection. The work is
+// sharded over ranges of the infected bitset (serial = one range): each
+// worker stages its nodes' emissions in a private buffer, drawing every
+// node's randomness from that node's own stream, and a sequential merge
+// routes the staged packets in ascending node order — the visit order,
+// RNG consumption, and queueing order are identical for every worker
+// count. Shared-state pickers force a single shard (see infect).
 func (e *Engine) generate() {
+	words := len(e.infectedBits)
+	shards := 1
+	if e.workers > 1 && !e.serialGen {
+		shards = min(e.workers, max(words, 1))
+	}
+	e.forEachShard(shards, func(i int) {
+		e.generateRange(i, i*words/shards, (i+1)*words/shards)
+	})
+	for i := 0; i < shards; i++ {
+		buf := &e.genBufs[i]
+		e.scansThisTick += buf.scans
+		e.throttledThisTick += buf.throttled
+		e.genCount += uint64(len(buf.packets))
+		for _, pkt := range buf.packets {
+			e.routePacket(pkt.src, pkt)
+		}
+	}
+}
+
+// generateRange runs worker w's share of the generate sweep: infected
+// nodes of bitset words [loWord, hiWord), scanned ascending, staging
+// emissions into the worker's private buffer. It touches only
+// worker-owned state (the range's RNG streams and host limiters).
+func (e *Engine) generateRange(w, loWord, hiWord int) {
 	scans := e.cfg.ScansPerTick
 	if scans == 0 {
 		scans = 1
 	}
-	for w, word := range e.infectedBits {
+	kind := kindExploit
+	if e.cfg.ProbeFirst {
+		kind = kindProbe
+	}
+	buf := &e.genBufs[w]
+	buf.reset()
+	for wi := loWord; wi < hiWord; wi++ {
+		word := e.infectedBits[wi]
 		for word != 0 {
-			u := w<<6 + bits.TrailingZeros64(word)
+			u := wi<<6 + bits.TrailingZeros64(word)
 			word &= word - 1
 			beta := e.betaByNode[u]
 			var limiter ratelimit.ContactLimiter
 			if e.hostLimiters != nil {
 				limiter = e.hostLimiters[u]
 			}
+			rng := e.nodeRand(w, u)
 			for s := 0; s < scans; s++ {
-				if beta < 1 && e.rng.Float64() >= beta {
+				if beta < 1 && rng.Float64() >= beta {
 					continue
 				}
-				target := e.pickers[u].Pick(e.rng, u)
+				target := e.pickers[u].Pick(rng, u)
 				if target < 0 || target == u {
 					continue
 				}
@@ -641,17 +733,12 @@ func (e *Engine) generate() {
 				// scan stream. Host contact limiters are host-side filters
 				// and apply whenever installed (like ScanRateOverride),
 				// independent of the network-side quarantine state.
-				e.scansThisTick++
+				buf.scans++
 				if limiter != nil && !e.limitsDown && !limiter.Allow(int64(e.tick), ratelimit.IP(target)) {
-					e.throttledThisTick++
+					buf.throttled++
 					continue // throttled: contact blocked this tick
 				}
-				kind := kindExploit
-				if e.cfg.ProbeFirst {
-					kind = kindProbe
-				}
-				e.genCount++
-				e.routePacket(int32(u), packet{
+				buf.packets = append(buf.packets, packet{
 					src: int32(u), dst: int32(target), kind: kind, birth: int32(e.tick),
 				})
 			}
@@ -666,7 +753,12 @@ func (e *Engine) routePacket(u int32, pkt packet) {
 		e.deliverAt(pkt)
 		return
 	}
-	li := e.hopLink[int(u)*e.n+int(pkt.dst)]
+	var li int32
+	if e.hopLink != nil {
+		li = e.hopLink[int(u)*e.n+int(pkt.dst)]
+	} else {
+		li = e.structural.HopLink(int(u), int(pkt.dst))
+	}
 	if li < 0 {
 		e.dropCount++
 		return // unreachable: scan packet lost
@@ -698,8 +790,33 @@ func (e *Engine) routePacket(u int32, pkt packet) {
 // series determinism contract fixes. Links of a node-capped router are
 // served together by its round-robin scheduler the first time one of
 // its queues is encountered.
+//
+// With Workers > 1 and no node caps the sweep is sharded over ranges of
+// the queue bitset: per-link state (queue, budget, credit) is owned by
+// exactly one worker, arrivals are staged per worker, and the
+// sequential merge concatenates them in worker order — global ascending
+// link order, identical to the serial sweep. Node caps keep transmit
+// serial: a capped router's round-robin scheduler spans all its links
+// at once (hub scenarios are small; sharding buys nothing there).
 func (e *Engine) transmit() {
 	e.arrivals = e.arrivals[:0]
+	words := len(e.queueBits)
+	if e.workers > 1 && e.nodeCap == nil && words > 1 {
+		shards := min(e.workers, words)
+		e.forEachShard(shards, func(i int) {
+			e.transmitRange(i, i*words/shards, (i+1)*words/shards)
+		})
+		for i := 0; i < shards; i++ {
+			buf := &e.txBufs[i]
+			for _, li := range buf.cleared {
+				e.queueBits[li>>6] &^= 1 << (uint(li) & 63)
+			}
+			e.backlog -= buf.drained
+			e.dropCount += buf.dropped
+			e.arrivals = append(e.arrivals, buf.arrivals...)
+		}
+		return
+	}
 	tick := int32(e.tick)
 	capped := e.limitsActive && e.nodeCap != nil
 	for w, word := range e.queueBits {
@@ -741,6 +858,53 @@ func (e *Engine) transmit() {
 			default:
 				e.queues[li] = append(q[:0], q[allowed:]...)
 				e.backlog -= allowed
+			}
+		}
+	}
+}
+
+// transmitRange runs worker w's share of the transmit sweep: non-empty
+// queues of bitset words [loWord, hiWord), ascending. The worker owns
+// its links outright — it drains queues and spends budgets in place —
+// but defers the shared-state effects (queue-bitset clears, the backlog
+// and drop counters, the arrival stream) to its private buffer for the
+// sequential merge.
+func (e *Engine) transmitRange(w, loWord, hiWord int) {
+	buf := &e.txBufs[w]
+	buf.reset()
+	for wi := loWord; wi < hiWord; wi++ {
+		word := e.queueBits[wi]
+		for word != 0 {
+			li := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			q := e.queues[li]
+			allowed := len(q)
+			if e.linkLimited[li] && e.limitsActive && e.linkBudget[li] < allowed {
+				allowed = e.linkBudget[li]
+				if allowed < 0 {
+					allowed = 0
+				}
+			}
+			to := int32(e.links.To(li))
+			for _, pkt := range q[:allowed] {
+				buf.arrivals = append(buf.arrivals, arrival{node: to, pkt: pkt})
+			}
+			if e.linkLimited[li] {
+				e.spendLink(li, allowed)
+			}
+			switch {
+			case allowed == len(q):
+				e.queues[li] = q[:0] // drained
+				buf.cleared = append(buf.cleared, int32(li))
+				buf.drained += allowed
+			case e.cfg.Policy == PolicyDrop:
+				buf.dropped += uint64(len(q) - allowed)
+				e.queues[li] = q[:0] // excess discarded
+				buf.cleared = append(buf.cleared, int32(li))
+				buf.drained += len(q)
+			default:
+				e.queues[li] = append(q[:0], q[allowed:]...)
+				buf.drained += allowed
 			}
 		}
 	}
@@ -905,34 +1069,61 @@ func (e *Engine) immunize(tick int) {
 			e.collector.Event(obs.Event{Tick: tick, Kind: obs.EventImmunizationStarted})
 		}
 	}
-	for u := 0; u < e.n; u++ {
+	// The µ rolls are sharded over node ranges: each candidate's roll
+	// comes from its own stream, so the pass-set is identical for every
+	// worker count. State mutation and the injector's loss draws happen
+	// in the sequential merge, in ascending node order — the injector's
+	// single fault stream is consumed exactly as by a serial sweep.
+	shards := 1
+	if e.workers > 1 {
+		shards = min(e.workers, e.n)
+	}
+	e.forEachShard(shards, func(i int) {
+		e.immunizeRange(i, i*e.n/shards, (i+1)*e.n/shards)
+	})
+	for i := 0; i < shards; i++ {
+		for _, u32 := range e.immBufs[i] {
+			u := int(u32)
+			// The engine-RNG µ roll happened for every candidate exactly
+			// as in a fault-free run; the loss fault draws from the
+			// injector's own stream, leaving the engine streams untouched.
+			if e.faults != nil && e.faults.DropImmunization() {
+				continue
+			}
+			if e.state[u] == stateInfected {
+				e.infected--
+				e.infectedBits[u>>6] &^= 1 << (uint(u) & 63)
+				if e.cfg.TrackSubnets {
+					if s := e.env.Subnet[u]; s >= 0 {
+						e.subnetInfected[s]--
+					}
+				}
+			}
+			e.state[u] = stateRemoved
+			e.removed++
+		}
+	}
+}
+
+// immunizeRange runs worker w's share of the µ rolls: candidates in
+// [lo, hi) that pass are appended to the worker's private buffer. Node
+// state is only read here; mutation happens in immunize's merge.
+func (e *Engine) immunizeRange(w, lo, hi int) {
+	im := e.cfg.Immunize
+	buf := e.immBufs[w][:0]
+	for u := lo; u < hi; u++ {
 		if !e.susceptibleMask[u] || e.state[u] == stateRemoved {
 			continue
 		}
 		if im.SusceptibleOnly && e.state[u] == stateInfected {
 			continue
 		}
-		if e.rng.Float64() >= im.Mu {
+		if e.nodeRand(w, u).Float64() >= im.Mu {
 			continue
 		}
-		// The engine-RNG µ roll above happens for every candidate exactly
-		// as in a fault-free run; the loss fault draws from the injector's
-		// own stream afterwards, leaving the engine stream untouched.
-		if e.faults != nil && e.faults.DropImmunization() {
-			continue
-		}
-		if e.state[u] == stateInfected {
-			e.infected--
-			e.infectedBits[u>>6] &^= 1 << (uint(u) & 63)
-			if e.cfg.TrackSubnets {
-				if s := e.env.Subnet[u]; s >= 0 {
-					e.subnetInfected[s]--
-				}
-			}
-		}
-		e.state[u] = stateRemoved
-		e.removed++
+		buf = append(buf, int32(u))
 	}
+	e.immBufs[w] = buf
 }
 
 // record appends this tick's metrics.

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"context"
+
+	"repro/internal/runner"
+)
+
+// Intra-run parallelism: every shardable tick phase (generate,
+// transmit, immunize) is written once as a range worker plus a
+// sequential merge. A range worker touches only state owned by its
+// node/link range — its nodes' RNG streams, its links' queues and
+// budgets — and stages everything order-sensitive in a per-worker
+// buffer; the merge then folds the buffers into engine state in worker
+// order, which equals ascending node/link order. The serial path is
+// the same code run as one range, so worker count cannot change
+// results: Workers=1, 2, and 8 consume identical per-node RNG
+// sub-streams and apply identical side effects in an identical order
+// (DESIGN.md §12).
+
+// genBuf is one generate worker's staged output: emitted packets in
+// ascending (node, scan) order plus the tick's attempt counters.
+type genBuf struct {
+	packets   []packet
+	scans     int
+	throttled int
+}
+
+func (b *genBuf) reset() {
+	b.packets = b.packets[:0]
+	b.scans = 0
+	b.throttled = 0
+}
+
+// txBuf is one transmit worker's staged output: the arrivals of its
+// link range in ascending link order, the links whose queues drained
+// (their active-set bits are cleared in the merge), and the worker's
+// backlog/drop deltas.
+type txBuf struct {
+	arrivals []arrival
+	cleared  []int32
+	drained  int
+	dropped  uint64
+}
+
+func (b *txBuf) reset() {
+	b.arrivals = b.arrivals[:0]
+	b.cleared = b.cleared[:0]
+	b.drained = 0
+	b.dropped = 0
+}
+
+// forEachShard runs f(0) .. f(shards-1): inline for a single shard, on
+// the engine's worker pool otherwise. Phase shards cannot fail — the
+// only pool error is a recovered task panic, which is re-raised so a
+// sharded run crashes exactly where a serial run would.
+func (e *Engine) forEachShard(shards int, f func(shard int)) {
+	if shards <= 1 {
+		f(0)
+		return
+	}
+	if _, err := e.pool.Run(context.Background(), shards, func(_ context.Context, i int) (runner.Report, error) {
+		f(i)
+		return runner.Report{}, nil
+	}); err != nil {
+		panic(err)
+	}
+}

@@ -2,40 +2,93 @@ package sim
 
 import "math/rand"
 
-// countedSource wraps math/rand's seeded source and counts the draws
-// taken from it, making the engine RNG checkpointable as (seed, draw
-// count): restore re-seeds and fast-forwards. It deliberately
-// implements only rand.Source — not Source64 — so rand.Rand derives
-// every value (Float64, Intn, Shuffle, ...) from Int63 alone, exactly
-// as it does for the bare rand.NewSource; the stream, and therefore
-// every golden series, is unchanged by the wrapper.
-type countedSource struct {
-	src   rand.Source
-	draws uint64
+// The engine's randomness is a table of independent counter-mode
+// SplitMix64 streams — the same generator internal/fault uses — one per
+// node plus one run-level stream. Node u's β rolls and target picks
+// draw only from stream u, and the run stream covers everything that is
+// not attributable to a single node (today: the seed-infection
+// shuffle). Because a node's draws depend only on its own counter, the
+// generate/immunize sweeps can be sharded across workers in any order
+// and still consume exactly the per-node sub-streams a sequential sweep
+// would: worker count cannot change results (DESIGN.md §12).
+//
+// Each stream's whole state is one uint64 counter, so a checkpoint
+// stores the table verbatim (Snapshot.RNGStates) instead of replaying
+// draws to reposition a sequential source.
+
+// rngGamma is the SplitMix64 increment (golden-ratio constant), shared
+// with internal/fault's generator.
+const rngGamma = 0x9e3779b97f4a7c15
+
+// rngMix is the SplitMix64 output function (identical to fault.mix;
+// duplicated to keep the engine free of a fault-package dependency for
+// its own randomness).
+func rngMix(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
-func newCountedSource(seed int64) *countedSource {
-	return &countedSource{src: rand.NewSource(seed)}
-}
-
-// Int63 implements rand.Source.
-func (c *countedSource) Int63() int64 {
-	c.draws++
-	return c.src.Int63()
-}
-
-// Seed implements rand.Source.
-func (c *countedSource) Seed(seed int64) {
-	c.src.Seed(seed)
-	c.draws = 0
-}
-
-// fastForward discards n draws from the underlying source and pins the
-// counter at n, positioning a freshly seeded source at a checkpointed
-// stream offset.
-func (c *countedSource) fastForward(n uint64) {
-	for i := uint64(0); i < n; i++ {
-		c.src.Int63()
+// newStreams builds the stream table for a run: streams[u] is node u's
+// counter for u in [0, n), streams[n] the run-level stream. Each stream
+// is decorrelated from the seed and from its neighbors by mixing the
+// seed hash with a per-stream offset.
+func newStreams(seed int64, n int) []uint64 {
+	base := rngMix(uint64(seed))
+	s := make([]uint64, n+1)
+	for i := range s {
+		s[i] = rngMix(base ^ (uint64(i)+1)*rngGamma)
 	}
-	c.draws = n
+	return s
 }
+
+// streamSource adapts one stream of the shared table to rand.Source so
+// the existing worm.Picker interface (*rand.Rand) keeps working. The
+// active stream is selected by setting idx before drawing; advancing
+// mutates streams[idx] in place, so the table always holds the current
+// position of every stream. It deliberately implements only
+// rand.Source — not Source64 — so rand.Rand derives every value
+// (Float64, Intn, Shuffle, ...) from Int63 alone and keeps no hidden
+// state between calls; swapping idx mid-use is therefore safe.
+type streamSource struct {
+	streams []uint64
+	idx     int
+}
+
+// Int63 implements rand.Source: one counter-mode SplitMix64 draw from
+// the selected stream, truncated to 63 bits.
+func (s *streamSource) Int63() int64 {
+	st := s.streams[s.idx] + rngGamma
+	s.streams[s.idx] = st
+	return int64(rngMix(st) >> 1)
+}
+
+// Seed implements rand.Source. Stream positions are set by the table,
+// never re-seeded through math/rand.
+func (s *streamSource) Seed(int64) {}
+
+// workerRand is one worker's view of the stream table: a reusable
+// rand.Rand whose source is re-pointed at the stream of whichever node
+// the worker is currently simulating. Workers of one tick phase own
+// disjoint node ranges, so they touch disjoint table entries.
+type workerRand struct {
+	src streamSource
+	rng *rand.Rand
+}
+
+func newWorkerRand(streams []uint64) *workerRand {
+	w := &workerRand{src: streamSource{streams: streams}}
+	w.rng = rand.New(&w.src)
+	return w
+}
+
+// nodeRand returns worker w's rand.Rand positioned on node u's stream.
+func (e *Engine) nodeRand(w, u int) *rand.Rand {
+	r := e.rands[w]
+	r.src.idx = u
+	return r.rng
+}
+
+// runRand returns the run-level stream (table index n) on worker 0's
+// rand.Rand. Only serial, whole-run draws use it.
+func (e *Engine) runRand() *rand.Rand { return e.nodeRand(0, e.n) }

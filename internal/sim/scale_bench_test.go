@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/worm"
+)
+
+// BenchmarkEngineTickScale measures the large-topology path: two-level
+// AS graphs from 1k to 1M hosts, backbone rate limiting, 1 vs NumCPU
+// intra-run workers. Reported metrics: ns/tick (worm dynamics, engine
+// construction excluded) and B/host (steady engine + routing footprint,
+// measured once per size; above the structural threshold there is no
+// O(N²) hop table to blow it up). Results are recorded in
+// BENCH_engine.json. The full suite — including the 1M-host size —
+// runs under `make bench-scale`; with -short (the `make bench-smoke` /
+// CI path) sizes above 10k hosts are skipped.
+func BenchmarkEngineTickScale(b *testing.B) {
+	for _, hosts := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		if testing.Short() && hosts > 10_000 {
+			continue
+		}
+		hosts := hosts
+		// The topology is built inside the size group so a -bench filter
+		// on one size never pays for the others' construction.
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			g, roles := scaleTopology(b, hosts)
+			heap := measureHeap(b, func() any { return newNetState(g) })
+			ns := heap.v.(*netState)
+			workerCounts := []int{1}
+			if n := runtime.NumCPU(); n > 1 {
+				workerCounts = append(workerCounts, n)
+			}
+			for _, workers := range workerCounts {
+				cfg := Config{
+					Graph: g, Roles: roles,
+					Beta: 0.8, ScansPerTick: 10,
+					Strategy:        worm.NewRandomFactory(),
+					InitialInfected: max(hosts/100, 1), Ticks: 10, Seed: 11,
+					MaxQueue: 50, Workers: workers,
+					LimitedNodes: DeployBackbone(roles), BaseRate: 0.4,
+				}
+				b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+					if err := cfg.Validate(); err != nil {
+						b.Fatal(err)
+					}
+					var engBytes uint64
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						var eng *Engine
+						h := measureHeap(b, func() any {
+							e, err := newEngine(cfg, ns)
+							if err != nil {
+								b.Fatal(err)
+							}
+							return e
+						})
+						eng, engBytes = h.v.(*Engine), h.bytes
+						b.StartTimer()
+						eng.Run()
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*cfg.Ticks), "ns/tick")
+					b.ReportMetric(float64(heap.bytes+engBytes)/float64(g.N()), "B/host")
+				})
+			}
+		})
+	}
+}
+
+// scaleTopology builds a two-level AS internet with roughly the given
+// number of hosts (256 per stub AS; the AS core is ~1.6% of the total).
+func scaleTopology(b *testing.B, hosts int) (*topology.Graph, []topology.Role) {
+	b.Helper()
+	const perStub = 256
+	stubs := max(hosts/perStub, 4)
+	ases := stubs * 20 / 19 // TransitFraction 0.05: transit ASes on top of the stubs
+	g, roles, _, err := topology.TwoLevel(topology.TwoLevelConfig{
+		ASes: ases, AttachM: 2, TransitFraction: 0.05, HostsPerStub: perStub,
+	}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, roles
+}
+
+type heapMeasure struct {
+	v     any
+	bytes uint64
+}
+
+// measureHeap runs build and returns its result together with the heap
+// growth it caused (GC'd before and after, so short-lived construction
+// garbage is excluded).
+func measureHeap(b *testing.B, build func() any) heapMeasure {
+	b.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	v := build()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	bytes := uint64(0)
+	if after.HeapAlloc > before.HeapAlloc {
+		bytes = after.HeapAlloc - before.HeapAlloc
+	}
+	return heapMeasure{v: v, bytes: bytes}
+}

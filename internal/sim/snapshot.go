@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"repro/internal/ratelimit"
@@ -20,7 +19,11 @@ import (
 // bumps the version; old files are then rejected with a versioned
 // error rather than misread. There is no cross-version migration — a
 // checkpoint is a mid-run artifact, not an archive format.
-const SnapshotVersion = 1
+//
+// Version 2: the engine RNG became a per-node counter-mode stream
+// table; checkpoints store the stream states (RNGStates) instead of a
+// single sequential draw count, and version-1 files are rejected.
+const SnapshotVersion = 2
 
 // snapshotFormat identifies checkpoint files regardless of version.
 const snapshotFormat = "wormsim-checkpoint"
@@ -47,10 +50,11 @@ type Snapshot struct {
 	Seed     int64 `json:"seed"`
 	NextTick int   `json:"next_tick"`
 
-	// RNGDraws is the engine RNG position: draws consumed from the
-	// seeded source. FaultState is the fault injector's RNG state.
-	RNGDraws   uint64 `json:"rng_draws"`
-	FaultState uint64 `json:"fault_state,omitempty"`
+	// RNGStates is the engine's RNG stream table verbatim: one counter
+	// per node plus the run-level stream (length nodes+1). FaultState is
+	// the fault injector's RNG state.
+	RNGStates  []uint64 `json:"rng_states"`
+	FaultState uint64   `json:"fault_state,omitempty"`
 
 	// States is one nodeState byte per node.
 	States []byte `json:"states"`
@@ -200,8 +204,8 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 		Links:    e.links.Count(),
 		Ticks:    e.cfg.Ticks,
 		Seed:     e.cfg.Seed,
-		NextTick: e.nextTick,
-		RNGDraws: e.src.draws,
+		NextTick:  e.nextTick,
+		RNGStates: append([]uint64(nil), e.streams...),
 
 		States: append([]byte(nil), stateBytes(e.state)...),
 
@@ -342,6 +346,10 @@ func (e *Engine) restore(s *Snapshot) error {
 	}
 	if len(s.States) != e.n {
 		return fmt.Errorf("%w: %d node states for %d nodes", ErrSnapshot, len(s.States), e.n)
+	}
+	if len(s.RNGStates) != e.n+1 {
+		return fmt.Errorf("%w: %d RNG stream states, want %d (nodes + run stream)",
+			ErrSnapshot, len(s.RNGStates), e.n+1)
 	}
 	if len(s.Series.Infected) != s.NextTick || len(s.Series.EverInfected) != s.NextTick ||
 		len(s.Series.Immunized) != s.NextTick || len(s.Series.Backlog) != s.NextTick {
@@ -515,10 +523,10 @@ func (e *Engine) restore(s *Snapshot) error {
 		e.faults.SetState(s.FaultState)
 	}
 
-	// RNG: re-seed and fast-forward to the checkpointed stream position.
-	e.src = newCountedSource(e.cfg.Seed)
-	e.src.fastForward(s.RNGDraws)
-	e.rng = rand.New(e.src)
+	// RNG: overwrite the stream table with the checkpointed counters.
+	// The per-worker rand.Rands alias e.streams, so they see the
+	// restored positions immediately; no replay is needed.
+	copy(e.streams, s.RNGStates)
 
 	// Partial series; RunContext appends the remaining ticks.
 	e.res = &Result{

@@ -176,7 +176,18 @@ func TestSnapshotRejectsVersionSkew(t *testing.T) {
 		t.Fatalf("version-skewed decode error = %v, want ErrSnapshot", derr)
 	}
 
+	// A stale version-1 checkpoint (single sequential RNG draw count,
+	// pre stream-table) must be rejected too, not misread.
 	env["version"] = json.RawMessage("1")
+	stale, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, derr := DecodeSnapshot(stale); !errors.Is(derr, ErrSnapshot) {
+		t.Fatalf("version-1 decode error = %v, want ErrSnapshot", derr)
+	}
+
+	env["version"] = json.RawMessage("2")
 	env["format"] = json.RawMessage(`"something-else"`)
 	foreign, err := json.Marshal(env)
 	if err != nil {

@@ -1,10 +1,17 @@
 // Package topology provides the network-graph substrate for the worm
 // experiments: an undirected graph type, generators (star, power-law via
 // Barabási–Albert preferential attachment as used by BRITE, Erdős–Rényi,
-// ring, grid, and an explicit hierarchical subnet topology), degree
-// statistics, and the paper's degree-ranked role assignment (top 5% of
-// nodes by degree are backbone routers, the next 10% edge routers, the
-// remainder end hosts) with the induced subnet partition.
+// ring, grid, an explicit hierarchical subnet topology, and a
+// BRITE-style two-level AS internet — a power-law AS core whose stub
+// ASes each serve a host subnet), degree statistics, and the paper's
+// degree-ranked role assignment (top 5% of nodes by degree are backbone
+// routers, the next 10% edge routers, the remainder end hosts) with the
+// induced subnet partition.
+//
+// The two-level generator is also the scale substrate: its
+// host-majority shape is what lets the engine route structurally
+// (routing.Structural) instead of materializing an O(N²) hop table, so
+// graphs of 10⁵–10⁶ hosts stay memory-lean.
 package topology
 
 import (

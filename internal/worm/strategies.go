@@ -27,6 +27,19 @@ type Picker interface {
 	Pick(rng *rand.Rand, self int) int
 }
 
+// SharedStatePicker marks pickers whose Pick mutates state shared
+// across the hosts of one population (e.g. HitList's claim cursor).
+// The simulator keeps its scan-generation sweep on a single goroutine
+// for such strategies — sharding would race on the shared state and
+// make the claim order depend on scheduling. Per-host-stateful pickers
+// (Sequential) need no marker: each host's state is touched only while
+// that host is simulated.
+type SharedStatePicker interface {
+	Picker
+	// SharedPickerState is a marker method; it does nothing.
+	SharedPickerState()
+}
+
 // Factory builds a picker for a newly infected host. Stateless
 // strategies return a shared instance.
 type Factory func(env *Env, self int) Picker
@@ -169,8 +182,14 @@ func NewHitListFactory(list []int) (Factory, error) {
 	}, nil
 }
 
-// Pick implements Picker. Within one simulation, pickers run on a
-// single goroutine, so the shared cursor needs no locking here.
+// SharedPickerState implements SharedStatePicker: the claim cursor is
+// shared by every picker of one population, so the engine must not
+// shard the generate sweep (see SharedStatePicker).
+func (h *HitList) SharedPickerState() {}
+
+// Pick implements Picker. The engine keeps pickers of a shared-state
+// strategy on a single goroutine (SharedStatePicker), so the shared
+// cursor needs no locking here.
 func (h *HitList) Pick(rng *rand.Rand, self int) int {
 	if h.env.N == 0 {
 		return -1
@@ -186,8 +205,8 @@ func (h *HitList) Pick(rng *rand.Rand, self int) int {
 }
 
 var (
-	_ Picker = (*Random)(nil)
-	_ Picker = (*LocalPreferential)(nil)
-	_ Picker = (*Sequential)(nil)
-	_ Picker = (*HitList)(nil)
+	_ Picker            = (*Random)(nil)
+	_ Picker            = (*LocalPreferential)(nil)
+	_ Picker            = (*Sequential)(nil)
+	_ SharedStatePicker = (*HitList)(nil)
 )
