@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet audit chaos bench bench-figures bench-smoke bench-scale figures clean
+.PHONY: check build test race vet audit chaos fuzz-smoke bench bench-figures bench-smoke bench-scale figures clean
 
 ## check: the full gate — vet, build, race-enabled tests. The race run
 ## covers the intra-run parallel engine (cross-worker determinism and
@@ -34,6 +34,16 @@ chaos:
 	$(GO) test -run 'TestMultiRun|TestSnapshotRejects|TestRestoreRejects|TestFalseAlarm|TestMissedDetection|TestLimiterOutage|TestImmunizationDelay|TestImmunizationLoss' -v ./internal/sim
 	$(GO) test -run 'TestRunCheckpointResume|TestRunResume' -v ./cmd/wormsim ./cmd/figures
 	$(GO) test -v ./internal/fault ./internal/runner ./internal/safeio
+
+## fuzz-smoke: the property-based spec campaign — a fixed-seed stream
+## of random valid scenario specs, each round-tripped through the
+## canonical encoding and run under the per-tick invariant audit, plus
+## the spectral-radius epidemic-threshold oracle (sub-critical specs
+## must die out, super-critical ones must take off). Fixed seed keeps
+## failures reproducible; rerun any failure with
+## `wormsim -specfuzz N -seed S`.
+fuzz-smoke:
+	$(GO) test -run 'TestFuzzSmoke|TestSpectralThreshold' -v ./internal/spec
 
 ## bench: the per-tick engine microbenchmarks, repeated so the output
 ## feeds benchstat directly (`make bench > new.txt && benchstat old.txt

@@ -8,9 +8,11 @@
 //
 //	figures [-out out] [-runs 10] [-jobs N] [-workers N] [-timeout 10m] [-quick] \
 //	        [-metrics batch.jsonl] [-check] \
-//	        [-checkpoint dir] [-checkpoint-every 10] [-resume] \
+//	        [-checkpoint dir] [-checkpoint-every 10] [-resume dir] \
 //	        [-retries 2] [-replica-timeout 2m] [-keep-going] \
 //	        [fig4 fig9a ...]
+//
+//	figures -spec sweep.yaml [-out out]   # one figure from a spec sweep
 //
 // With no figure IDs, every experiment is regenerated. -jobs bounds the
 // figure-level parallelism (default GOMAXPROCS; each figure then
@@ -20,14 +22,21 @@
 // topologies are small, so figure-level parallelism is the better use
 // of cores). -timeout aborts the batch; Ctrl-C cancels it mid-run.
 //
+// -spec turns a declarative scenario spec (DESIGN.md §13) into one
+// figure: every grid point becomes a labelled infected-fraction curve,
+// written through the same .dat/.metrics pipeline as the paper figures.
+// Grid points that share a topology share one materialized network. Run
+// flags overlay the spec's run section; figure IDs conflict with -spec.
+//
 // Fault tolerance: -checkpoint writes every simulation replica's
-// engine snapshot under the directory (grouped by figure and batch);
-// rerunning with -resume and identical flags restarts each replica
-// from its last checkpoint instead of tick zero. -retries re-runs
-// failed replicas with backoff; with -keep-going a figure whose
-// replicas partially fail still averages the completed ones, a figure
-// that fails outright is skipped, and figures exits non-zero naming
-// what was lost after writing everything that succeeded.
+// engine snapshot (atomically, grouped by figure and batch) under the
+// directory; rerunning with -resume pointing at that directory (and
+// identical flags) restarts each replica from its last checkpoint
+// instead of tick zero. -retries re-runs failed replicas with backoff;
+// with -keep-going a figure whose replicas partially fail still
+// averages the completed ones, a figure that fails outright is skipped,
+// and figures exits non-zero naming what was lost after writing
+// everything that succeeded.
 package main
 
 import (
@@ -41,12 +50,14 @@ import (
 	"sort"
 	"strings"
 	"syscall"
-	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/plot"
 	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/safeio"
+	"repro/internal/spec"
 )
 
 func main() {
@@ -62,45 +73,25 @@ func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	out := fs.String("out", "out", "output directory for .dat and metrics files")
 	runs := fs.Int("runs", 10, "simulation replicas to average per figure")
-	jobs := fs.Int("jobs", 0, "figures regenerated concurrently (0 = GOMAXPROCS)")
-	workers := fs.Int("workers", 0, "goroutines sharding each replica's per-tick work (0 = serial; results identical for any value)")
-	timeout := fs.Duration("timeout", 0, "abort the batch after this duration (0 = none)")
 	quick := fs.Bool("quick", false, "reduced populations and horizons")
 	ascii := fs.Bool("ascii", true, "print ASCII renderings")
 	progress := fs.Bool("progress", false, "print per-figure completion to stderr")
 	metricsPath := fs.String("metrics", "", "write per-figure JSONL observability counters to this file")
-	check := fs.Bool("check", false, "audit engine invariants every simulated tick (slower; aborts on violation)")
-	checkpoint := fs.String("checkpoint", "", "write per-replica engine checkpoints under this directory")
-	checkpointEvery := fs.Int("checkpoint-every", 10, "ticks between checkpoints (with -checkpoint)")
-	resume := fs.Bool("resume", false, "resume replicas from the checkpoints under -checkpoint")
-	retries := fs.Int("retries", 0, "retry a failed simulation replica this many times (with backoff)")
-	retryBackoff := fs.Duration("retry-backoff", 500*time.Millisecond, "base delay of the retry backoff")
-	replicaTimeout := fs.Duration("replica-timeout", 0, "fail one replica attempt after this duration (0 = none)")
-	keepGoing := fs.Bool("keep-going", false, "degrade instead of aborting: average over surviving replicas, skip failed figures, exit non-zero at the end")
+	specPath := fs.String("spec", "", "regenerate one figure from this JSON/YAML scenario spec (a grid becomes one curve per point)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the batch to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile after the batch to this file")
+	var cli core.RunOptions
+	core.BindRunFlags(fs, &cli)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	switch {
-	case *runs <= 0:
+	if *runs <= 0 {
 		return fmt.Errorf("-runs must be positive, got %d", *runs)
-	case *jobs < 0:
-		return fmt.Errorf("-jobs must be >= 0 (0 = GOMAXPROCS), got %d", *jobs)
-	case *workers < 0:
-		return fmt.Errorf("-workers must be >= 0 (0 = serial), got %d", *workers)
-	case *timeout < 0:
-		return fmt.Errorf("-timeout must be >= 0, got %v", *timeout)
-	case *checkpointEvery <= 0:
-		return fmt.Errorf("-checkpoint-every must be positive, got %d", *checkpointEvery)
-	case *retries < 0:
-		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
-	case *replicaTimeout < 0:
-		return fmt.Errorf("-replica-timeout must be >= 0, got %v", *replicaTimeout)
-	case *resume && *checkpoint == "":
-		return fmt.Errorf("-resume needs -checkpoint to name the checkpoint directory")
 	}
-	if *workers > 1 {
+	if err := cli.Validate(); err != nil {
+		return err
+	}
+	if cli.Workers > 1 {
 		// Results are unaffected (DESIGN.md §12), but the paper's figure
 		// topologies sit below the intra-run sharding threshold.
 		fmt.Fprintln(os.Stderr, "figures: warning: -workers > 1 rarely helps here: figure topologies are small; prefer -jobs")
@@ -114,33 +105,40 @@ func run(ctx context.Context, args []string) error {
 			fmt.Fprintln(os.Stderr, "figures:", perr)
 		}
 	}()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return fmt.Errorf("create %s: %w", *out, err)
+	}
+
+	if *specPath != "" {
+		if ids := fs.Args(); len(ids) > 0 {
+			return fmt.Errorf("figure IDs (%s) cannot be combined with -spec", strings.Join(ids, " "))
+		}
+		return runSpec(ctx, fs, *specPath, cli, *out, *ascii)
+	}
+
 	ids := fs.Args()
 	if len(ids) == 0 {
 		ids = experiment.IDs()
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		return fmt.Errorf("create %s: %w", *out, err)
-	}
-	if *timeout > 0 {
+	if cli.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, cli.Timeout)
 		defer cancel()
 	}
 
 	// Parallelize across figures and keep each figure's replica loop
 	// serial: whole figures are the coarser, more evenly sized work
 	// units, so figure-level workers scale better than nested pools.
-	opt := experiment.Options{
-		Runs: *runs, Quick: *quick, Jobs: 1, Workers: *workers, Check: *check,
-		Retries: *retries, RetryBackoff: *retryBackoff,
-		ReplicaTimeout: *replicaTimeout, KeepGoing: *keepGoing,
-		Checkpoint: *checkpoint, CheckpointEvery: *checkpointEvery, Resume: *resume,
-	}
+	// The batch timeout is applied to ctx above, figure-level.
+	inner := cli
+	inner.Jobs = 1
+	inner.Timeout = 0
+	opt := experiment.Options{RunOptions: inner, Runs: *runs, Quick: *quick}
 	if *metricsPath != "" {
 		opt.Metrics = &experiment.BatchMetrics{}
 	}
-	ropts := []runner.Option{runner.WithJobs(*jobs)}
-	if *keepGoing {
+	ropts := []runner.Option{runner.WithJobs(cli.Jobs)}
+	if cli.KeepGoing {
 		ropts = append(ropts, runner.WithKeepGoing())
 	}
 	if *progress {
@@ -170,19 +168,9 @@ func run(ctx context.Context, args []string) error {
 		if res == nil {
 			continue // failed under -keep-going; reported below
 		}
-		if err := writeResult(*out, res); err != nil {
+		if err := printResult(*out, res, *ascii); err != nil {
 			return err
 		}
-		fmt.Printf("== %s ==\n%s\n", res.ID, res.Paper)
-		if *ascii {
-			s, err := res.Figure.RenderASCII(76, 18)
-			if err != nil {
-				return fmt.Errorf("%s: render: %w", res.ID, err)
-			}
-			fmt.Println(s)
-		}
-		printMetrics(res.Metrics)
-		fmt.Println()
 	}
 	if len(stats.Failures) > 0 {
 		descs := make([]string, len(stats.Failures))
@@ -191,6 +179,105 @@ func run(ctx context.Context, args []string) error {
 		}
 		return fmt.Errorf("%d of %d figures failed: %s", stats.Failed, len(ids), strings.Join(descs, "; "))
 	}
+	return nil
+}
+
+// runSpec regenerates one figure from a scenario spec: the sweep runs
+// every grid point (sharing topology state between points whose axes
+// leave it alone) and each point contributes one labelled
+// infected-fraction curve, written through the same .dat/.metrics
+// pipeline as the paper figures.
+func runSpec(ctx context.Context, fs *flag.FlagSet, path string, cli core.RunOptions, out string, ascii bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s, err := spec.Parse(data)
+	if err != nil {
+		return err
+	}
+	mod := func(c *spec.Compiled) {
+		c.Options = core.MergeRunFlags(fs, c.Options, cli)
+	}
+	results, sstats, err := spec.Sweep(ctx, s, mod)
+	for _, r := range results {
+		for _, w := range r.Warnings {
+			fmt.Fprintf(os.Stderr, "figures: warning: %s: %s\n", r.Point.Name, w)
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	name := s.Name
+	if name == "" {
+		name = "scenario"
+	}
+	res := &experiment.Result{
+		ID:    sanitizeID(name),
+		Paper: fmt.Sprintf("spec %s: %d point(s), %d topology build(s)", path, sstats.Points, sstats.NetBuilds),
+		Figure: plot.Figure{
+			Title:  name,
+			XLabel: "tick",
+			YLabel: "infected fraction",
+		},
+		Metrics: map[string]float64{},
+	}
+	var failed []string
+	for _, r := range results {
+		if r.Err != nil {
+			failed = append(failed, r.Err.Error())
+			continue
+		}
+		series := plot.Series{Label: r.Point.Name, Y: r.Result.Infected}
+		series.X = make([]float64, len(series.Y))
+		for i := range series.X {
+			series.X[i] = float64(i + 1)
+		}
+		res.Figure.Series = append(res.Figure.Series, series)
+		res.Metrics[r.Point.Name+".ever"] = r.Result.FinalEverInfected()
+		res.Metrics[r.Point.Name+".t50"] = r.Result.TimeToLevel(0.5)
+	}
+	if len(res.Figure.Series) > 0 {
+		if err := printResult(out, res, ascii); err != nil {
+			return err
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d of %d sweep points failed: %s",
+			len(failed), sstats.Points, strings.Join(failed, "; "))
+	}
+	return nil
+}
+
+// sanitizeID maps a spec name onto a safe output file stem.
+func sanitizeID(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '-'
+	}, name)
+}
+
+// printResult writes one figure's .dat and .metrics files and prints
+// its terminal rendering.
+func printResult(out string, res *experiment.Result, ascii bool) error {
+	if err := writeResult(out, res); err != nil {
+		return err
+	}
+	fmt.Printf("== %s ==\n%s\n", res.ID, res.Paper)
+	if ascii {
+		s, err := res.Figure.RenderASCII(76, 18)
+		if err != nil {
+			return fmt.Errorf("%s: render: %w", res.ID, err)
+		}
+		fmt.Println(s)
+	}
+	printMetrics(res.Metrics)
+	fmt.Println()
 	return nil
 }
 

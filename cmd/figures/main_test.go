@@ -142,7 +142,8 @@ func TestRunFlagValidation(t *testing.T) {
 }
 
 // TestRunCheckpointResume: a figure regenerated from its checkpoints
-// writes byte-identical .dat output, and -resume demands -checkpoint.
+// writes byte-identical .dat output. -resume names the checkpoint
+// directory to read (it may differ from the -checkpoint write root).
 func TestRunCheckpointResume(t *testing.T) {
 	dirA, dirB, ckpt := t.TempDir(), t.TempDir(), t.TempDir()
 	ctx := context.Background()
@@ -158,7 +159,7 @@ func TestRunCheckpointResume(t *testing.T) {
 	}
 	if err := run(ctx, []string{
 		"-out", dirB, "-quick", "-ascii=false", "-runs", "2",
-		"-checkpoint", ckpt, "-resume", "fig4",
+		"-resume", ckpt, "fig4",
 	}); err != nil {
 		t.Fatalf("resumed run: %v", err)
 	}
@@ -174,9 +175,23 @@ func TestRunCheckpointResume(t *testing.T) {
 		t.Error("resumed fig4.dat differs from the original regeneration")
 	}
 
-	if err := run(ctx, []string{"-out", t.TempDir(), "-resume", "fig1a"}); err == nil ||
-		!strings.Contains(err.Error(), "-checkpoint") {
-		t.Errorf("-resume without -checkpoint should be rejected, got %v", err)
+	// Read and write roots compose: resume from the first tree while
+	// naming a fresh write root (fully-resumed replicas cross no new
+	// checkpoint interval, so the second tree stays empty — the point
+	// is that distinct roots are accepted and the output still matches).
+	dirC := t.TempDir()
+	if err := run(ctx, []string{
+		"-out", dirC, "-quick", "-ascii=false", "-runs", "2",
+		"-resume", ckpt, "-checkpoint", t.TempDir(), "fig4",
+	}); err != nil {
+		t.Fatalf("resume-and-checkpoint run: %v", err)
+	}
+	c, err := os.ReadFile(filepath.Join(dirC, "fig4.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(c) {
+		t.Error("resume-and-checkpoint fig4.dat differs from the original")
 	}
 }
 

@@ -1,5 +1,5 @@
-// Command wormsim runs one worm-propagation simulation scenario and
-// prints the per-tick infected / ever-infected / immunized fractions as
+// Command wormsim runs worm-propagation simulation scenarios and prints
+// the per-tick infected / ever-infected / immunized fractions as
 // tab-separated values (tick first), suitable for plotting. Replicas
 // run concurrently on a bounded worker pool; the averaged series is
 // identical for every -jobs value, and each replica's own series is
@@ -14,6 +14,17 @@
 //	        [-metrics run.jsonl] [-check] \
 //	        [-checkpoint dir] [-checkpoint-every 10] [-resume path] \
 //	        [-retries 2] [-replica-timeout 2m]
+//
+//	wormsim -spec scenario.yaml        # declarative scenario or sweep
+//	wormsim -specfuzz 25 -seed 1       # random valid specs under -check
+//
+// -spec runs the scenario described by a JSON or YAML spec file
+// (DESIGN.md §13) instead of one assembled from flags; a spec with a
+// grid section becomes a sweep, printing one summary line per grid
+// point. Run flags (-jobs, -timeout, -check, ...) overlay the spec's
+// run section; scenario flags conflict with -spec. -specfuzz samples N
+// random valid specs (seeded by -seed) and runs each under the
+// invariant audit — the CLI face of the property-based fuzz campaign.
 //
 // -jobs spends cores across replicas (best for batches of small runs);
 // -workers spends them inside one replica (best for -runs 1 on a large
@@ -38,17 +49,19 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/runner"
 	"repro/internal/safeio"
+	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/topology"
 )
 
@@ -59,6 +72,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wormsim:", err)
 		os.Exit(1)
 	}
+}
+
+// scenarioFlags are the flags that assemble a scenario by hand; they
+// conflict with -spec, which owns the whole scenario description.
+var scenarioFlags = map[string]bool{
+	"topology": true, "n": true, "worm": true, "beta": true, "scans": true,
+	"probe": true, "localp": true, "defense": true, "fraction": true,
+	"rate": true, "hubcap": true, "ticks": true, "runs": true, "seed": true,
+	"initial": true, "immunize-at": true, "mu": true,
 }
 
 func run(ctx context.Context, args []string) error {
@@ -76,24 +98,21 @@ func run(ctx context.Context, args []string) error {
 	hubCap := fs.Int("hubcap", 2, "hub forwarding cap (hub defense)")
 	ticks := fs.Int("ticks", 150, "simulation horizon")
 	runs := fs.Int("runs", 10, "replicas to average")
-	seed := fs.Int64("seed", 1, "random seed")
+	seed := fs.Int64("seed", 1, "random seed (also seeds -specfuzz sampling)")
 	initial := fs.Int("initial", 1, "initially infected hosts")
 	immunizeAt := fs.Float64("immunize-at", 0, "start patching at this infected fraction (0 = off)")
 	mu := fs.Float64("mu", 0.1, "per-tick patch probability")
-	jobs := fs.Int("jobs", 0, "replicas simulated concurrently (0 = GOMAXPROCS)")
-	workers := fs.Int("workers", 0, "goroutines sharding each replica's per-tick work (0 = serial; results identical for any value)")
-	timeout := fs.Duration("timeout", 0, "abort the batch after this duration (0 = none)")
+	specPath := fs.String("spec", "", "run the scenario (or sweep) in this JSON/YAML spec file instead of assembling one from flags")
+	specFuzz := fs.Int("specfuzz", 0, "sample and run this many random valid specs under the invariant audit")
 	progress := fs.Bool("progress", false, "print replica completion and throughput to stderr")
 	metricsPath := fs.String("metrics", "", "write per-replica JSONL metrics (ticks, events, summaries) to this file")
-	check := fs.Bool("check", false, "audit engine invariants every tick (slower; aborts on violation)")
-	checkpoint := fs.String("checkpoint", "", "write per-replica engine checkpoints into this directory")
-	checkpointEvery := fs.Int("checkpoint-every", 10, "ticks between checkpoints (with -checkpoint)")
-	resume := fs.String("resume", "", "resume replicas from checkpoints: a checkpoint directory, or one .ckpt file when -runs 1")
-	retries := fs.Int("retries", 0, "retry a failed replica this many times (with backoff)")
-	retryBackoff := fs.Duration("retry-backoff", 500*time.Millisecond, "base delay of the retry backoff")
-	replicaTimeout := fs.Duration("replica-timeout", 0, "fail one replica attempt after this duration (0 = none)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the batch to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile after the batch to this file")
+	// Keep-going defaults on for wormsim: one dead replica must not
+	// discard the batch. Failures surface as a non-zero exit after the
+	// results (and any partial metrics) are flushed.
+	cli := core.RunOptions{KeepGoing: true}
+	core.BindRunFlags(fs, &cli)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,18 +127,13 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("-initial must be positive, got %d", *initial)
 	case *scans < 0:
 		return fmt.Errorf("-scans must be >= 0, got %d", *scans)
-	case *jobs < 0:
-		return fmt.Errorf("-jobs must be >= 0 (0 = GOMAXPROCS), got %d", *jobs)
-	case *workers < 0:
-		return fmt.Errorf("-workers must be >= 0 (0 = serial), got %d", *workers)
-	case *timeout < 0:
-		return fmt.Errorf("-timeout must be >= 0, got %v", *timeout)
-	case *checkpointEvery <= 0:
-		return fmt.Errorf("-checkpoint-every must be positive, got %d", *checkpointEvery)
-	case *retries < 0:
-		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
-	case *replicaTimeout < 0:
-		return fmt.Errorf("-replica-timeout must be >= 0, got %v", *replicaTimeout)
+	case *specFuzz < 0:
+		return fmt.Errorf("-specfuzz must be >= 0, got %d", *specFuzz)
+	case *specPath != "" && *specFuzz > 0:
+		return fmt.Errorf("-spec and -specfuzz are mutually exclusive")
+	}
+	if err := cli.Validate(); err != nil {
+		return err
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -131,11 +145,26 @@ func run(ctx context.Context, args []string) error {
 		}
 	}()
 
+	if *specPath != "" {
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			if scenarioFlags[f.Name] && conflict == "" {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-%s cannot be combined with -spec (the spec file owns the scenario)", conflict)
+		}
+		return runSpec(ctx, fs, *specPath, cli, *progress, *metricsPath)
+	}
+	if *specFuzz > 0 {
+		return runSpecFuzz(ctx, *specFuzz, *seed, cli)
+	}
+
 	sc := core.Scenario{
 		Ticks:           *ticks,
 		Seed:            *seed,
 		InitialInfected: *initial,
-		Workers:         *workers,
 	}
 	switch *topo {
 	case "star":
@@ -190,44 +219,24 @@ func run(ctx context.Context, args []string) error {
 	if err := sc.Validate(); err != nil {
 		return err
 	}
-	for _, w := range sc.Warnings() {
-		fmt.Fprintln(os.Stderr, "wormsim: warning:", w)
-	}
+	printWarnings(sc.Warnings(cli), "")
 
-	// Keep-going is always on: one dead replica must not discard the
-	// batch. Failures surface as a non-zero exit after the results (and
-	// any partial metrics) are flushed.
-	opts := []core.RunOption{core.WithJobs(*jobs), core.WithTimeout(*timeout), core.WithKeepGoing()}
-	if *checkpoint != "" {
-		opts = append(opts, core.WithCheckpoints(*checkpoint, *checkpointEvery))
-	}
-	if *resume != "" {
-		opts = append(opts, core.WithResume(*resume))
-	}
-	if *retries > 0 {
-		opts = append(opts, core.WithRetry(*retries, *retryBackoff))
-	}
-	if *replicaTimeout > 0 {
-		opts = append(opts, core.WithReplicaTimeout(*replicaTimeout))
-	}
+	o := cli
 	if *progress {
-		opts = append(opts, core.WithProgress(func(s runner.Stats) {
+		o.Progress = func(s runner.Stats) {
 			fmt.Fprintf(os.Stderr, "wormsim: %d/%d runs (%.0f ticks/sec)\n",
 				s.Completed, s.Runs, s.TicksPerSec())
-		}))
+		}
 	}
 	var rings []*obs.Ring
 	if *metricsPath != "" {
 		rings = make([]*obs.Ring, *runs)
-		opts = append(opts, core.WithCollectors(func(r int) obs.Collector {
+		o.Collectors = func(r int) obs.Collector {
 			rings[r] = obs.NewRing(*ticks)
 			return rings[r]
-		}))
+		}
 	}
-	if *check {
-		opts = append(opts, core.WithCheck())
-	}
-	res, stats, err := sc.SimulateStats(ctx, *runs, opts...)
+	res, stats, err := sc.SimulateOptions(ctx, *runs, o)
 	if rings != nil {
 		// Write whatever was collected even when the batch failed:
 		// partial metrics are exactly what a post-mortem needs.
@@ -242,6 +251,147 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	printSeries(res)
+	return replicaFailures(stats, *runs)
+}
+
+// runSpec executes the scenario — or, with a grid section, the sweep —
+// described by the spec file. Run flags the user set explicitly overlay
+// the spec's run section; a single-point spec prints the full series
+// exactly like flag mode, a sweep prints one summary line per point.
+func runSpec(ctx context.Context, fs *flag.FlagSet, path string, cli core.RunOptions, progress bool, metricsPath string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s, err := spec.Parse(data)
+	if err != nil {
+		return err
+	}
+	points, err := s.Expand()
+	if err != nil {
+		return err
+	}
+	if metricsPath != "" && len(points) > 1 {
+		return fmt.Errorf("-metrics needs a single-scenario spec; this sweep has %d points", len(points))
+	}
+
+	var rings []*obs.Ring
+	mod := func(c *spec.Compiled) {
+		c.Options = core.MergeRunFlags(fs, c.Options, cli)
+		if progress {
+			name := c.Name
+			c.Options.Progress = func(st runner.Stats) {
+				fmt.Fprintf(os.Stderr, "wormsim: %s: %d/%d runs (%.0f ticks/sec)\n",
+					name, st.Completed, st.Runs, st.TicksPerSec())
+			}
+		}
+		if metricsPath != "" {
+			ticks := c.Scenario.Ticks
+			if ticks == 0 {
+				ticks = 150
+			}
+			rings = make([]*obs.Ring, c.Runs)
+			c.Options.Collectors = func(r int) obs.Collector {
+				rings[r] = obs.NewRing(ticks)
+				return rings[r]
+			}
+		}
+	}
+	results, sstats, err := spec.Sweep(ctx, s, mod)
+	for _, r := range results {
+		printWarnings(r.Warnings, r.Point.Name)
+	}
+	if rings != nil {
+		if werr := writeMetrics(metricsPath, rings); werr != nil {
+			if err == nil {
+				err = werr
+			} else {
+				fmt.Fprintln(os.Stderr, "wormsim:", werr)
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if len(results) == 1 {
+		printSeries(results[0].Result)
+		return replicaFailures(results[0].Stats, results[0].Point.Runs)
+	}
+
+	fmt.Printf("# sweep: %d points, %d topology builds\n", sstats.Points, sstats.NetBuilds)
+	fmt.Println("# point\tt50\tfinal\tever")
+	var failed []string
+	for _, r := range results {
+		if r.Err != nil {
+			failed = append(failed, r.Err.Error())
+			continue
+		}
+		fmt.Printf("%s\t%.1f\t%.4f\t%.4f\n", r.Point.Name,
+			r.Result.TimeToLevel(0.5), r.Result.FinalInfected(), r.Result.FinalEverInfected())
+		if ferr := replicaFailures(r.Stats, r.Point.Runs); ferr != nil {
+			failed = append(failed, fmt.Sprintf("%s: %v", r.Point.Name, ferr))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d of %d sweep points degraded: %s",
+			len(failed), sstats.Points, strings.Join(failed, "; "))
+	}
+	return nil
+}
+
+// runSpecFuzz samples random valid specs and runs each under the
+// engine's invariant audit, printing one line per sample. Sampling is
+// deterministic in -seed, so any failure reproduces exactly.
+func runSpecFuzz(ctx context.Context, count int, seed int64, cli core.RunOptions) error {
+	rng := rand.New(rand.NewSource(seed))
+	var failures []string
+	for i := 0; i < count; i++ {
+		s := spec.Fuzz(rng)
+		c, err := s.Compile()
+		if err != nil {
+			// Fuzz promises valid specs; a compile error is a bug in the
+			// sampler itself, not in the engine under test.
+			canon, _ := s.Canonical()
+			return fmt.Errorf("specfuzz: sample %d does not compile: %v\n%s", i, err, canon)
+		}
+		opts := cli
+		opts.Check = true
+		res, _, err := c.Scenario.SimulateOptions(ctx, c.Runs, opts)
+		if err != nil {
+			canon, _ := s.Canonical()
+			fmt.Fprintf(os.Stderr, "wormsim: specfuzz: sample %d failed:\n%s", i, canon)
+			failures = append(failures, fmt.Sprintf("sample %d (%s): %v", i, s.Name, err))
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		fmt.Printf("%3d  %-44s ok  ever=%.3f\n", i, s.Name, res.FinalEverInfected())
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("specfuzz: %d of %d samples failed under -check: %s",
+			len(failures), count, strings.Join(failures, "; "))
+	}
+	fmt.Printf("# specfuzz: %d samples clean under -check (seed %d)\n", count, seed)
+	return nil
+}
+
+// printWarnings surfaces scenario advisories on stderr, labelled with
+// the sweep point they belong to when there is one.
+func printWarnings(warnings []string, label string) {
+	for _, w := range warnings {
+		if label != "" {
+			fmt.Fprintf(os.Stderr, "wormsim: warning: %s: %s\n", label, w)
+		} else {
+			fmt.Fprintln(os.Stderr, "wormsim: warning:", w)
+		}
+	}
+}
+
+// printSeries prints the averaged per-tick series with the summary and
+// counters footers.
+func printSeries(res *sim.Result) {
 	fmt.Println("# tick\tinfected\tever\timmunized\tbacklog")
 	for i := range res.Infected {
 		fmt.Printf("%d\t%.4f\t%.4f\t%.4f\t%d\n",
@@ -254,16 +404,20 @@ func run(ctx context.Context, args []string) error {
 			c["scan_attempts"], c["throttled_contacts"], c["packets_generated"],
 			c["packets_delivered"], c["packets_dropped"], c["infections"])
 	}
-	if len(stats.Failures) > 0 {
-		// The batch degraded: the series above averages the completed
-		// replicas only. Name every lost replica and exit non-zero.
-		descs := make([]string, len(stats.Failures))
-		for i, f := range stats.Failures {
-			descs[i] = fmt.Sprintf("replica %d (%d attempts): %v", f.Index, f.Attempts, f.Err)
-		}
-		return fmt.Errorf("%d of %d replicas failed: %s", stats.Failed, *runs, strings.Join(descs, "; "))
+}
+
+// replicaFailures renders a degraded batch (keep-going with failed
+// replicas) as the command's non-zero exit: the series above covers the
+// completed replicas only, and every lost replica is named.
+func replicaFailures(stats runner.Stats, runs int) error {
+	if len(stats.Failures) == 0 {
+		return nil
 	}
-	return nil
+	descs := make([]string, len(stats.Failures))
+	for i, f := range stats.Failures {
+		descs[i] = fmt.Sprintf("replica %d (%d attempts): %v", f.Index, f.Attempts, f.Err)
+	}
+	return fmt.Errorf("%d of %d replicas failed: %s", stats.Failed, runs, strings.Join(descs, "; "))
 }
 
 // writeMetrics emits every replica's collected metrics as one JSONL

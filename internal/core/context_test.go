@@ -102,35 +102,27 @@ func TestValidate(t *testing.T) {
 }
 
 func TestScenarioWorkers(t *testing.T) {
-	bad := smallScenario()
-	bad.Workers = -1
+	bad := RunOptions{Workers: -1}
 	if err := bad.Validate(); err == nil {
-		t.Error("Workers=-1 should fail validation")
+		t.Error("Workers=-1 should fail options validation")
 	}
 
 	small := smallScenario()
-	small.Workers = 4
-	if err := small.Validate(); err != nil {
-		t.Fatalf("Workers=4: %v", err)
-	}
-	if w := small.Warnings(); len(w) == 0 {
+	if w := small.Warnings(RunOptions{Workers: 4}); len(w) == 0 {
 		t.Error("Workers=4 on a 150-node topology should warn about unprofitable sharding")
 	}
-	small.Workers = 1
-	if w := small.Warnings(); len(w) != 0 {
+	if w := small.Warnings(RunOptions{Workers: 1}); len(w) != 0 {
 		t.Errorf("Workers=1 should not warn, got %v", w)
 	}
 
 	// The worker count is a throughput knob only: the averaged series
 	// must be byte-identical to the serial run.
-	serial := smallScenario()
-	parallel := smallScenario()
-	parallel.Workers = 4
-	want, err := serial.Simulate(2)
+	sc := smallScenario()
+	want, err := sc.Simulate(2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := parallel.Simulate(2)
+	got, _, err := sc.SimulateOptions(context.Background(), 2, RunOptions{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

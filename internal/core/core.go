@@ -12,12 +12,22 @@
 //	}
 //	res, err := sc.Simulate(10)
 //
-// Long batches take a context and run options:
+// Long batches take a context and run options — either functional
+// options or the declarative core.RunOptions struct (the two are
+// interchangeable; the functional options are setters over RunOptions):
 //
 //	res, err := sc.SimulateContext(ctx, 10,
 //	    core.WithJobs(4),
 //	    core.WithTimeout(time.Minute),
 //	    core.WithProgress(func(s runner.Stats) { ... }))
+//
+//	res, stats, err := sc.SimulateOptions(ctx, 10, core.RunOptions{
+//	    Jobs: 4, Timeout: time.Minute,
+//	})
+//
+// Scenarios also have a declarative file format — a versioned JSON/YAML
+// spec compiled by internal/spec — which is how the CLIs accept
+// scenarios from disk and how parameter sweeps are described.
 package core
 
 import (
@@ -27,11 +37,10 @@ import (
 	"io/fs"
 	"math/rand"
 	"os"
-	"path/filepath"
-	"time"
 
+	"repro/internal/fault"
 	"repro/internal/model"
-	"repro/internal/obs"
+	"repro/internal/ratelimit"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -104,10 +113,15 @@ func SequentialWorm(beta float64) WormSpec {
 
 // DefenseSpec describes a rate-limiting deployment.
 type DefenseSpec struct {
-	kind     string
-	fraction float64 // host deployment fraction
-	rate     float64 // link rate or filtered scan rate
-	cap      int     // node cap for hub defenses
+	kind      string
+	fraction  float64         // host deployment fraction
+	rate      float64         // link rate or filtered scan rate
+	cap       int             // node cap for hub defenses
+	weighted  bool            // backbone: routing-proportional link weights
+	overrides map[int]float64 // explicit per-node scan-rate overrides
+	limWS     int             // throttle: working-set size
+	limPeriod int64           // throttle: refresh period in ticks
+	limHosts  int             // throttle: number of hosts to protect
 }
 
 // NoDefense leaves the network open.
@@ -130,8 +144,33 @@ func BackboneRateLimit(rate float64) DefenseSpec {
 	return DefenseSpec{kind: "backbone", rate: rate}
 }
 
+// BackboneRateLimitWeighted is BackboneRateLimit with each link's
+// budget scaled by its routing-table weight (routing.Table.LinkWeights)
+// — the paper's deployment, where heavily routed backbone links get a
+// proportionally larger packet budget.
+func BackboneRateLimitWeighted(rate float64) DefenseSpec {
+	return DefenseSpec{kind: "backbone", rate: rate, weighted: true}
+}
+
 // HubCap caps the star hub's forwarding at cap packets/tick.
 func HubCap(cap int) DefenseSpec { return DefenseSpec{kind: "hub", cap: cap} }
+
+// ScanRateOverrides pins specific nodes to explicit filtered scan
+// rates — the hand-placed counterpart of HostRateLimit's random
+// deployment. Keys are node IDs, values replace the worm's β for that
+// node's outgoing scans.
+func ScanRateOverrides(rates map[int]float64) DefenseSpec {
+	return DefenseSpec{kind: "overrides", overrides: rates}
+}
+
+// HostContactThrottle installs a mechanism-level Williamson contact
+// throttle (working set of workingSet destinations, refreshed every
+// period ticks) on the first hosts host-role nodes. Unlike
+// HostRateLimit, which rescales β, the throttle sees the actual
+// per-tick contact stream. Requires a routed topology.
+func HostContactThrottle(workingSet int, period int64, hosts int) DefenseSpec {
+	return DefenseSpec{kind: "throttle", limWS: workingSet, limPeriod: period, limHosts: hosts}
+}
 
 // QuarantineSpec configures dynamic (detection-triggered) activation of
 // the scenario's defense.
@@ -139,6 +178,10 @@ type QuarantineSpec struct {
 	// TriggerScansPerTick fires the detector when one tick carries this
 	// many worm packets.
 	TriggerScansPerTick int
+	// TriggerLevel fires the detector when the infected fraction
+	// reaches this level — a perfect-knowledge trigger for comparing
+	// against detector-driven activation. <= 0 disables it.
+	TriggerLevel float64
 	// Delay is the detection-to-deployment lag in ticks.
 	Delay int
 }
@@ -159,7 +202,13 @@ type ImmunizationSpec struct {
 type Scenario struct {
 	Topology TopologySpec
 	Worm     WormSpec
-	Defense  DefenseSpec
+	// Defense is the primary rate-limiting deployment; it is also the
+	// defense the analytic mapping (Model) describes.
+	Defense DefenseSpec
+	// Defenses stacks further deployments on top of Defense — e.g. a
+	// backbone rate limit plus hand-placed host overrides. All stacked
+	// defenses share the scenario's DynamicQuarantine trigger.
+	Defenses []DefenseSpec
 	// Immunize enables delayed patching when non-nil.
 	Immunize *ImmunizationSpec
 	// DynamicQuarantine, when non-nil, keeps the Defense inactive until
@@ -167,20 +216,41 @@ type Scenario struct {
 	// engages when any single tick carries at least TriggerScansPerTick
 	// worm packets, after Delay further ticks.
 	DynamicQuarantine *QuarantineSpec
+	// Faults, when non-nil, injects domain faults into the defense
+	// (imperfect detector, limiter outages, lost or delayed
+	// immunization) — see fault.Profile. Replicas decorrelate their
+	// fault streams exactly like their simulation streams.
+	Faults *fault.Profile
 	// Ticks is the horizon (default 150).
 	Ticks int
 	// Seed fixes the randomness (default 1).
 	Seed int64
+	// TopologySeed, when non-zero, seeds randomized topology generation
+	// (powerlaw, twolevel) independently of Seed, so a sweep can vary
+	// the simulation seed while holding the graph fixed — or vice
+	// versa. Zero means the graph derives from Seed, as before.
+	TopologySeed int64
 	// InitialInfected seeds the epidemic (default 1).
 	InitialInfected int
-	// MaxQueue bounds link buffers (default 50).
+	// MaxQueue bounds link buffers (default 50; negative = unbounded).
 	MaxQueue int
-	// Workers shards each replica's per-tick work across this many
-	// goroutines (0 or 1 = serial). The series is byte-identical for
-	// every worker count — see DESIGN.md §12; this is a throughput knob
-	// for large topologies, orthogonal to WithJobs (replica
-	// parallelism).
-	Workers int
+	// Drop discards packets beyond a limited link's per-tick capacity
+	// instead of queueing them (the ablation alternative to the
+	// paper's "queuing the remaining packets").
+	Drop bool
+	// HostsOnly restricts infection to host-role nodes (routers are
+	// infrastructure).
+	HostsOnly bool
+	// RecordInfections keeps the per-infection genealogy log (tick,
+	// victim, source) in the result.
+	RecordInfections bool
+	// TrackSubnets records the per-tick mean infected fraction within
+	// infected subnets (Figures 3(b) and 5). Requires a routed
+	// topology.
+	TrackSubnets bool
+	// TrackLatency records the per-tick mean end-to-end delivery
+	// latency of worm packets.
+	TrackLatency bool
 }
 
 // ErrUnsupported reports a scenario combination with no implementation.
@@ -192,6 +262,15 @@ func (s *Scenario) seed() int64 {
 		return 1
 	}
 	return s.Seed
+}
+
+// topoSeed returns the seed for randomized topology generation:
+// TopologySeed when set, otherwise the scenario seed.
+func (s *Scenario) topoSeed() int64 {
+	if s.TopologySeed != 0 {
+		return s.TopologySeed
+	}
+	return s.seed()
 }
 
 // materialize builds the scenario's concrete topology with roles and
@@ -212,7 +291,7 @@ func (s *Scenario) materialize() (*topology.Graph, []topology.Role, []int, error
 			return nil, nil, nil, fmt.Errorf("core: topology: %w", err)
 		}
 	case "powerlaw":
-		g, err = topology.BarabasiAlbert(s.Topology.n, s.Topology.m, rand.New(rand.NewSource(s.seed())))
+		g, err = topology.BarabasiAlbert(s.Topology.n, s.Topology.m, rand.New(rand.NewSource(s.topoSeed())))
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("core: topology: %w", err)
 		}
@@ -227,7 +306,7 @@ func (s *Scenario) materialize() (*topology.Graph, []topology.Role, []int, error
 			return nil, nil, nil, fmt.Errorf("core: topology: %w", err)
 		}
 	case "twolevel":
-		g, roles, subnet, err = topology.TwoLevel(s.Topology.twolevel, rand.New(rand.NewSource(s.seed())))
+		g, roles, subnet, err = topology.TwoLevel(s.Topology.twolevel, rand.New(rand.NewSource(s.topoSeed())))
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("core: topology: %w", err)
 		}
@@ -237,8 +316,142 @@ func (s *Scenario) materialize() (*topology.Graph, []topology.Role, []int, error
 	return g, roles, subnet, nil
 }
 
-// build materializes the simulation config.
-func (s *Scenario) build() (sim.Config, error) {
+// NetKey identifies the immutable topology state (graph, roles, routing
+// tables) a scenario materializes: two scenarios with equal keys build
+// byte-identical nets, so a sweep can share one BuildNet result across
+// every grid point whose key matches. The key covers the topology shape
+// parameters and — for randomized generators only — the effective
+// topology seed; worm, defense, and run parameters never enter it.
+func (s *Scenario) NetKey() (string, error) {
+	switch s.Topology.kind {
+	case "star":
+		return fmt.Sprintf("star/n=%d", s.Topology.n), nil
+	case "powerlaw":
+		return fmt.Sprintf("powerlaw/n=%d,m=%d,seed=%d", s.Topology.n, s.Topology.m, s.topoSeed()), nil
+	case "hier":
+		h := s.Topology.hier
+		return fmt.Sprintf("hier/b=%d,e=%d,h=%d", h.Backbones, h.EdgesPer, h.HostsPerSubnet), nil
+	case "twolevel":
+		tl := s.Topology.twolevel
+		return fmt.Sprintf("twolevel/ases=%d,m=%d,tf=%g,hps=%d,seed=%d",
+			tl.ASes, tl.AttachM, tl.TransitFraction, tl.HostsPerStub, s.topoSeed()), nil
+	default:
+		return "", errors.New("core: scenario needs a topology")
+	}
+}
+
+// Net is prebuilt topology state: the materialized graph with roles and
+// subnet partition plus the shared routing tables every replica uses.
+// Build one with Scenario.BuildNet and pass it to SimulateOptions via
+// RunOptions.Net (or WithNet) to amortize graph generation and all-pairs
+// routing across several batches over the same topology — the grid
+// points of a parameter sweep. A Net is read-only after construction
+// and safe for concurrent use.
+type Net struct {
+	key    string
+	graph  *topology.Graph
+	roles  []topology.Role
+	subnet []int
+	net    *sim.Net
+}
+
+// Key returns the NetKey of the scenario the Net was built from.
+func (n *Net) Key() string { return n.key }
+
+// BuildNet materializes the scenario's topology once — graph, roles,
+// subnet partition, and routing state — for reuse across batches via
+// RunOptions.Net. Any scenario whose NetKey equals this scenario's can
+// run over the returned Net.
+func (s *Scenario) BuildNet() (*Net, error) {
+	key, err := s.NetKey()
+	if err != nil {
+		return nil, err
+	}
+	g, roles, subnet, err := s.materialize()
+	if err != nil {
+		return nil, err
+	}
+	return &Net{key: key, graph: g, roles: roles, subnet: subnet, net: sim.BuildNet(g)}, nil
+}
+
+// applyDefense translates one DefenseSpec onto the simulation config.
+func (s *Scenario) applyDefense(cfg *sim.Config, d DefenseSpec, seed int64) error {
+	g, roles, subnet := cfg.Graph, cfg.Roles, cfg.Subnet
+	switch d.kind {
+	case "", "none":
+	case "host":
+		hosts, err := sim.DeployHostFraction(g, roles, d.fraction, seed)
+		if err != nil {
+			return fmt.Errorf("core: defense: %w", err)
+		}
+		if cfg.ScanRateOverride == nil {
+			cfg.ScanRateOverride = make(map[int]float64, len(hosts))
+		}
+		for _, h := range hosts {
+			cfg.ScanRateOverride[h] = d.rate
+		}
+	case "overrides":
+		if cfg.ScanRateOverride == nil {
+			cfg.ScanRateOverride = make(map[int]float64, len(d.overrides))
+		}
+		for h, r := range d.overrides {
+			cfg.ScanRateOverride[h] = r
+		}
+	case "edge":
+		if roles == nil {
+			return fmt.Errorf("%w: edge rate limiting needs a routed topology", ErrUnsupported)
+		}
+		cfg.LimitedLinks = append(cfg.LimitedLinks, sim.DeployEdgeUplinks(g, roles, subnet)...)
+		cfg.BaseRate = d.rate
+	case "backbone":
+		if roles == nil {
+			return fmt.Errorf("%w: backbone rate limiting needs a routed topology", ErrUnsupported)
+		}
+		cfg.LimitedNodes = append(cfg.LimitedNodes, sim.DeployBackbone(roles)...)
+		cfg.BaseRate = d.rate
+		if d.weighted {
+			cfg.LinkWeights = routing.Build(g).LinkWeights(g)
+		}
+	case "hub":
+		if s.Topology.kind != "star" {
+			return fmt.Errorf("%w: hub caps apply to star topologies", ErrUnsupported)
+		}
+		if cfg.NodeCaps == nil {
+			cfg.NodeCaps = make(map[int]int, 1)
+		}
+		cfg.NodeCaps[topology.Hub] = d.cap
+	case "throttle":
+		if roles == nil {
+			return fmt.Errorf("%w: host contact throttles need a routed topology", ErrUnsupported)
+		}
+		hosts := topology.NodesWithRole(roles, topology.RoleHost)
+		if d.limHosts < 0 || d.limHosts > len(hosts) {
+			return fmt.Errorf("core: defense: throttle wants %d hosts, topology has %d", d.limHosts, len(hosts))
+		}
+		// Construct one throttle eagerly so bad parameters surface as a
+		// config error, not a panic inside a worker goroutine.
+		if _, err := ratelimit.NewWilliamsonThrottle(d.limWS, d.limPeriod); err != nil {
+			return fmt.Errorf("core: defense: %w", err)
+		}
+		ws, period := d.limWS, d.limPeriod
+		cfg.HostLimiterNodes = append(cfg.HostLimiterNodes, hosts[:d.limHosts]...)
+		cfg.HostLimiterFactory = func() ratelimit.ContactLimiter {
+			l, err := ratelimit.NewWilliamsonThrottle(ws, period)
+			if err != nil {
+				panic(err) // unreachable: parameters validated above
+			}
+			return l
+		}
+	default:
+		return fmt.Errorf("%w: defense %q", ErrUnsupported, d.kind)
+	}
+	return nil
+}
+
+// build materializes the simulation config. A non-nil net supplies the
+// prebuilt topology (its key must match the scenario's); nil builds
+// from scratch.
+func (s *Scenario) build(net *Net) (sim.Config, error) {
 	var cfg sim.Config
 	if s.Worm.err != nil {
 		return cfg, fmt.Errorf("core: worm: %w", s.Worm.err)
@@ -247,9 +460,26 @@ func (s *Scenario) build() (sim.Config, error) {
 		return cfg, errors.New("core: scenario needs a worm (use RandomWorm et al.)")
 	}
 
-	g, roles, subnet, err := s.materialize()
-	if err != nil {
-		return cfg, err
+	var (
+		g      *topology.Graph
+		roles  []topology.Role
+		subnet []int
+		err    error
+	)
+	if net != nil {
+		key, kerr := s.NetKey()
+		if kerr != nil {
+			return cfg, kerr
+		}
+		if key != net.key {
+			return cfg, fmt.Errorf("core: prebuilt net %q does not match scenario topology %q", net.key, key)
+		}
+		g, roles, subnet = net.graph, net.roles, net.subnet
+	} else {
+		g, roles, subnet, err = s.materialize()
+		if err != nil {
+			return cfg, err
+		}
 	}
 	seed := s.seed()
 
@@ -262,55 +492,44 @@ func (s *Scenario) build() (sim.Config, error) {
 		initial = 1
 	}
 	maxQ := s.MaxQueue
-	if maxQ == 0 {
+	switch {
+	case maxQ == 0:
 		maxQ = 50
+	case maxQ < 0:
+		maxQ = 0 // sim-level 0 = unbounded
 	}
 	cfg = sim.Config{
-		Graph:           g,
-		Roles:           roles,
-		Subnet:          subnet,
-		Beta:            s.Worm.Beta,
-		ScansPerTick:    s.Worm.ScansPerTick,
-		ProbeFirst:      s.Worm.ProbeFirst,
-		Strategy:        s.Worm.strategy,
-		InitialInfected: initial,
-		Ticks:           ticks,
-		Seed:            seed,
-		MaxQueue:        maxQ,
-		Workers:         s.Workers,
+		Graph:            g,
+		Roles:            roles,
+		Subnet:           subnet,
+		Beta:             s.Worm.Beta,
+		ScansPerTick:     s.Worm.ScansPerTick,
+		ProbeFirst:       s.Worm.ProbeFirst,
+		Strategy:         s.Worm.strategy,
+		InitialInfected:  initial,
+		Ticks:            ticks,
+		Seed:             seed,
+		MaxQueue:         maxQ,
+		HostsOnly:        s.HostsOnly,
+		RecordInfections: s.RecordInfections,
+		TrackSubnets:     s.TrackSubnets,
+		TrackLatency:     s.TrackLatency,
+		Faults:           s.Faults,
+	}
+	if net != nil {
+		cfg.Net = net.net
+	}
+	if s.Drop {
+		cfg.Policy = sim.PolicyDrop
 	}
 
-	switch s.Defense.kind {
-	case "", "none":
-	case "host":
-		hosts, err := sim.DeployHostFraction(g, roles, s.Defense.fraction, seed)
-		if err != nil {
-			return cfg, fmt.Errorf("core: defense: %w", err)
+	if err := s.applyDefense(&cfg, s.Defense, seed); err != nil {
+		return cfg, err
+	}
+	for _, d := range s.Defenses {
+		if err := s.applyDefense(&cfg, d, seed); err != nil {
+			return cfg, err
 		}
-		o := make(map[int]float64, len(hosts))
-		for _, h := range hosts {
-			o[h] = s.Defense.rate
-		}
-		cfg.ScanRateOverride = o
-	case "edge":
-		if roles == nil {
-			return cfg, fmt.Errorf("%w: edge rate limiting needs a routed topology", ErrUnsupported)
-		}
-		cfg.LimitedLinks = sim.DeployEdgeUplinks(g, roles, subnet)
-		cfg.BaseRate = s.Defense.rate
-	case "backbone":
-		if roles == nil {
-			return cfg, fmt.Errorf("%w: backbone rate limiting needs a routed topology", ErrUnsupported)
-		}
-		cfg.LimitedNodes = sim.DeployBackbone(roles)
-		cfg.BaseRate = s.Defense.rate
-	case "hub":
-		if s.Topology.kind != "star" {
-			return cfg, fmt.Errorf("%w: hub caps apply to star topologies", ErrUnsupported)
-		}
-		cfg.NodeCaps = map[int]int{topology.Hub: s.Defense.cap}
-	default:
-		return cfg, fmt.Errorf("%w: defense %q", ErrUnsupported, s.Defense.kind)
 	}
 
 	if s.Immunize != nil {
@@ -323,119 +542,11 @@ func (s *Scenario) build() (sim.Config, error) {
 	if s.DynamicQuarantine != nil {
 		cfg.Quarantine = &sim.Quarantine{
 			TriggerScansPerTick: s.DynamicQuarantine.TriggerScansPerTick,
+			TriggerLevel:        s.DynamicQuarantine.TriggerLevel,
 			Delay:               s.DynamicQuarantine.Delay,
 		}
 	}
 	return cfg, nil
-}
-
-// RunOption tunes how SimulateContext executes a batch of replicas.
-type RunOption func(*runConfig)
-
-// runConfig is the resolved option set of one SimulateContext call.
-type runConfig struct {
-	jobs           int
-	timeout        time.Duration
-	progress       func(runner.Stats)
-	collectors     func(run int) obs.Collector
-	check          bool
-	retries        int
-	retryBackoff   time.Duration
-	replicaTimeout time.Duration
-	keepGoing      bool
-	checkpointDir  string
-	checkpointN    int
-	resumePath     string
-}
-
-// WithJobs bounds the replica worker pool at n concurrent simulations
-// (default GOMAXPROCS). The averaged result is identical for every job
-// count; only wall time changes.
-func WithJobs(n int) RunOption {
-	return func(c *runConfig) { c.jobs = n }
-}
-
-// WithTimeout aborts the batch after d, returning
-// context.DeadlineExceeded. Zero or negative means no timeout.
-func WithTimeout(d time.Duration) RunOption {
-	return func(c *runConfig) { c.timeout = d }
-}
-
-// WithProgress installs a callback observing live runner.Stats (runs
-// completed, ticks simulated, ticks/sec) after every finished replica.
-func WithProgress(fn func(runner.Stats)) RunOption {
-	return func(c *runConfig) { c.progress = fn }
-}
-
-// WithCollectors installs a per-replica metrics collector factory (see
-// internal/obs): factory(r) builds replica r's collector before its
-// engine starts. The factory is called from worker goroutines and must
-// be safe for concurrent calls with distinct r.
-func WithCollectors(factory func(run int) obs.Collector) RunOption {
-	return func(c *runConfig) { c.collectors = factory }
-}
-
-// WithCheck runs every replica under the engine's per-tick invariant
-// audit; a violated invariant aborts the batch with an error matching
-// obs.ErrInvariant.
-func WithCheck() RunOption {
-	return func(c *runConfig) { c.check = true }
-}
-
-// WithRetry retries a failed replica (error, panic, or timeout) up to
-// max extra attempts with exponential backoff from base (0 means
-// 500ms) plus deterministic jitter. Combined with WithCheckpoints and
-// WithResume, a retried replica restarts from its own last checkpoint
-// rather than tick zero.
-func WithRetry(max int, base time.Duration) RunOption {
-	return func(c *runConfig) {
-		c.retries = max
-		c.retryBackoff = base
-	}
-}
-
-// WithReplicaTimeout bounds the wall-clock time of one replica attempt;
-// an attempt that exceeds it fails with runner.ErrTaskTimeout (and is
-// retried under WithRetry).
-func WithReplicaTimeout(d time.Duration) RunOption {
-	return func(c *runConfig) { c.replicaTimeout = d }
-}
-
-// WithKeepGoing degrades gracefully instead of aborting the batch when
-// a replica fails after its retries: the averaged result covers the
-// replicas that completed, and SimulateStats' runner.Stats.Failures
-// names what was lost. A batch where every replica failed still
-// errors.
-func WithKeepGoing() RunOption {
-	return func(c *runConfig) { c.keepGoing = true }
-}
-
-// WithCheckpoints writes each replica's engine snapshot into dir (one
-// file per replica, replica-NNN.ckpt) every `every` ticks (0 means
-// 10), through the atomic safeio path: a crash mid-write never leaves
-// a truncated checkpoint.
-func WithCheckpoints(dir string, every int) RunOption {
-	return func(c *runConfig) {
-		c.checkpointDir = dir
-		c.checkpointN = every
-	}
-}
-
-// WithResume resumes each replica from a previously written
-// checkpoint. path is either a checkpoint directory (each replica
-// loads its own replica-NNN.ckpt; replicas without one start fresh)
-// or, for single-replica batches, one checkpoint file. A checkpoint
-// that exists but fails verification (corruption, version skew, or a
-// config mismatch) fails the replica explicitly — it is never silently
-// ignored.
-func WithResume(path string) RunOption {
-	return func(c *runConfig) { c.resumePath = path }
-}
-
-// checkpointFile is the per-replica checkpoint naming scheme shared by
-// WithCheckpoints and WithResume.
-func checkpointFile(dir string, run int) string {
-	return filepath.Join(dir, fmt.Sprintf("replica-%03d.ckpt", run))
 }
 
 // Simulate runs the scenario `runs` times (averaging the series) and
@@ -459,46 +570,60 @@ func (s *Scenario) SimulateContext(ctx context.Context, runs int, opts ...RunOpt
 // SimulateStats is SimulateContext returning the batch's final
 // runner.Stats (replicas completed/failed/retried, ticks simulated,
 // failure details) alongside the averaged result, for callers that
-// report batch health.
+// report batch health. It folds the functional options into a
+// RunOptions and delegates to SimulateOptions.
 func (s *Scenario) SimulateStats(ctx context.Context, runs int, opts ...RunOption) (*sim.Result, runner.Stats, error) {
-	var rc runConfig
-	for _, o := range opts {
-		o(&rc)
+	var o RunOptions
+	for _, opt := range opts {
+		opt(&o)
 	}
-	if rc.timeout > 0 {
+	return s.SimulateOptions(ctx, runs, o)
+}
+
+// SimulateOptions runs the scenario `runs` times under a declarative
+// RunOptions — the entry point the CLIs, the spec compiler, and the
+// sweep engine share. It validates the options, applies the batch
+// timeout, wires checkpoint/resume sinks, lowers the remaining knobs
+// through RunOptions.RunnerOptions, and executes on sim.MultiRunStats.
+func (s *Scenario) SimulateOptions(ctx context.Context, runs int, o RunOptions) (*sim.Result, runner.Stats, error) {
+	if err := o.Validate(); err != nil {
+		return nil, runner.Stats{}, err
+	}
+	if o.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, rc.timeout)
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
 		defer cancel()
 	}
-	cfg, err := s.build()
+	cfg, err := s.build(o.Net)
 	if err != nil {
 		return nil, runner.Stats{}, err
 	}
-	cfg.CollectorFactory = rc.collectors
-	cfg.Check = rc.check
-	if rc.checkpointDir != "" {
-		if err := os.MkdirAll(rc.checkpointDir, 0o755); err != nil {
+	cfg.Workers = o.Workers
+	cfg.CollectorFactory = o.Collectors
+	cfg.Check = o.Check
+	if o.Checkpoint != "" {
+		if err := os.MkdirAll(o.Checkpoint, 0o755); err != nil {
 			return nil, runner.Stats{}, fmt.Errorf("core: checkpoint dir: %w", err)
 		}
-		cfg.CheckpointEvery = rc.checkpointN
+		cfg.CheckpointEvery = o.CheckpointEvery
 		if cfg.CheckpointEvery <= 0 {
 			cfg.CheckpointEvery = 10
 		}
-		dir := rc.checkpointDir
+		dir := o.Checkpoint
 		cfg.CheckpointFactory = func(run int) func(*sim.Snapshot) error {
-			path := checkpointFile(dir, run)
+			path := ReplicaCheckpoint(dir, run)
 			return func(snap *sim.Snapshot) error { return sim.WriteSnapshot(path, snap) }
 		}
 	}
-	if rc.resumePath != "" {
-		resume := rc.resumePath
+	if o.Resume != "" {
+		resume := o.Resume
 		info, statErr := os.Stat(resume)
 		fromFile := statErr == nil && !info.IsDir()
 		if fromFile && runs != 1 {
 			return nil, runner.Stats{}, fmt.Errorf("core: -resume with a single checkpoint file needs runs=1, got %d (pass the checkpoint directory instead)", runs)
 		}
 		cfg.ResumeFactory = func(run int) (*sim.Snapshot, error) {
-			path := checkpointFile(resume, run)
+			path := ReplicaCheckpoint(resume, run)
 			if fromFile {
 				path = resume
 			}
@@ -509,27 +634,7 @@ func (s *Scenario) SimulateStats(ctx context.Context, runs int, opts ...RunOptio
 			return snap, err
 		}
 	}
-	var ropts []runner.Option
-	if rc.jobs > 0 {
-		ropts = append(ropts, runner.WithJobs(rc.jobs))
-	}
-	if rc.progress != nil {
-		ropts = append(ropts, runner.WithProgress(rc.progress))
-	}
-	if rc.retries > 0 {
-		base := rc.retryBackoff
-		if base <= 0 {
-			base = 500 * time.Millisecond
-		}
-		ropts = append(ropts, runner.WithRetry(rc.retries, base))
-	}
-	if rc.replicaTimeout > 0 {
-		ropts = append(ropts, runner.WithTaskTimeout(rc.replicaTimeout))
-	}
-	if rc.keepGoing {
-		ropts = append(ropts, runner.WithKeepGoing())
-	}
-	return sim.MultiRunStats(ctx, cfg, runs, ropts...)
+	return sim.MultiRunStats(ctx, cfg, runs, o.RunnerOptions()...)
 }
 
 // Validate checks the scenario spec without running anything: topology
@@ -537,7 +642,7 @@ func (s *Scenario) SimulateStats(ctx context.Context, runs int, opts ...RunOptio
 // parameter are verified, so spec errors surface before a batch is
 // scheduled. A nil error means Simulate will not fail on the spec.
 func (s *Scenario) Validate() error {
-	cfg, err := s.build()
+	cfg, err := s.build(nil)
 	if err != nil {
 		return err
 	}
@@ -565,30 +670,38 @@ func (s *Scenario) specNodes() (int, error) {
 	}
 }
 
-// Warnings reports advisory (non-fatal) spec issues: configurations
-// that will run correctly but probably not the way the user hoped.
-// Currently it flags intra-run workers on topologies too small to
-// shard profitably — the result is identical either way (DESIGN.md
-// §12), but the goroutine handoff costs more than it saves below
-// sim.MinShardNodes nodes.
-func (s *Scenario) Warnings() []string {
+// Warnings reports advisory (non-fatal) issues with the scenario under
+// the given run options: configurations that will run correctly but
+// probably not the way the user hoped. Currently it flags intra-run
+// workers on topologies too small to shard profitably — the result is
+// identical either way (DESIGN.md §12), but the goroutine handoff costs
+// more than it saves below sim.MinShardNodes nodes — and tracking
+// options that need structure the topology does not have.
+func (s *Scenario) Warnings(o RunOptions) []string {
 	var warns []string
-	if s.Workers > 1 {
+	if o.Workers > 1 {
 		if n, err := s.specNodes(); err == nil && n > 0 && n < sim.MinShardNodes {
 			warns = append(warns, fmt.Sprintf(
 				"core: %d workers on a %d-node topology: sharding pays off above ~%d nodes; expect serial-or-worse speed (results are unaffected)",
-				s.Workers, n, sim.MinShardNodes))
+				o.Workers, n, sim.MinShardNodes))
 		}
+	}
+	if s.TrackSubnets && s.Topology.kind == "star" {
+		warns = append(warns, "core: track-subnets on a star topology: stars have no subnet partition; the within-subnet series will be empty")
 	}
 	return warns
 }
 
 // Model returns the paper's analytical model matching the scenario
 // (topology size N, worm β, defense), where one exists. Scenarios with
-// no closed-form counterpart return ErrUnsupported.
+// no closed-form counterpart return ErrUnsupported. Only the primary
+// Defense maps; stacked Defenses have no closed form.
 func (s *Scenario) Model() (model.Curve, error) {
 	if s.Worm.strategy == nil {
 		return nil, errors.New("core: scenario needs a worm")
+	}
+	if len(s.Defenses) > 0 {
+		return nil, fmt.Errorf("%w: no analytical model for stacked defenses", ErrUnsupported)
 	}
 	nodes, err := s.specNodes()
 	if err != nil {

@@ -16,8 +16,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/runner"
@@ -26,8 +26,27 @@ import (
 	"repro/internal/trace"
 )
 
-// Options tunes cost vs fidelity of a figure run.
+// Options tunes cost vs fidelity of a figure run. The run-execution
+// knobs (Jobs, Workers, Check, retries, checkpointing, ...) are the
+// embedded core.RunOptions — the same declarative struct the core
+// facade and the spec compiler use; experiment adds only the
+// figure-harness parameters on top.
+//
+// Figure checkpoints are laid out as
+// <Checkpoint>/<figure>/batch-NN/replica-NNN.ckpt — batches are
+// numbered in the order the figure runs them, which is deterministic
+// (builders run their batches sequentially). Resume names the root of
+// a layout left by a previous interrupted run with identical options
+// (usually the same directory as Checkpoint); replicas without a
+// checkpoint start fresh. The single-file Resume form core supports
+// does not apply here. KeepGoing degrades per figure: each figure's
+// batch averages over the replicas that completed, and the per-figure
+// "replica_failed"/"replica_retries" counters (in Metrics) record what
+// was lost. When figures themselves run in parallel (RunAll), keep
+// Jobs small to avoid oversubscription.
 type Options struct {
+	core.RunOptions
+
 	// Runs is the number of simulation replicas to average (paper: 10).
 	// 0 means 10.
 	Runs int
@@ -38,58 +57,11 @@ type Options struct {
 	TraceDuration int64
 	// Quick shrinks populations/horizons for fast tests.
 	Quick bool
-	// Jobs bounds the worker pool each figure uses for its simulation
-	// replicas (0 = GOMAXPROCS). When figures themselves run in
-	// parallel (RunAll), keep Jobs small to avoid oversubscription.
-	Jobs int
-	// Workers shards each replica's per-tick work across this many
-	// goroutines (sim.Config.Workers; 0 or 1 = serial). Results are
-	// byte-identical for every worker count (DESIGN.md §12). Workers
-	// multiply with Jobs — for the paper's small figure topologies
-	// replica parallelism (Jobs) is the better use of cores; Workers
-	// pays off on large single runs.
-	Workers int
-	// Check runs every simulation replica under the engine's per-tick
-	// invariant audit (sim.Config.Check). Slower; meant for CI and
-	// debugging.
-	Check bool
 	// Metrics, when non-nil, collects per-figure observability counters
 	// (summed over every simulation replica a figure runs) into the
-	// sink. Safe for concurrent figures.
+	// sink. Safe for concurrent figures. Takes precedence over the
+	// embedded Collectors hook, which the figure harness does not use.
 	Metrics *BatchMetrics
-
-	// Retries is how many times a failed simulation replica is retried
-	// (with exponential backoff) before it counts as failed. 0 disables
-	// retries.
-	Retries int
-	// RetryBackoff is the base delay of the retry backoff (0 means
-	// 100ms; attempt k waits base<<k plus deterministic jitter).
-	RetryBackoff time.Duration
-	// ReplicaTimeout bounds the wall-clock time of one simulation
-	// replica attempt; a replica that exceeds it fails with
-	// runner.ErrTaskTimeout (and is retried when Retries > 0). 0 means
-	// no deadline.
-	ReplicaTimeout time.Duration
-	// KeepGoing degrades gracefully instead of failing the figure when
-	// replicas die: each figure's batch averages over the replicas that
-	// completed, and the per-figure "replica_failed"/"replica_retries"
-	// counters (in Metrics) record what was lost. A figure still fails
-	// when every one of its replicas failed.
-	KeepGoing bool
-	// Checkpoint, when set, writes every simulation replica's engine
-	// snapshot under this directory every CheckpointEvery ticks, laid
-	// out as <dir>/<figure>/batch-NN/replica-NNN.ckpt. Batches are
-	// numbered in the order the figure runs them, which is
-	// deterministic (builders run their batches sequentially).
-	Checkpoint string
-	// CheckpointEvery is the tick interval between checkpoints (0
-	// means 10).
-	CheckpointEvery int
-	// Resume restarts replicas from the checkpoints under Checkpoint
-	// left by a previous interrupted run with identical options.
-	// Replicas without a checkpoint start fresh; a checkpoint that
-	// exists but fails verification fails its replica explicitly.
-	Resume bool
 
 	// figID is the figure currently being built; RunContext stamps it on
 	// the copy of Options it hands the builder so multiRun can attribute
@@ -160,45 +132,36 @@ func (b *BatchMetrics) IDs() []string {
 }
 
 // multiRun is the one funnel every figure builder runs its simulation
-// batches through: it applies the audit, metrics, and fault-tolerance
-// options, bounds the replica pool at Options.Jobs, and attributes the
-// batch's counters to the figure being built.
+// batches through: it applies the audit, metrics, and checkpoint
+// options, lowers the fault-tolerance and parallelism knobs through
+// core.RunOptions.RunnerOptions (the module's single lowering point),
+// and attributes the batch's counters to the figure being built.
 func (o Options) multiRun(ctx context.Context, cfg sim.Config) (*sim.Result, error) {
 	cfg.Check = o.Check
 	cfg.Workers = o.Workers
 	if o.Metrics != nil {
 		cfg.CollectorFactory = func(int) obs.Collector { return obs.NewTally() }
 	}
-	ropts := []runner.Option{runner.WithJobs(o.Jobs)}
-	if o.Retries > 0 {
-		base := o.RetryBackoff
-		if base <= 0 {
-			base = 100 * time.Millisecond
+	if (o.Checkpoint != "" || o.Resume != "") && o.ckptSeq != nil {
+		batch := fmt.Sprintf("batch-%02d", o.ckptSeq.Add(1))
+		if o.Checkpoint != "" {
+			dir := filepath.Join(o.Checkpoint, o.figID, batch)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, fmt.Errorf("experiment: checkpoint dir: %w", err)
+			}
+			cfg.CheckpointEvery = o.CheckpointEvery
+			if cfg.CheckpointEvery <= 0 {
+				cfg.CheckpointEvery = 10
+			}
+			cfg.CheckpointFactory = func(run int) func(*sim.Snapshot) error {
+				path := core.ReplicaCheckpoint(dir, run)
+				return func(s *sim.Snapshot) error { return sim.WriteSnapshot(path, s) }
+			}
 		}
-		ropts = append(ropts, runner.WithRetry(o.Retries, base))
-	}
-	if o.ReplicaTimeout > 0 {
-		ropts = append(ropts, runner.WithTaskTimeout(o.ReplicaTimeout))
-	}
-	if o.KeepGoing {
-		ropts = append(ropts, runner.WithKeepGoing())
-	}
-	if o.Checkpoint != "" && o.ckptSeq != nil {
-		dir := filepath.Join(o.Checkpoint, o.figID, fmt.Sprintf("batch-%02d", o.ckptSeq.Add(1)))
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("experiment: checkpoint dir: %w", err)
-		}
-		cfg.CheckpointEvery = o.CheckpointEvery
-		if cfg.CheckpointEvery <= 0 {
-			cfg.CheckpointEvery = 10
-		}
-		cfg.CheckpointFactory = func(run int) func(*sim.Snapshot) error {
-			path := filepath.Join(dir, fmt.Sprintf("replica-%03d.ckpt", run))
-			return func(s *sim.Snapshot) error { return sim.WriteSnapshot(path, s) }
-		}
-		if o.Resume {
+		if o.Resume != "" {
+			rdir := filepath.Join(o.Resume, o.figID, batch)
 			cfg.ResumeFactory = func(run int) (*sim.Snapshot, error) {
-				snap, err := sim.ReadSnapshot(filepath.Join(dir, fmt.Sprintf("replica-%03d.ckpt", run)))
+				snap, err := sim.ReadSnapshot(core.ReplicaCheckpoint(rdir, run))
 				if errors.Is(err, fs.ErrNotExist) {
 					return nil, nil // no checkpoint for this replica: start fresh
 				}
@@ -206,7 +169,7 @@ func (o Options) multiRun(ctx context.Context, cfg sim.Config) (*sim.Result, err
 			}
 		}
 	}
-	res, stats, err := sim.MultiRunStats(ctx, cfg, o.runs(), ropts...)
+	res, stats, err := sim.MultiRunStats(ctx, cfg, o.runs(), o.RunnerOptions()...)
 	if err != nil {
 		return nil, err
 	}
@@ -328,7 +291,7 @@ func RunContext(ctx context.Context, id string, opt Options) (*Result, error) {
 	for _, r := range registry() {
 		if r.id == id {
 			opt.figID = id
-			if opt.Checkpoint != "" {
+			if opt.Checkpoint != "" || opt.Resume != "" {
 				// Fresh batch numbering per figure invocation, so a
 				// figure-level retry rebuilds the same checkpoint layout.
 				opt.ckptSeq = new(atomic.Int32)

@@ -127,6 +127,12 @@ type Config struct {
 	// Subnet is the subnet index of each node (optional; computed from
 	// Roles when nil and needed by the strategy).
 	Subnet []int
+	// Net, when non-nil, supplies prebuilt shared routing state for
+	// Graph (see BuildNet). It must have been built from this exact
+	// Graph; Validate rejects a mismatched pair. Use it to amortize
+	// routing construction across several runs or batches over the
+	// same topology — e.g. the grid points of a parameter sweep.
+	Net *Net
 
 	// Beta is the per-scan probability that an infected node emits an
 	// infection packet (the paper's β, e.g. 0.8).
@@ -290,6 +296,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Strategy == nil {
 		return ErrNoStrategy
+	}
+	if c.Net != nil && c.Net.graph != c.Graph {
+		return fmt.Errorf("sim: config.Net was built from a different graph than config.Graph")
 	}
 	if c.Beta < 0 || c.Beta > 1 {
 		return fmt.Errorf("sim: beta %v out of [0,1]", c.Beta)

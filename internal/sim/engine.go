@@ -269,6 +269,9 @@ func newEngine(cfg Config, ns *netState) (*Engine, error) {
 		return nil, topology.ErrDisconnected
 	}
 	if ns == nil {
+		ns = cfg.Net.state()
+	}
+	if ns == nil {
 		ns = newNetState(cfg.Graph)
 	}
 	n := cfg.Graph.N()

@@ -1,0 +1,311 @@
+package spec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// minimal returns a small valid spec document in canonical JSON.
+func minimalJSON() string {
+	return `{
+  "format": "wormsim-scenario",
+  "version": 1,
+  "name": "mini",
+  "topology": {
+    "kind": "star",
+    "nodes": 40
+  },
+  "worm": {
+    "kind": "random",
+    "beta": 0.5
+  },
+  "ticks": 20,
+  "seed": 3
+}
+`
+}
+
+func TestParseRoundTripByteIdentical(t *testing.T) {
+	doc := minimalJSON()
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != doc {
+		t.Errorf("canonical form drifted:\n--- in ---\n%s--- out ---\n%s", doc, out)
+	}
+	// Parse ∘ Canonical is the identity a second time around, too.
+	s2, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := s2.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out2) != string(out) {
+		t.Error("second round trip diverged")
+	}
+}
+
+func TestParseYAML(t *testing.T) {
+	doc := `
+# A hand-written scenario.
+format: wormsim-scenario
+version: 1
+name: "yaml-demo"
+topology:
+  kind: powerlaw
+  nodes: 120
+topology_seed: 4
+worm:
+  kind: local        # Blaster-style
+  beta: 0.8
+  local_pref: 0.7
+defenses:
+  - kind: backbone
+    rate: 0.4
+    weighted: true
+  - kind: overrides
+    overrides:
+      "10": 0.2
+quarantine:
+  trigger_scans_per_tick: 40
+  delay: 2
+ticks: 50
+seed: 9
+observe:
+  subnets: true
+run:
+  runs: 2
+  jobs: 2
+  timeout: 30s
+grid:
+  - path: worm.beta
+    values: [0.4, 0.8]
+`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "yaml-demo" || s.Topology.Kind != "powerlaw" || s.Worm.LocalPref != 0.7 {
+		t.Errorf("parsed fields wrong: %+v", s)
+	}
+	if len(s.Defenses) != 2 || !s.Defenses[0].Weighted || s.Defenses[1].Overrides["10"] != 0.2 {
+		t.Errorf("defenses wrong: %+v", s.Defenses)
+	}
+	if s.Run == nil || s.Run.Timeout != "30s" || s.Run.Runs != 2 {
+		t.Errorf("run wrong: %+v", s.Run)
+	}
+	if len(s.Grid) != 1 || s.Grid[0].Path != "worm.beta" || len(s.Grid[0].Values) != 2 {
+		t.Errorf("grid wrong: %+v", s.Grid)
+	}
+	points, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("expanded %d points, want 2", len(points))
+	}
+	if points[0].Name != "yaml-demo[worm.beta=0.4]" {
+		t.Errorf("point name = %q", points[0].Name)
+	}
+	if points[0].Runs != 2 || points[0].Options.Jobs != 2 {
+		t.Errorf("point run options wrong: %+v", points[0])
+	}
+	// YAML and its canonical JSON must describe the identical spec.
+	out, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := s2.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(out2) {
+		t.Error("yaml → canonical JSON did not round-trip")
+	}
+}
+
+// TestParseRejects is the malformed/skewed-spec table: every entry must
+// fail with an error mentioning the expected fragment.
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"empty", "", "empty document"},
+		{"wrong format", `{"format": "not-a-spec", "version": 1}`, "unrecognized format"},
+		{"missing format", `{"version": 1}`, "unrecognized format"},
+		{"future version", `{"format": "wormsim-scenario", "version": 99}`, "unsupported version 99"},
+		{"version zero", `{"format": "wormsim-scenario", "version": 0}`, "unsupported version"},
+		{"unknown field", `{"format": "wormsim-scenario", "version": 1, "betas": 0.8}`, "unknown field"},
+		{"unknown nested field", `{"format": "wormsim-scenario", "version": 1, "worm": {"kind": "random", "speed": 3}}`, "unknown field"},
+		{"type mismatch", `{"format": "wormsim-scenario", "version": 1, "ticks": "many"}`, "cannot unmarshal"},
+		{"garbage", "{]", "parse"},
+		{"yaml tab indent", "format: wormsim-scenario\n\tversion: 1\n", "tabs"},
+		{"yaml unterminated quote", `name: "oops`, "unterminated quote"},
+		{"yaml flow mapping", "format: {a: 1}\n", "not supported"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Parse accepted %q", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCompileRejects covers semantic errors past the envelope.
+func TestCompileRejects(t *testing.T) {
+	base := func() *Spec {
+		s, err := Parse([]byte(minimalJSON()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"bad topology kind", func(s *Spec) { s.Topology.Kind = "mesh" }, "unknown topology kind"},
+		{"bad worm kind", func(s *Spec) { s.Worm.Kind = "stealth" }, "unknown worm kind"},
+		{"bad defense kind", func(s *Spec) { s.Defenses = []Defense{{Kind: "moat"}} }, "unknown kind"},
+		{"bad override key", func(s *Spec) {
+			s.Defenses = []Defense{{Kind: "overrides", Overrides: map[string]float64{"hub": 0.1}}}
+		}, "not a node id"},
+		{"hub on star only", func(s *Spec) {
+			s.Topology = Topology{Kind: "powerlaw", Nodes: 50}
+			s.Defenses = []Defense{{Kind: "hub", HubCap: 2}}
+		}, "hub caps apply to star"},
+		{"bad beta", func(s *Spec) { s.Worm.Beta = 1.5 }, "beta"},
+		{"bad duration", func(s *Spec) { s.Run = &Run{Timeout: "soon"} }, "run.timeout"},
+		{"bad runs", func(s *Spec) { s.Run = &Run{Runs: -2} }, "run.runs"},
+		{"bad jobs", func(s *Spec) { s.Run = &Run{Jobs: -1} }, "-jobs"},
+		{"bad throttle", func(s *Spec) {
+			s.Topology = Topology{Kind: "powerlaw", Nodes: 50}
+			s.Defenses = []Defense{{Kind: "throttle", WorkingSet: 0, Period: 1, Hosts: 3}}
+		}, "workingSet"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mut(s)
+			_, err := s.Compile()
+			if err == nil {
+				t.Fatal("Compile accepted a bad spec")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestExpandGrid(t *testing.T) {
+	s, err := Parse([]byte(minimalJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Grid = []Axis{
+		{Path: "worm.beta", Values: rawValues("0.2", "0.6")},
+		{Path: "seed", Values: rawValues("1", "2", "3")},
+	}
+	points, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("expanded %d points, want 6", len(points))
+	}
+	// Row-major: the last axis (seed) varies fastest.
+	if points[0].Name != "mini[worm.beta=0.2,seed=1]" || points[1].Name != "mini[worm.beta=0.2,seed=2]" ||
+		points[3].Name != "mini[worm.beta=0.6,seed=1]" {
+		t.Errorf("point order wrong: %q, %q, ..., %q", points[0].Name, points[1].Name, points[3].Name)
+	}
+	if points[3].Scenario.Worm.Beta != 0.6 || points[3].Scenario.Seed != 1 {
+		t.Errorf("point 3 values wrong: %+v", points[3].Scenario)
+	}
+
+	// An axis can target a section the base spec omitted entirely.
+	s.Grid = []Axis{{Path: "quarantine.trigger_level", Values: rawValues("0.05")}}
+	points, err = s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Scenario.DynamicQuarantine == nil || points[0].Scenario.DynamicQuarantine.TriggerLevel != 0.05 {
+		t.Errorf("quarantine axis did not create the section: %+v", points[0].Scenario.DynamicQuarantine)
+	}
+}
+
+func TestExpandGridRejects(t *testing.T) {
+	base := func() *Spec {
+		s, err := Parse([]byte(minimalJSON()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		grid []Axis
+		want string
+	}{
+		{"empty path", nil, []Axis{{Path: "", Values: rawValues("1")}}, "empty path"},
+		{"no values", nil, []Axis{{Path: "seed"}}, "no values"},
+		{"self-referential", nil, []Axis{{Path: "grid.0.path", Values: rawValues(`"x"`)}}, "grid itself"},
+		{"unknown field", nil, []Axis{{Path: "worm.speed", Values: rawValues("3")}}, "unknown field"},
+		{"type mismatch", nil, []Axis{{Path: "ticks", Values: rawValues(`"many"`)}}, "cannot unmarshal"},
+		{"index out of range",
+			func(s *Spec) { s.Defenses = []Defense{{Kind: "none"}} },
+			[]Axis{{Path: "defenses.2.rate", Values: rawValues("1")}}, "out of range"},
+		{"non-numeric index",
+			func(s *Spec) { s.Defenses = []Defense{{Kind: "none"}} },
+			[]Axis{{Path: "defenses.first.rate", Values: rawValues("1")}}, "must be a number"},
+		{"descend into scalar", nil, []Axis{{Path: "seed.sub", Values: rawValues("1")}}, "scalar"},
+		{"invalid point", nil, []Axis{{Path: "worm.beta", Values: rawValues("2.5")}}, "beta"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			if tc.mut != nil {
+				tc.mut(s)
+			}
+			s.Grid = tc.grid
+			if _, err := s.Expand(); err == nil {
+				t.Fatal("Expand accepted a bad grid")
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// rawValues builds raw JSON axis values.
+func rawValues(vals ...string) []json.RawMessage {
+	out := make([]json.RawMessage, len(vals))
+	for i, v := range vals {
+		out[i] = json.RawMessage(v)
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// yamlToJSON converts the YAML subset the spec format accepts into a
+// JSON document, which is then strict-decoded like native JSON. The
+// subset is deliberately small — it is a convenience encoding for
+// hand-written specs, not a general YAML implementation:
+//
+//   - block mappings (`key: value`) and block sequences (`- item`),
+//     nested by indentation
+//   - scalars: integers, floats, booleans, null, and plain or quoted
+//     strings
+//   - flow sequences on one line (`values: [0.2, 0.4, 0.8]`)
+//   - full-line and trailing `#` comments, blank lines
+//
+// Anchors, aliases, multi-document streams, multi-line strings, and
+// flow mappings are not supported and fail with an explicit error.
+func yamlToJSON(data []byte) ([]byte, error) {
+	p := &yamlParser{}
+	for _, raw := range strings.Split(string(data), "\n") {
+		line, err := stripComment(raw)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.ContainsRune(line, '\t') {
+			return nil, fmt.Errorf("line %q: tabs are not allowed in indentation", raw)
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		p.lines = append(p.lines, yamlLine{indent: indent, text: strings.TrimSpace(line)})
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("empty document")
+	}
+	v, err := p.parseBlock(p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, fmt.Errorf("line %q: unexpected indentation", p.lines[p.pos].text)
+	}
+	return json.Marshal(v)
+}
+
+type yamlLine struct {
+	indent int
+	text   string
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseBlock parses the mapping or sequence whose entries sit at
+// exactly the given indent, consuming lines until the indentation
+// drops below it.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	if p.lines[p.pos].indent != indent {
+		return nil, fmt.Errorf("line %q: unexpected indentation", p.lines[p.pos].text)
+	}
+	if strings.HasPrefix(p.lines[p.pos].text, "- ") || p.lines[p.pos].text == "-" {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	m := make(map[string]any)
+	for p.pos < len(p.lines) && p.lines[p.pos].indent == indent {
+		line := p.lines[p.pos]
+		if strings.HasPrefix(line.text, "- ") || line.text == "-" {
+			return nil, fmt.Errorf("line %q: sequence item inside a mapping", line.text)
+		}
+		key, rest, err := splitKey(line.text)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("duplicate key %q", key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalarOrFlow(rest)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// No inline value: a nested block follows, or the value is null.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			m[key] = nil
+		}
+	}
+	if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+		return nil, fmt.Errorf("line %q: unexpected indentation", p.lines[p.pos].text)
+	}
+	return m, nil
+}
+
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	var seq []any
+	for p.pos < len(p.lines) && p.lines[p.pos].indent == indent {
+		line := p.lines[p.pos]
+		if !strings.HasPrefix(line.text, "- ") && line.text != "-" {
+			return nil, fmt.Errorf("line %q: mapping key inside a sequence", line.text)
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line.text, "-"))
+		if rest == "" {
+			// Bare dash: the item is the nested block that follows.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				seq = append(seq, nil)
+				continue
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		if key, after, err := splitKey(rest); err == nil {
+			// `- key: value` starts an inline mapping item; its further
+			// keys sit at the dash's indent + 2 (the column of `key`).
+			item := make(map[string]any)
+			if after != "" {
+				v, err := parseScalarOrFlow(after)
+				if err != nil {
+					return nil, err
+				}
+				item[key] = v
+				p.pos++
+			} else {
+				p.pos++
+				if p.pos < len(p.lines) && p.lines[p.pos].indent > indent+2 {
+					v, err := p.parseBlock(p.lines[p.pos].indent)
+					if err != nil {
+						return nil, err
+					}
+					item[key] = v
+				} else {
+					item[key] = nil
+				}
+			}
+			for p.pos < len(p.lines) && p.lines[p.pos].indent == indent+2 &&
+				!strings.HasPrefix(p.lines[p.pos].text, "- ") && p.lines[p.pos].text != "-" {
+				sub, err := p.parseMapping(indent + 2)
+				if err != nil {
+					return nil, err
+				}
+				for k, v := range sub.(map[string]any) {
+					if _, dup := item[k]; dup {
+						return nil, fmt.Errorf("duplicate key %q", k)
+					}
+					item[k] = v
+				}
+			}
+			seq = append(seq, item)
+			continue
+		}
+		// Plain scalar item.
+		v, err := parseScalarOrFlow(rest)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+		p.pos++
+	}
+	return seq, nil
+}
+
+// splitKey splits `key: rest` (rest possibly empty). The key may be
+// quoted; an unquoted key must not contain spaces before the colon.
+func splitKey(s string) (key, rest string, err error) {
+	i := strings.Index(s, ":")
+	if i < 0 {
+		return "", "", fmt.Errorf("line %q: expected `key: value`", s)
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return "", "", fmt.Errorf("line %q: expected a space after the key's colon", s)
+	}
+	key = strings.TrimSpace(s[:i])
+	if k, ok := unquote(key); ok {
+		key = k
+	} else if strings.ContainsAny(key, " \"'{}[]") {
+		return "", "", fmt.Errorf("line %q: invalid key %q", s, key)
+	}
+	if key == "" {
+		return "", "", fmt.Errorf("line %q: empty key", s)
+	}
+	return key, strings.TrimSpace(s[i+1:]), nil
+}
+
+// parseScalarOrFlow parses an inline value: a flow sequence or a
+// scalar.
+func parseScalarOrFlow(s string) (any, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("flow sequence %q must close on the same line", s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		var seq []any
+		for _, part := range splitFlow(inner) {
+			v, err := parseScalarOrFlow(strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+		}
+		return seq, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("flow mappings (%q) are not supported; use block form", s)
+	}
+	if strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") || strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">") {
+		return nil, fmt.Errorf("yaml feature %q is not supported", s)
+	}
+	return parseScalar(s), nil
+}
+
+// splitFlow splits a flow-sequence body on top-level commas, honouring
+// quotes.
+func splitFlow(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '[':
+			depth++
+		case c == ']':
+			depth--
+		case c == ',' && depth == 0:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// parseScalar interprets an unquoted or quoted YAML scalar.
+func parseScalar(s string) any {
+	if v, ok := unquote(s); ok {
+		return v
+	}
+	switch s {
+	case "true", "True":
+		return true
+	case "false", "False":
+		return false
+	case "null", "~", "Null":
+		return nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+// unquote strips matching single or double quotes.
+func unquote(s string) (string, bool) {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') && s[len(s)-1] == s[0] {
+		return s[1 : len(s)-1], true
+	}
+	return "", false
+}
+
+// stripComment removes a full-line or trailing comment, honouring
+// quoted strings.
+func stripComment(line string) (string, error) {
+	var quote byte
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#':
+			if i == 0 || line[i-1] == ' ' || line[i-1] == '\t' {
+				return line[:i], nil
+			}
+		}
+	}
+	if quote != 0 {
+		return "", fmt.Errorf("line %q: unterminated quote", line)
+	}
+	return line, nil
+}
