@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet audit chaos fuzz-smoke bench bench-figures bench-smoke bench-scale figures clean
+.PHONY: check build test race vet audit chaos fuzz-smoke bench bench-figures bench-smoke bench-scale bench-compare figures clean
 
 ## check: the full gate — vet, build, race-enabled tests. The race run
 ## covers the intra-run parallel engine (cross-worker determinism and
@@ -63,12 +63,24 @@ bench-smoke:
 	$(GO) test -short -run xxx -bench . -benchtime 1x ./...
 
 ## bench-scale: the large-topology scale suite (BenchmarkEngineTickScale:
-## two-level AS graphs from 1k to 1M hosts, 1 and NumCPU intra-run
-## workers; ns/tick and B/host recorded in BENCH_engine.json). The
-## full run includes the 1M-host size (~400 MB peak RSS); CI smokes it
-## with `make bench-scale SHORT=-short`, which stops at 10k hosts.
+## two-level AS graphs from 1k to 10M hosts, 1/2/NumCPU intra-run
+## workers; ns/tick, B/host, and per-leaf peak RSS recorded in
+## BENCH_engine.json). The full run includes the 1M- and 10M-host
+## sizes; CI smokes it with `make bench-scale SHORT=-short`, which
+## stops at 10k hosts. Also runs the quiescent-tick benchmark, which
+## fails if an idle tick is not >=10x cheaper than an active one.
 bench-scale:
-	$(GO) test $(SHORT) -run xxx -bench BenchmarkEngineTickScale -benchtime 1x -count 1 ./internal/sim
+	$(GO) test $(SHORT) -run xxx -bench 'BenchmarkEngineTickScale|BenchmarkEngineTickQuiescent' -benchtime 1x -count 1 ./internal/sim
+
+## bench-compare: regression gate over two bench-scale runs — record
+## each with `make bench-scale > file` (the SHORT=-short smoke works
+## too), then `make bench-compare OLD=old.txt NEW=new.txt`. Uses the
+## in-repo benchstat-style tool (cmd/benchcompare; no install needed)
+## and fails on a >15% ns/tick regression at the 10k-host size.
+OLD ?= bench-old.txt
+NEW ?= bench-new.txt
+bench-compare:
+	$(GO) run ./cmd/benchcompare $(OLD) $(NEW)
 
 ## figures: regenerate every table and figure into out/.
 figures:

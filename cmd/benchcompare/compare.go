@@ -1,0 +1,125 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Samples maps benchmark name -> metric unit -> observed values, in
+// file order. `go test -count N` emits one line per repetition; the
+// repetitions collect under one name.
+type Samples map[string]map[string][]float64
+
+// ParseBench extracts benchmark result lines from `go test -bench`
+// output. A result line is
+//
+//	BenchmarkName[-procs]  N  value unit  [value unit ...]
+//
+// The iteration count N is discarded (ns/op is already normalized);
+// every value/unit pair is kept, including custom b.ReportMetric units
+// like ns/tick and B/host. Non-benchmark lines (goos/pkg headers, PASS,
+// log output) are skipped, so raw `go test` output needs no cleanup.
+func ParseBench(data []byte) Samples {
+	out := make(Samples)
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		// The -procs suffix (Benchmark.../hosts=1000-8) tracks
+		// GOMAXPROCS, not identity: strip it so runs from machines with
+		// different core counts still line up.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := fields[i+1]
+			if out[name] == nil {
+				out[name] = make(map[string][]float64)
+			}
+			out[name][unit] = append(out[name][unit], v)
+		}
+	}
+	return out
+}
+
+// median returns the median of vs (mean of the middle two for even
+// counts). Medians absorb the occasional scheduler-noise outlier that
+// a mean would smear into the comparison.
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Compare renders an old-vs-new table over every benchmark/unit pair
+// present in both sample sets and returns the gate failures: rows whose
+// name contains gate, whose unit equals metric, and whose median
+// regressed (grew) by more than threshold percent. An empty
+// intersection is an error — it means the two files do not cover the
+// same benchmarks and the gate would silently pass on nothing.
+func Compare(oldS, newS Samples, metric, gate string, threshold float64) (string, []string, error) {
+	names := make([]string, 0, len(oldS))
+	for name := range oldS {
+		if _, ok := newS[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return "", nil, fmt.Errorf("no common benchmarks between the two files")
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	var failures []string
+	gated := 0
+	fmt.Fprintf(&b, "%-60s %14s %14s %8s\n", "benchmark [unit]", "old", "new", "delta")
+	for _, name := range names {
+		units := make([]string, 0, len(oldS[name]))
+		for unit := range oldS[name] {
+			if _, ok := newS[name][unit]; ok {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			o, n := median(oldS[name][unit]), median(newS[name][unit])
+			delta := 0.0
+			if o != 0 {
+				delta = (n - o) / o * 100
+			}
+			mark := ""
+			if unit == metric && strings.Contains(name, gate) {
+				gated++
+				if delta > threshold {
+					mark = "  << FAIL"
+					failures = append(failures,
+						fmt.Sprintf("%s [%s]: %.6g -> %.6g (%+.1f%% > %.1f%% threshold)",
+							name, unit, o, n, delta, threshold))
+				}
+			}
+			fmt.Fprintf(&b, "%-60s %14.6g %14.6g %+7.1f%%%s\n",
+				fmt.Sprintf("%s [%s]", name, unit), o, n, delta, mark)
+		}
+	}
+	if gated == 0 {
+		return "", nil, fmt.Errorf("no benchmark matches the gate (name contains %q, unit %q) — nothing was checked", gate, metric)
+	}
+	return b.String(), failures, nil
+}

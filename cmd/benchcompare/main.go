@@ -1,0 +1,71 @@
+// Command benchcompare compares two `go test -bench` output files and
+// fails on performance regressions, without external tooling — a
+// benchstat-shaped gate that works where benchstat cannot be installed.
+//
+//	go test -run xxx -bench BenchmarkEngineTickScale -benchtime 1x -count 5 ./internal/sim > old.txt
+//	... apply a change ...
+//	go test -run xxx -bench BenchmarkEngineTickScale -benchtime 1x -count 5 ./internal/sim > new.txt
+//	go run ./cmd/benchcompare old.txt new.txt
+//
+// Every benchmark name and metric unit present in both files is listed
+// with its old/new medians and the delta. The exit status gates on one
+// metric: benchmarks whose name contains -gate (default "hosts=10000",
+// the scale-suite size CI can afford to run) and whose -metric (default
+// "ns/tick") regressed by more than -threshold percent (default 15)
+// fail the run. Medians over -count repetitions absorb scheduler noise;
+// single-count files gate on the single sample.
+//
+// `make bench-compare OLD=old.txt NEW=new.txt` wraps this command.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("benchcompare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	metric := fs.String("metric", "ns/tick", "metric unit the regression gate checks")
+	gate := fs.String("gate", "hosts=10000", "substring of the benchmark names the gate applies to")
+	threshold := fs.Float64("threshold", 15, "max allowed regression on the gated metric, in percent")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchcompare [flags] old.txt new.txt\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldData, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcompare: %v\n", err)
+		return 2
+	}
+	newData, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcompare: %v\n", err)
+		return 2
+	}
+	report, failures, err := Compare(ParseBench(oldData), ParseBench(newData), *metric, *gate, *threshold)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcompare: %v\n", err)
+		return 2
+	}
+	fmt.Fprint(stdout, report)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(stderr, "benchcompare: REGRESSION %s\n", f)
+		}
+		return 1
+	}
+	return 0
+}

@@ -24,6 +24,7 @@ func BindRunFlags(fs *flag.FlagSet, o *RunOptions) {
 	fs.StringVar(&o.Checkpoint, "checkpoint", o.Checkpoint, "directory for periodic per-replica snapshots (empty = off)")
 	fs.IntVar(&o.CheckpointEvery, "checkpoint-every", o.CheckpointEvery, "ticks between checkpoints (0 = default 10)")
 	fs.StringVar(&o.Resume, "resume", o.Resume, "resume replicas from this checkpoint directory (or single .ckpt file when runs=1)")
+	fs.IntVar(&o.StructuralThreshold, "structural-threshold", o.StructuralThreshold, "node count at which routing switches to the structural router (0 = library default, -1 = dense table at every size; results are identical)")
 }
 
 // runFlagNames lists the flags BindRunFlags registers, in registration
@@ -33,7 +34,7 @@ var runFlagNames = map[string]bool{
 	"jobs": true, "workers": true, "timeout": true, "check": true,
 	"keep-going": true, "retries": true, "retry-backoff": true,
 	"replica-timeout": true, "checkpoint": true, "checkpoint-every": true,
-	"resume": true,
+	"resume": true, "structural-threshold": true,
 }
 
 // MergeRunFlags overlays the run flags the user explicitly set on the
@@ -71,6 +72,8 @@ func MergeRunFlags(fs *flag.FlagSet, base, cli RunOptions) RunOptions {
 			out.CheckpointEvery = cli.CheckpointEvery
 		case "resume":
 			out.Resume = cli.Resume
+		case "structural-threshold":
+			out.StructuralThreshold = cli.StructuralThreshold
 		}
 	})
 	return out

@@ -1,6 +1,10 @@
 package routing
 
-import "repro/internal/topology"
+import (
+	"math/bits"
+
+	"repro/internal/topology"
+)
 
 // Structural is the memory-lean routing mode for host-and-core
 // topologies (topology.TwoLevel, Hierarchical, and any graph whose
@@ -14,10 +18,23 @@ import "repro/internal/topology"
 // between other nodes, so core-subgraph shortest paths equal full-graph
 // shortest paths and every Structural route has optimal hop count.
 //
-// Memory is O(N + C²) for C core nodes instead of O(N²); with the
-// usual hundreds-of-hosts-per-router fan-out that is a ~10⁴× reduction.
-// A Structural is immutable after NewStructural and safe to share
-// across goroutines.
+// The core table itself is slot-compressed: a core node's next hop
+// toward any destination is one of its core neighbors, so instead of a
+// 4-byte directed-link index per (node, destination) pair it stores the
+// *position* of that neighbor within the node's core adjacency list,
+// bit-packed at bits.Len(deg-1) bits per entry. Degree-1 core nodes
+// (stub routers with a single transit uplink) cost zero bits — their
+// next hop is always their only neighbor. On the two-level AS graphs
+// the simulator scales on, this shrinks the core table from 4 B to a
+// fraction of a bit per entry; at 10M hosts (~41k core nodes) the
+// dense int32 table alone would be ~6.8 GB, the packed one a few
+// hundred MB. The packed form requires a connected core (every slot
+// must decode to a real hop); disconnected cores fall back to the
+// dense int32 table, keeping the -1 "unreachable" sentinel.
+//
+// Memory is O(N + C²·w/8) for C core nodes and w packed bits instead
+// of O(N²). A Structural is immutable after NewStructural and safe to
+// share across goroutines.
 type Structural struct {
 	links *Links
 	nc    int
@@ -27,8 +44,29 @@ type Structural struct {
 	upLink []int32
 	// coreID[v] is v's dense core index (-1 for hosts).
 	coreID []int32
-	// coreHop[ci*nc+cj] is the directed-link index of core node ci's
-	// next hop toward core node cj (-1 when ci == cj or unreachable).
+
+	// CSR adjacency of the core-induced subgraph in each node's
+	// insertion order (matching Build's BFS tie-breaking discipline).
+	// fwdLink[k] is the directed-link index core node -> neighbor for
+	// CSR entry k: the value a packed slot decodes to.
+	coreStart []int32
+	coreAdj   []int32
+	fwdLink   []int32
+
+	// Packed mode (connected core). Column cd holds, for every core
+	// node cu, the slot of cu's next-hop neighbor toward cd within cu's
+	// core adjacency list, at wbits[cu] bits (bits.Len(deg-1); zero for
+	// degree<=1). rowOff[cu] is the bit offset of cu's field within a
+	// column; colBits = rowOff[nc] is the column stride. The entry for
+	// cu == cd is never read (HopLink short-circuits it).
+	hopBits []uint64
+	rowOff  []int32
+	wbits   []uint8
+	colBits int
+
+	// Legacy mode (disconnected core): coreHop[ci*nc+cj] is the
+	// directed-link index of ci's next hop toward cj (-1 when ci == cj
+	// or unreachable). nil in packed mode.
 	coreHop []int32
 }
 
@@ -69,40 +107,153 @@ func NewStructural(g *topology.Graph, links *Links) *Structural {
 	nc := len(coreNode)
 	s.nc = nc
 
-	// CSR adjacency of the core-induced subgraph, in each node's
-	// insertion order (matching Build's BFS tie-breaking discipline:
-	// deterministic for a given graph). revLink[k] is the directed-link
-	// index neighbor -> core node, the value a BFS from a destination
-	// writes into the hop table.
-	start := make([]int32, nc+1)
-	adj := make([]int32, 0, nc*4)
-	revLink := make([]int32, 0, nc*4)
+	s.coreStart = make([]int32, nc+1)
+	s.coreAdj = make([]int32, 0, nc*4)
+	s.fwdLink = make([]int32, 0, nc*4)
 	for ci, u := range coreNode {
-		start[ci] = int32(len(adj))
+		s.coreStart[ci] = int32(len(s.coreAdj))
 		for _, v := range g.Neighbors(int(u)) {
 			if cv := s.coreID[v]; cv >= 0 {
-				adj = append(adj, cv)
-				revLink = append(revLink, int32(links.Index(int(v), int(u))))
+				s.coreAdj = append(s.coreAdj, cv)
+				s.fwdLink = append(s.fwdLink, int32(links.Index(int(u), int(v))))
 			}
 		}
 	}
-	start[nc] = int32(len(adj))
+	s.coreStart[nc] = int32(len(s.coreAdj))
 
+	if s.coreConnected() {
+		s.buildPacked()
+	} else {
+		s.buildLegacy()
+	}
+	return s
+}
+
+// coreConnected reports whether the core-induced subgraph is connected
+// — the precondition of the packed table (every non-self slot must
+// decode to a real hop, so there is no room for an "unreachable"
+// sentinel).
+func (s *Structural) coreConnected() bool {
+	nc := s.nc
+	if nc <= 1 {
+		return true
+	}
+	seen := make([]bool, nc)
+	queue := make([]int32, 0, nc)
+	seen[0] = true
+	queue = append(queue, 0)
+	visited := 1
+	for len(queue) > 0 {
+		cv := queue[0]
+		queue = queue[1:]
+		for k := s.coreStart[cv]; k < s.coreStart[cv+1]; k++ {
+			if cw := s.coreAdj[k]; !seen[cw] {
+				seen[cw] = true
+				visited++
+				queue = append(queue, cw)
+			}
+		}
+	}
+	return visited == nc
+}
+
+// buildPacked fills the slot-compressed hop columns. The BFS per
+// destination visits neighbors in CSR (graph insertion) order — the
+// same tie-breaking as the legacy dense build, so a decoded slot is
+// always the identical directed link the dense table would store.
+func (s *Structural) buildPacked() {
+	nc := s.nc
+	s.wbits = make([]uint8, nc)
+	s.rowOff = make([]int32, nc+1)
+	off := int32(0)
+	for ci := 0; ci < nc; ci++ {
+		if deg := int(s.coreStart[ci+1] - s.coreStart[ci]); deg > 1 {
+			s.wbits[ci] = uint8(bits.Len(uint(deg - 1)))
+		}
+		s.rowOff[ci] = off
+		off += int32(s.wbits[ci])
+	}
+	s.rowOff[nc] = off
+	s.colBits = int(off)
+	totalBits := nc * s.colBits
+	s.hopBits = make([]uint64, (totalBits+63)/64)
+
+	// twinSlot[k]: CSR entry k is (cu -> cv); twinSlot[k] is the
+	// position of cu within cv's own adjacency list. When a BFS from a
+	// destination discovers cv through entry k, cv's next hop is cu,
+	// stored packed as cu's slot in cv's list.
+	type edgeKey struct{ a, b int32 }
+	pos := make(map[edgeKey]int32, len(s.coreAdj))
+	for cu := 0; cu < nc; cu++ {
+		for k := s.coreStart[cu]; k < s.coreStart[cu+1]; k++ {
+			pos[edgeKey{int32(cu), s.coreAdj[k]}] = k - s.coreStart[cu]
+		}
+	}
+	twinSlot := make([]int32, len(s.coreAdj))
+	for cu := 0; cu < nc; cu++ {
+		for k := s.coreStart[cu]; k < s.coreStart[cu+1]; k++ {
+			twinSlot[k] = pos[edgeKey{s.coreAdj[k], int32(cu)}]
+		}
+	}
+
+	// One BFS per core destination cd: discovering neighbor cw from cv
+	// means cv is cw's parent toward cd, so cw's packed slot is cv's
+	// position within cw's adjacency list.
+	seen := make([]int32, nc)
+	for ci := range seen {
+		seen[ci] = -1
+	}
+	queue := make([]int32, 0, nc)
+	for cd := 0; cd < nc; cd++ {
+		colBase := cd * s.colBits
+		seen[cd] = int32(cd)
+		queue = append(queue[:0], int32(cd))
+		for len(queue) > 0 {
+			cv := queue[0]
+			queue = queue[1:]
+			for k := s.coreStart[cv]; k < s.coreStart[cv+1]; k++ {
+				cw := s.coreAdj[k]
+				if seen[cw] != int32(cd) {
+					seen[cw] = int32(cd)
+					packSlot(s.hopBits, colBase+int(s.rowOff[cw]), s.wbits[cw], twinSlot[k])
+					queue = append(queue, cw)
+				}
+			}
+		}
+	}
+}
+
+// buildLegacy fills the dense int32 core hop table — the fallback for
+// disconnected cores, where -1 entries mark unreachable pairs.
+func (s *Structural) buildLegacy() {
+	nc := s.nc
 	s.coreHop = make([]int32, nc*nc)
 	for i := range s.coreHop {
 		s.coreHop[i] = -1
 	}
-	// One BFS per core destination cd: discovering neighbor cw from cv
-	// means cv is cw's parent toward cd, so cw's hop link is the
-	// directed link cw -> cv.
+	// revLink[k] is the directed-link index neighbor -> core node for
+	// CSR entry k: the value a BFS from a destination writes into the
+	// hop table.
+	revLink := make([]int32, len(s.coreAdj))
+	for cu := 0; cu < nc; cu++ {
+		for k := s.coreStart[cu]; k < s.coreStart[cu+1]; k++ {
+			cv := s.coreAdj[k]
+			for j := s.coreStart[cv]; j < s.coreStart[cv+1]; j++ {
+				if s.coreAdj[j] == int32(cu) {
+					revLink[k] = s.fwdLink[j]
+					break
+				}
+			}
+		}
+	}
 	queue := make([]int32, 0, nc)
 	for cd := 0; cd < nc; cd++ {
 		queue = append(queue[:0], int32(cd))
 		for len(queue) > 0 {
 			cv := queue[0]
 			queue = queue[1:]
-			for k := start[cv]; k < start[cv+1]; k++ {
-				cw := adj[k]
+			for k := s.coreStart[cv]; k < s.coreStart[cv+1]; k++ {
+				cw := s.coreAdj[k]
 				if cw != int32(cd) && s.coreHop[int(cw)*nc+cd] < 0 {
 					s.coreHop[int(cw)*nc+cd] = revLink[k]
 					queue = append(queue, cw)
@@ -110,7 +261,32 @@ func NewStructural(g *topology.Graph, links *Links) *Structural {
 			}
 		}
 	}
-	return s
+}
+
+// packSlot writes the w low bits of val at bit offset off. Fields may
+// straddle a word boundary; words are assumed zero-initialised.
+func packSlot(words []uint64, off int, w uint8, val int32) {
+	if w == 0 {
+		return
+	}
+	word, shift := off>>6, uint(off&63)
+	words[word] |= uint64(val) << shift
+	if shift+uint(w) > 64 {
+		words[word+1] |= uint64(val) >> (64 - shift)
+	}
+}
+
+// unpackSlot reads a w-bit field at bit offset off.
+func unpackSlot(words []uint64, off int, w uint8) int32 {
+	if w == 0 {
+		return 0
+	}
+	word, shift := off>>6, uint(off&63)
+	v := words[word] >> shift
+	if shift+uint(w) > 64 {
+		v |= words[word+1] << (64 - shift)
+	}
+	return int32(v & (1<<w - 1))
 }
 
 // HopLink returns the directed-link index of u's next hop toward
@@ -133,7 +309,14 @@ func (s *Structural) HopLink(u, d int) int32 {
 	} else {
 		cd = s.coreID[d]
 	}
-	return s.coreHop[int(cu)*s.nc+int(cd)]
+	if cu == cd {
+		return -1
+	}
+	if s.coreHop != nil {
+		return s.coreHop[int(cu)*s.nc+int(cd)]
+	}
+	slot := unpackSlot(s.hopBits, int(cd)*s.colBits+int(s.rowOff[cu]), s.wbits[cu])
+	return s.fwdLink[int(s.coreStart[cu])+int(slot)]
 }
 
 // Core returns the number of core (non-host) nodes.
@@ -141,3 +324,18 @@ func (s *Structural) Core() int { return s.nc }
 
 // Hosts returns the number of degree-1 hosts routed structurally.
 func (s *Structural) Hosts() int { return len(s.attach) - s.nc }
+
+// Packed reports whether the core hop table is in the bit-packed slot
+// form (connected core) rather than the dense int32 fallback.
+func (s *Structural) Packed() bool { return s.coreHop == nil }
+
+// CoreTableBytes returns the memory footprint of the core hop table in
+// bytes — the quantity the packed representation exists to shrink.
+// Exposed for benchmarks and the B/host accounting in BENCH_engine.json.
+func (s *Structural) CoreTableBytes() int {
+	if s.coreHop != nil {
+		return 4 * len(s.coreHop)
+	}
+	return 8*len(s.hopBits) + 4*len(s.fwdLink) + 4*len(s.coreStart) +
+		4*len(s.coreAdj) + 4*len(s.rowOff) + len(s.wbits)
+}

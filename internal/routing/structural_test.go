@@ -88,6 +88,80 @@ func TestStructuralMatchesDense(t *testing.T) {
 	}
 }
 
+// TestStructuralPackedMatchesLegacy: on connected cores the
+// bit-packed slot columns must decode to exactly the directed links
+// the legacy dense int32 table stores — not merely equal-length
+// routes. The engine's golden series pin byte-identical output, so the
+// packed representation may not even change tie-breaks.
+func TestStructuralPackedMatchesLegacy(t *testing.T) {
+	for name, g := range structuralGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			links := EnumerateLinks(g)
+			s := NewStructural(g, links)
+			if s == nil {
+				t.Fatalf("%s: NewStructural returned nil", name)
+			}
+			if !s.Packed() {
+				t.Fatalf("%s: connected core should use the packed table", name)
+			}
+			legacy := *s
+			legacy.hopBits = nil
+			legacy.buildLegacy()
+			n := g.N()
+			for u := 0; u < n; u++ {
+				for d := 0; d < n; d++ {
+					if got, want := s.HopLink(u, d), legacy.HopLink(u, d); got != want {
+						t.Fatalf("HopLink(%d,%d) packed %d, legacy %d", u, d, got, want)
+					}
+				}
+			}
+			if dense := 4 * s.Core() * s.Core(); s.Core() > 8 && s.CoreTableBytes() >= dense {
+				t.Errorf("packed core table %d B not smaller than dense %d B",
+					s.CoreTableBytes(), dense)
+			}
+		})
+	}
+}
+
+// TestStructuralDisconnectedCoreFallsBack: a core split into two
+// components has unreachable pairs, which the packed columns cannot
+// represent — the dense int32 fallback with its -1 sentinel must kick
+// in, and cross-component routes must report unreachable.
+func TestStructuralDisconnectedCoreFallsBack(t *testing.T) {
+	// Two disjoint stars: hubs 0 and 1, hosts 2-7 on hub 0, 8-13 on
+	// hub 1. 12 of 14 nodes are degree-1 hosts, so it qualifies.
+	g := topology.New(14)
+	for h := 2; h < 8; h++ {
+		if err := g.AddEdge(0, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for h := 8; h < 14; h++ {
+		if err := g.AddEdge(1, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	links := EnumerateLinks(g)
+	s := NewStructural(g, links)
+	if s == nil {
+		t.Fatal("NewStructural returned nil for a host-majority graph")
+	}
+	if s.Packed() {
+		t.Fatal("disconnected core must fall back to the dense table")
+	}
+	if li := s.HopLink(0, 1); li != -1 {
+		t.Errorf("cross-component HopLink(0,1) = %d, want -1", li)
+	}
+	// Within a component, routes still work: host 2 -> host 7 via hub 0.
+	li := s.HopLink(2, 7)
+	if li < 0 || links.To(int(li)) != 0 {
+		t.Errorf("HopLink(2,7) = %d, want uplink to hub 0", li)
+	}
+	if li := s.HopLink(0, 7); li < 0 || links.To(int(li)) != 7 {
+		t.Errorf("HopLink(0,7) = %d, want direct link to host 7", li)
+	}
+}
+
 // TestStructuralRejectsDenseCoreGraphs: graphs without a degree-1 host
 // majority must fall back to the dense table (NewStructural returns
 // nil) — structural routing would pay O(core²) for nothing.

@@ -14,12 +14,13 @@ import (
 // nodes) per call; only run under Config.Check.
 func (e *Engine) auditSnapshot() obs.Snapshot {
 	queued, nonEmpty, flagged := 0, 0, 0
-	for li, q := range e.queues {
+	for s, q := range e.queueTab {
 		if len(q) == 0 {
 			continue
 		}
 		queued += len(q)
 		nonEmpty++
+		li := e.queueLink[s]
 		if e.queueBits[li>>6]&(1<<(uint(li)&63)) != 0 {
 			flagged++
 		}
@@ -33,8 +34,8 @@ func (e *Engine) auditSnapshot() obs.Snapshot {
 		infPop += bits.OnesCount64(w)
 	}
 	infStates, infFlagged := 0, 0
-	for u, st := range e.state {
-		if st != stateInfected {
+	for u := 0; u < e.n; u++ {
+		if e.stateOf(u) != stateInfected {
 			continue
 		}
 		infStates++

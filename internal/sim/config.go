@@ -161,6 +161,16 @@ type Config struct {
 	// Worth using from ~MinShardNodes nodes up; below that the per-tick
 	// fan-out overhead outweighs the sharded work.
 	Workers int
+	// StructuralThreshold sets the node count from which routing uses
+	// the structural mode instead of the dense O(N²) hop table: 0 means
+	// the default (DefaultStructuralThreshold), -1 forces the dense
+	// table at every size (an ablation/debugging aid — memory grows
+	// quadratically), and any positive value is the switch point. Both
+	// modes route identically on graphs the structural mode accepts;
+	// graphs it rejects (no degree-1 host majority) fall back to the
+	// dense table regardless. Must match the threshold a prebuilt Net
+	// was built with.
+	StructuralThreshold int
 
 	// LimitedNodes lists nodes whose incident links are rate limited.
 	LimitedNodes []int
@@ -297,8 +307,16 @@ func (c *Config) Validate() error {
 	if c.Strategy == nil {
 		return ErrNoStrategy
 	}
+	if c.StructuralThreshold < -1 {
+		return fmt.Errorf("sim: structural threshold %d invalid (use -1 to disable, 0 for the default)",
+			c.StructuralThreshold)
+	}
 	if c.Net != nil && c.Net.graph != c.Graph {
 		return fmt.Errorf("sim: config.Net was built from a different graph than config.Graph")
+	}
+	if c.Net != nil && c.Net.threshold != resolveStructuralThreshold(c.StructuralThreshold) {
+		return fmt.Errorf("sim: config.Net was built with structural threshold %d, config resolves to %d",
+			c.Net.threshold, resolveStructuralThreshold(c.StructuralThreshold))
 	}
 	if c.Beta < 0 || c.Beta > 1 {
 		return fmt.Errorf("sim: beta %v out of [0,1]", c.Beta)
@@ -387,10 +405,13 @@ func (c *Config) Validate() error {
 
 // Infection is one entry of the infection genealogy: Source's scan
 // infected Victim at Tick. Seed infections have Source -1 and Tick -1.
+// Fields are int32: with RecordInfections on, the log holds one entry
+// per ever-infected node, and at millions of hosts the narrow fields
+// halve its footprint.
 type Infection struct {
-	Tick   int
-	Victim int
-	Source int
+	Tick   int32
+	Victim int32
+	Source int32
 }
 
 // Result holds the per-tick series of one run (index 0 = state after the
@@ -439,10 +460,10 @@ func (r *Result) InfectionDepths() map[int]int {
 	depth := make(map[int]int, len(r.Infections))
 	for _, inf := range r.Infections {
 		if inf.Source < 0 {
-			depth[inf.Victim] = 0
+			depth[int(inf.Victim)] = 0
 			continue
 		}
-		depth[inf.Victim] = depth[inf.Source] + 1
+		depth[int(inf.Victim)] = depth[int(inf.Source)] + 1
 	}
 	return depth
 }

@@ -118,7 +118,7 @@ func MultiRunStats(ctx context.Context, cfg Config, runs int, opts ...runner.Opt
 	// (a sweep sharing one topology across batches) is reused as-is.
 	ns := cfg.Net.state()
 	if ns == nil {
-		ns = newNetState(cfg.Graph)
+		ns = newNetState(cfg.Graph, resolveStructuralThreshold(cfg.StructuralThreshold))
 	}
 
 	// results/done are committed under mu: with a per-task deadline the

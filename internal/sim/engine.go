@@ -14,13 +14,18 @@ import (
 	"repro/internal/worm"
 )
 
-// nodeState is the S/I/R state of one node.
-type nodeState uint8
-
+// Node states, stored as 2-bit fields packed 32 per uint64 word
+// (Engine.stateBits): a 10M-node run keeps all S/I/R state in 2.5 MB
+// instead of a byte slice plus a separate susceptibility mask.
 const (
-	stateSusceptible nodeState = iota
+	stateSusceptible uint8 = iota
 	stateInfected
 	stateRemoved // patched/immunized
+	// stateExcluded marks nodes outside the susceptible population
+	// (HostsOnly routers): never infectable, never patched. Folding the
+	// exclusion into the state field replaces the old susceptibleMask
+	// byte-per-node slice.
+	stateExcluded
 )
 
 // packetKind distinguishes the stages of a probe-first infection.
@@ -67,9 +72,10 @@ type arrival struct {
 type Engine struct {
 	cfg Config
 	// streams is the per-node counter-mode RNG table (index n is the
-	// run-level stream); rands holds one reusable rand.Rand per worker,
-	// re-pointed at the stream of the node being simulated (see rng.go).
-	streams []uint64
+	// run-level stream), materialized lazily in 64-stream pages; rands
+	// holds one reusable rand.Rand per worker, re-pointed at the stream
+	// of the node being simulated (see rng.go).
+	streams *streamTable
 	rands   []*workerRand
 	// workers is the resolved intra-run worker count (>= 1); pool is the
 	// phase-sharding worker pool, nil when workers == 1. serialGen keeps
@@ -88,42 +94,64 @@ type Engine struct {
 	structural *routing.Structural
 	n          int
 
-	state   []nodeState
-	pickers []worm.Picker
-	env     *worm.Env
+	// stateBits packs every node's S/I/R/excluded state into 2 bits
+	// (32 nodes per word); read through stateOf, written through
+	// setState — and only from serial contexts (construction, the
+	// generate/immunize merges, deliver): sharded phases at most read it.
+	stateBits []uint64
+	env       *worm.Env
+
+	// pickerSlot[u] indexes node u's target picker in pickerTab (-1
+	// before u's first infection). Pickers are two-word interface
+	// values; keeping them in an ever-infected-order table instead of a
+	// dense slice cuts 16 B/node to 4 B/node plus the infected set.
+	pickerSlot []int32
+	pickerTab  []worm.Picker
 
 	// infectedBits is the infected-node active set (bit u set iff
-	// state[u] == stateInfected), maintained by infect/immunize and
+	// stateOf(u) == stateInfected), maintained by infect/immunize and
 	// scanned ascending by generate.
 	infectedBits []uint64
 
-	// queues[li] holds packets waiting to cross directed link li.
-	queues [][]packet
-	// queueBits is the non-empty-queue active set (bit li set iff
-	// len(queues[li]) > 0), scanned ascending by transmit.
+	// queueSlot[li] indexes link li's packet queue in queueTab (-1
+	// until the first packet ever enqueues there); queueLink is the
+	// inverse map. Queues materialize lazily — in a sparse epidemic the
+	// engine pays three slice headers per link that actually carried
+	// traffic, not per link that exists.
+	queueSlot []int32
+	queueTab  [][]packet
+	queueLink []int32
+	// queueBits is the non-empty-queue active set (bit li set iff link
+	// li's queue is non-empty), scanned ascending by transmit.
 	queueBits []uint64
 	// backlog is the running total of queued packets across all links,
 	// so record() is O(1).
 	backlog int
 
-	// linkLimited marks rate-limited directed links. For those links
-	// linkRate is the per-tick packet rate; fractional rates accumulate
-	// in linkCredit, and linkBudget is the whole-packet allowance
-	// recomputed at the start of every tick. limitedIdx lists the
-	// limited link indexes (ascending) for the recharge sweep. The
-	// rate/credit/budget slices are nil when nothing is limited.
-	linkLimited []bool
-	linkRate    []float64
-	linkCredit  []float64
-	linkBudget  []int
-	limitedIdx  []int32
+	// linkLimitedBits marks rate-limited directed links (bit li).
+	// Limited links are rank-indexed: rank r = limitedRankBase of li's
+	// word + popcount of the lower bits, and limitedIdx[r] = li
+	// (ascending). linkRate[r] is the per-tick packet rate; fractional
+	// rates accumulate in linkCredit[r], and linkBudget[r] is the
+	// whole-packet allowance recomputed by rechargeLinks. rechargeDebt
+	// counts recharges deferred across quiescent ticks (nothing queued
+	// ⇒ nothing to spend against); the next tick with a backlog replays
+	// them sequentially, so the credit trajectory is bit-identical to a
+	// per-tick sweep. The rank slices are nil when nothing is limited.
+	linkLimitedBits []uint64
+	limitedRankBase []int32
+	linkRate        []float64
+	linkCredit      []float64
+	linkBudget      []int32
+	limitedIdx      []int32
+	rechargeDebt    int
 
 	// betaByNode folds Config.Beta and ScanRateOverride into one dense
-	// per-node scan probability.
+	// per-node scan probability; nil without overrides (the scalar
+	// cfg.Beta then serves every node).
 	betaByNode []float64
 
-	susceptibleMask []bool // which nodes can be infected at all
-	popSize         int    // |susceptibleMask|
+	popSize int // nodes not stateExcluded
 
 	// nodeCap[u] is u's per-tick forwarding cap, -1 when uncapped; nil
 	// when no node caps are configured. rrPos[u] is the round-robin
@@ -183,18 +211,19 @@ type Engine struct {
 	prevEver    int
 	prevRemoved int
 
-	// hostLimiters gates outgoing scans of filtered hosts
-	// (HostLimiterNodes); nil entries are unfiltered, nil slice means
-	// no host limiting at all.
-	hostLimiters []ratelimit.ContactLimiter
+	// limiterSlot[u] indexes node u's contact limiter in limiterTab
+	// (-1 for unfiltered nodes); nil slice means no host limiting at
+	// all. Same sparse-table layout as the pickers.
+	limiterSlot []int32
+	limiterTab  []ratelimit.ContactLimiter
 
 	// subnetSize and subnetInfected track per-subnet infection when
 	// TrackSubnets is on; dense slices indexed by subnet id so the
 	// per-tick within-subnet average sums in a fixed order (float
 	// addition is not associative; map iteration would make the series
 	// nondeterministic across runs).
-	subnetSize     []int
-	subnetInfected []int
+	subnetSize     []int32
+	subnetInfected []int32
 
 	// infections is the genealogy log when RecordInfections is on.
 	infections []Infection
@@ -211,6 +240,9 @@ type Engine struct {
 	latCount int64
 
 	arrivals []arrival // staging buffer reused across ticks
+	// arrivalOff holds the per-shard prefix offsets of the parallel
+	// arrival merge (one slot per worker, reused across ticks).
+	arrivalOff []int
 	// sentScratch is transmitCapped's per-adjacency-slot send counter,
 	// reused across ticks.
 	sentScratch []int32
@@ -225,12 +257,28 @@ type Engine struct {
 	immBufs [][]int32
 }
 
-// structuralThreshold is the node count above which newNetState prefers
-// structural routing over the dense hop table: beyond a few thousand
-// nodes the O(N²) table (and the all-pairs BFS that fills it) dominates
-// memory and construction time. Below it the dense table is small and
-// its tie-breaking is pinned by the golden fixtures.
-const structuralThreshold = 4096
+// DefaultStructuralThreshold is the node count above which routing
+// switches to the structural mode when Config.StructuralThreshold is
+// left zero: beyond a few thousand nodes the O(N²) hop table (and the
+// all-pairs BFS that fills it) dominates memory and construction time.
+// Below it the dense table is small and its tie-breaking is pinned by
+// the golden fixtures.
+const DefaultStructuralThreshold = 4096
+
+// resolveStructuralThreshold maps the Config/spec knob onto the value
+// newNetState compares against: 0 means the default, negative disables
+// structural routing entirely (returned as 0, which no node count
+// reaches per the `thr > 0` guard).
+func resolveStructuralThreshold(v int) int {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return DefaultStructuralThreshold
+	default:
+		return v
+	}
+}
 
 // netState is the immutable, graph-derived routing state every replica
 // of a config shares: the stable directed-link enumeration plus either
@@ -244,15 +292,52 @@ type netState struct {
 	structural *routing.Structural
 }
 
-func newNetState(g *topology.Graph) *netState {
+// newNetState builds the routing state for g; thr is the resolved
+// structural threshold (0 = structural routing disabled).
+func newNetState(g *topology.Graph, thr int) *netState {
 	links := routing.EnumerateLinks(g)
-	if g.N() >= structuralThreshold {
+	if thr > 0 && g.N() >= thr {
 		if st := routing.NewStructural(g, links); st != nil {
 			return &netState{links: links, structural: st}
 		}
 	}
 	tab := routing.Build(g)
 	return &netState{links: links, hopLink: links.HopTable(tab)}
+}
+
+// stateOf reads node u's packed 2-bit state.
+func (e *Engine) stateOf(u int) uint8 {
+	return uint8(e.stateBits[u>>5]>>(uint(u&31)*2)) & 3
+}
+
+// setState writes node u's packed state. Serial contexts only: the
+// read-modify-write touches the word shared by u's 31 neighbours.
+func (e *Engine) setState(u int, s uint8) {
+	sh := uint(u&31) * 2
+	w := &e.stateBits[u>>5]
+	*w = *w&^(3<<sh) | uint64(s)<<sh
+}
+
+// linkLimited reports whether directed link li is rate limited.
+func (e *Engine) linkLimited(li int) bool {
+	return e.linkLimitedBits[li>>6]&(1<<(uint(li)&63)) != 0
+}
+
+// limitedRank returns limited link li's index into the rank-ordered
+// rate/credit/budget slices: the number of limited links before it,
+// from the per-word prefix counts plus a popcount of the lower bits.
+func (e *Engine) limitedRank(li int) int {
+	w := li >> 6
+	return int(e.limitedRankBase[w]) +
+		bits.OnesCount64(e.linkLimitedBits[w]&(1<<(uint(li)&63)-1))
+}
+
+// queueAt returns link li's queue, nil if never materialized.
+func (e *Engine) queueAt(li int) []packet {
+	if s := e.queueSlot[li]; s >= 0 {
+		return e.queueTab[s]
+	}
+	return nil
 }
 
 // New builds an engine from cfg. The topology must be connected.
@@ -272,7 +357,7 @@ func newEngine(cfg Config, ns *netState) (*Engine, error) {
 		ns = cfg.Net.state()
 	}
 	if ns == nil {
-		ns = newNetState(cfg.Graph)
+		ns = newNetState(cfg.Graph, resolveStructuralThreshold(cfg.StructuralThreshold))
 	}
 	n := cfg.Graph.N()
 	workers := cfg.Workers
@@ -281,16 +366,22 @@ func newEngine(cfg Config, ns *netState) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:          cfg,
-		streams:      newStreams(cfg.Seed, n),
+		streams:      newStreamTable(cfg.Seed, n),
 		workers:      workers,
 		links:        ns.links,
 		hopLink:      ns.hopLink,
 		structural:   ns.structural,
 		n:            n,
-		state:        make([]nodeState, n),
-		pickers:      make([]worm.Picker, n),
+		stateBits:    make([]uint64, (n+31)/32),
+		pickerSlot:   make([]int32, n),
 		infectedBits: make([]uint64, (n+63)/64),
 	}
+	for i := range e.pickerSlot {
+		e.pickerSlot[i] = -1
+	}
+	// The run-level stream draws during construction (seed placement);
+	// node pages materialize as nodes are infected.
+	e.streams.ensure(n)
 	e.rands = make([]*workerRand, workers)
 	for i := range e.rands {
 		e.rands[i] = newWorkerRand(e.streams)
@@ -298,6 +389,7 @@ func newEngine(cfg Config, ns *netState) (*Engine, error) {
 	e.genBufs = make([]genBuf, workers)
 	e.txBufs = make([]txBuf, workers)
 	e.immBufs = make([][]int32, workers)
+	e.arrivalOff = make([]int, workers)
 	if workers > 1 {
 		e.pool = runner.New(runner.WithJobs(workers))
 	}
@@ -306,25 +398,33 @@ func newEngine(cfg Config, ns *netState) (*Engine, error) {
 	}
 
 	e.buildEnv()
-	e.buildSusceptible()
+	e.buildStates()
 	e.buildBeta()
 	e.buildLinkState()
 	e.buildNodeCaps()
 	if len(cfg.HostLimiterNodes) > 0 {
-		e.hostLimiters = make([]ratelimit.ContactLimiter, n)
+		e.limiterSlot = make([]int32, n)
+		for i := range e.limiterSlot {
+			e.limiterSlot[i] = -1
+		}
 		for _, u := range cfg.HostLimiterNodes {
-			e.hostLimiters[u] = cfg.HostLimiterFactory()
+			if s := e.limiterSlot[u]; s >= 0 {
+				e.limiterTab[s] = cfg.HostLimiterFactory()
+				continue
+			}
+			e.limiterSlot[u] = int32(len(e.limiterTab))
+			e.limiterTab = append(e.limiterTab, cfg.HostLimiterFactory())
 		}
 	}
 	if cfg.TrackSubnets {
-		maxSubnet := -1
+		maxSubnet := int32(-1)
 		for _, s := range e.env.Subnet {
 			if s > maxSubnet {
 				maxSubnet = s
 			}
 		}
-		e.subnetSize = make([]int, maxSubnet+1)
-		e.subnetInfected = make([]int, maxSubnet+1)
+		e.subnetSize = make([]int32, maxSubnet+1)
+		e.subnetInfected = make([]int32, maxSubnet+1)
 		for _, s := range e.env.Subnet {
 			if s >= 0 {
 				e.subnetSize[s]++
@@ -352,41 +452,45 @@ func newEngine(cfg Config, ns *netState) (*Engine, error) {
 
 // buildEnv assembles the worm.Env the strategy factories consume.
 func (e *Engine) buildEnv() {
-	subnet := e.cfg.Subnet
-	if subnet == nil {
-		if e.cfg.Roles != nil {
-			subnet = topology.Subnets(e.cfg.Graph, e.cfg.Roles)
-		} else {
-			subnet = make([]int, e.n)
-			for i := range subnet {
-				subnet[i] = 0 // one flat subnet
+	subnet := make([]int32, e.n)
+	switch {
+	case e.cfg.Subnet != nil:
+		for i, s := range e.cfg.Subnet {
+			subnet[i] = int32(s)
+		}
+	case e.cfg.Roles != nil:
+		for i, s := range topology.Subnets(e.cfg.Graph, e.cfg.Roles) {
+			subnet[i] = int32(s)
+		}
+	default:
+		// Zero-valued: one flat subnet.
+	}
+	e.env = &worm.Env{N: e.n, Subnet: subnet}
+}
+
+// buildStates seeds the packed state words: every node starts
+// susceptible except the excluded (never-infectable) ones.
+func (e *Engine) buildStates() {
+	if e.cfg.HostsOnly && e.cfg.Roles != nil {
+		for u := 0; u < e.n; u++ {
+			if e.cfg.Roles[u] != topology.RoleHost {
+				e.setState(u, stateExcluded)
+			} else {
+				e.popSize++
 			}
 		}
+		return
 	}
-	members := make(map[int][]int)
-	for u, s := range subnet {
-		if s >= 0 {
-			members[s] = append(members[s], u)
-		}
-	}
-	e.env = &worm.Env{N: e.n, Subnet: subnet, Members: members}
+	e.popSize = e.n
 }
 
-// buildSusceptible marks which nodes can ever be infected.
-func (e *Engine) buildSusceptible() {
-	e.susceptibleMask = make([]bool, e.n)
-	for u := 0; u < e.n; u++ {
-		if e.cfg.HostsOnly && e.cfg.Roles != nil && e.cfg.Roles[u] != topology.RoleHost {
-			continue
-		}
-		e.susceptibleMask[u] = true
-		e.popSize++
-	}
-}
-
-// buildBeta folds the base scan probability and per-node overrides into
-// one dense slice.
+// buildBeta folds per-node scan-rate overrides into a dense slice; with
+// no overrides the slice stays nil and the scalar Config.Beta serves
+// every node (8 B/node saved on homogeneous populations).
 func (e *Engine) buildBeta() {
+	if len(e.cfg.ScanRateOverride) == 0 {
+		return
+	}
 	e.betaByNode = make([]float64, e.n)
 	for u := range e.betaByNode {
 		e.betaByNode[u] = e.cfg.Beta
@@ -396,14 +500,18 @@ func (e *Engine) buildBeta() {
 	}
 }
 
-// buildLinkState sizes the dense per-link queue state and assigns
+// buildLinkState sizes the per-link queue directory and assigns
 // per-tick packet rates to every directed link incident to a
-// rate-limited node.
+// rate-limited node. Rate/credit/budget live in rank-indexed slices
+// sized by the limited-link count, not the link count.
 func (e *Engine) buildLinkState() {
 	nLinks := e.links.Count()
-	e.queues = make([][]packet, nLinks)
+	e.queueSlot = make([]int32, nLinks)
+	for i := range e.queueSlot {
+		e.queueSlot[i] = -1
+	}
 	e.queueBits = make([]uint64, (nLinks+63)/64)
-	e.linkLimited = make([]bool, nLinks)
+	e.linkLimitedBits = make([]uint64, (nLinks+63)/64)
 
 	limited := make(map[int]bool, len(e.cfg.LimitedNodes))
 	for _, u := range e.cfg.LimitedNodes {
@@ -416,9 +524,6 @@ func (e *Engine) buildLinkState() {
 	if len(limited) == 0 && len(limitedLinks) == 0 {
 		return
 	}
-	e.linkRate = make([]float64, nLinks)
-	e.linkCredit = make([]float64, nLinks)
-	e.linkBudget = make([]int, nLinks)
 	for li := 0; li < nLinks; li++ {
 		u, v := e.links.From(li), e.links.To(li)
 		if !limited[u] && !limited[v] && !limitedLinks[routing.MakeLinkID(u, v)] {
@@ -434,10 +539,18 @@ func (e *Engine) buildLinkState() {
 		if rate <= 0 {
 			rate = e.cfg.BaseRate
 		}
-		e.linkLimited[li] = true
-		e.linkRate[li] = rate
+		e.linkLimitedBits[li>>6] |= 1 << (uint(li) & 63)
+		e.linkRate = append(e.linkRate, rate)
 		e.limitedIdx = append(e.limitedIdx, int32(li))
 	}
+	e.limitedRankBase = make([]int32, len(e.linkLimitedBits))
+	rank := int32(0)
+	for w, word := range e.linkLimitedBits {
+		e.limitedRankBase[w] = rank
+		rank += int32(bits.OnesCount64(word))
+	}
+	e.linkCredit = make([]float64, len(e.limitedIdx))
+	e.linkBudget = make([]int32, len(e.limitedIdx))
 }
 
 // buildNodeCaps converts the NodeCaps map into the dense cap slice and
@@ -461,40 +574,65 @@ func (e *Engine) buildNodeCaps() {
 }
 
 // rechargeLinks rebuilds every limited link's whole-packet budget for
-// the coming tick from its accumulated fractional credit.
+// the coming tick from its accumulated fractional credit. On a
+// quiescent tick — no packet queued anywhere, so transmit cannot spend
+// — the sweep is deferred: rechargeDebt counts the owed recharges and
+// the next busy tick replays them sequentially. The replay repeats the
+// exact per-tick operation (add, then clamp) instead of adding
+// rate×debt in one step: float addition is not associative, and the
+// credit trajectory is pinned by the golden fixtures. The loop is
+// bounded regardless of debt, because credit clamps at burst and stays
+// there — once clamped, the remaining replays are identities.
 func (e *Engine) rechargeLinks() {
-	for _, li := range e.limitedIdx {
-		rate := e.linkRate[li]
-		c := e.linkCredit[li] + rate
-		if burst := rate + 1; c > burst {
-			c = burst // minimal bursting: banked credit caps at rate+1
+	if len(e.limitedIdx) == 0 {
+		return
+	}
+	if e.backlog == 0 {
+		e.rechargeDebt++
+		return
+	}
+	steps := e.rechargeDebt + 1
+	e.rechargeDebt = 0
+	for r := range e.limitedIdx {
+		rate := e.linkRate[r]
+		burst := rate + 1
+		c := e.linkCredit[r]
+		for j := 0; j < steps; j++ {
+			c += rate
+			if c > burst {
+				c = burst // minimal bursting: banked credit caps at rate+1
+				break     // fixed point: further recharges are identities
+			}
 		}
-		e.linkCredit[li] = c
-		e.linkBudget[li] = int(c)
+		e.linkCredit[r] = c
+		e.linkBudget[r] = int32(c)
 	}
 }
 
-// spendLink records n packets sent on a limited link this tick. Callers
-// check linkLimited first: unlimited links carry no budget state.
-func (e *Engine) spendLink(li int, n int) {
-	e.linkBudget[li] -= n
-	e.linkCredit[li] -= float64(n)
+// spendLink records n packets sent on the limited link of rank r this
+// tick. Callers check linkLimited first: unlimited links carry no
+// budget state.
+func (e *Engine) spendLink(r int, n int) {
+	e.linkBudget[r] -= int32(n)
+	e.linkCredit[r] -= float64(n)
 }
 
 // clearQueue empties link li's queue (keeping the buffer for reuse)
-// and maintains the active set and backlog counter.
+// and maintains the active set and backlog counter. The queue must be
+// materialized (callers reach it through a set queue bit).
 func (e *Engine) clearQueue(li int) {
-	e.backlog -= len(e.queues[li])
-	e.queues[li] = e.queues[li][:0]
+	s := e.queueSlot[li]
+	e.backlog -= len(e.queueTab[s])
+	e.queueTab[s] = e.queueTab[s][:0]
 	e.queueBits[li>>6] &^= 1 << (uint(li) & 63)
 }
 
 // seedInfections infects InitialInfected distinct susceptible nodes.
 func (e *Engine) seedInfections() error {
-	candidates := make([]int, 0, e.popSize)
+	candidates := make([]int32, 0, e.popSize)
 	for u := 0; u < e.n; u++ {
-		if e.susceptibleMask[u] {
-			candidates = append(candidates, u)
+		if e.stateOf(u) == stateSusceptible {
+			candidates = append(candidates, int32(u))
 		}
 	}
 	if len(candidates) < e.cfg.InitialInfected {
@@ -507,24 +645,29 @@ func (e *Engine) seedInfections() error {
 		candidates[i], candidates[j] = candidates[j], candidates[i]
 	})
 	for _, u := range candidates[:e.cfg.InitialInfected] {
-		e.infect(u, -1)
+		e.infect(int(u), -1)
 	}
 	return nil
 }
 
 // infect transitions node u to the infected state; source is the
-// scanning host responsible (-1 for seed infections).
+// scanning host responsible (-1 for seed infections). Serial contexts
+// only (seeding, deliver): it writes packed state and materializes u's
+// stream page for the sharded generate sweep to draw from.
 func (e *Engine) infect(u, source int) {
-	if e.state[u] != stateSusceptible || !e.susceptibleMask[u] {
+	if e.stateOf(u) != stateSusceptible {
 		return
 	}
-	e.state[u] = stateInfected
+	e.setState(u, stateInfected)
 	e.infectedBits[u>>6] |= 1 << (uint(u) & 63)
 	e.infected++
 	e.ever++
-	e.pickers[u] = e.cfg.Strategy(e.env, u)
+	e.streams.ensure(u)
+	p := e.cfg.Strategy(e.env, u)
+	e.pickerSlot[u] = int32(len(e.pickerTab))
+	e.pickerTab = append(e.pickerTab, p)
 	if !e.serialGen {
-		if _, shared := e.pickers[u].(worm.SharedStatePicker); shared {
+		if _, shared := p.(worm.SharedStatePicker); shared {
 			// A picker with cross-host shared state (hit-list cursor):
 			// sharding the generate sweep would race on it, so this run's
 			// scan generation stays on one goroutine.
@@ -537,7 +680,9 @@ func (e *Engine) infect(u, source int) {
 		}
 	}
 	if e.cfg.RecordInfections {
-		e.infections = append(e.infections, Infection{Tick: e.tick, Victim: u, Source: source})
+		e.infections = append(e.infections, Infection{
+			Tick: int32(e.tick), Victim: int32(u), Source: int32(source),
+		})
 	}
 }
 
@@ -678,6 +823,12 @@ func (e *Engine) updateQuarantine() {
 // RNG consumption, and queueing order are identical for every worker
 // count. Shared-state pickers force a single shard (see infect).
 func (e *Engine) generate() {
+	if e.infected == 0 {
+		// Sparse-phase shortcut: no scanners means no draws and no
+		// emissions — byte-identical to sweeping an empty bitset, at
+		// O(1) instead of O(n/64).
+		return
+	}
 	words := len(e.infectedBits)
 	shards := 1
 	if e.workers > 1 && !e.serialGen {
@@ -717,17 +868,23 @@ func (e *Engine) generateRange(w, loWord, hiWord int) {
 		for word != 0 {
 			u := wi<<6 + bits.TrailingZeros64(word)
 			word &= word - 1
-			beta := e.betaByNode[u]
-			var limiter ratelimit.ContactLimiter
-			if e.hostLimiters != nil {
-				limiter = e.hostLimiters[u]
+			beta := e.cfg.Beta
+			if e.betaByNode != nil {
+				beta = e.betaByNode[u]
 			}
+			var limiter ratelimit.ContactLimiter
+			if e.limiterSlot != nil {
+				if ls := e.limiterSlot[u]; ls >= 0 {
+					limiter = e.limiterTab[ls]
+				}
+			}
+			picker := e.pickerTab[e.pickerSlot[u]]
 			rng := e.nodeRand(w, u)
 			for s := 0; s < scans; s++ {
 				if beta < 1 && rng.Float64() >= beta {
 					continue
 				}
-				target := e.pickers[u].Pick(rng, u)
+				target := picker.Pick(rng, u)
 				if target < 0 || target == u {
 					continue
 				}
@@ -766,22 +923,34 @@ func (e *Engine) routePacket(u int32, pkt packet) {
 		e.dropCount++
 		return // unreachable: scan packet lost
 	}
-	q := e.queues[li]
+	s := e.queueSlot[li]
+	var q []packet
+	if s >= 0 {
+		q = e.queueTab[s]
+	}
 	if e.cfg.MaxQueue > 0 && len(q) >= e.cfg.MaxQueue {
 		e.dropCount++
 		return // DropTail: buffer full, packet lost
 	}
-	if q == nil {
-		// First use of this link: size the buffer once — exactly
-		// MaxQueue for bounded queues — instead of letting append grow
-		// it in several steps. Buffers are reused (q[:0]) forever after.
+	if s < 0 {
+		// First packet ever on this link (serial context: routePacket
+		// runs in generate's merge and in deliver only). The buffer
+		// starts small and append grows it toward MaxQueue on demand —
+		// sizing it at MaxQueue up front avoids regrowth on saturated
+		// hubs but costs MaxQueue packets of capacity on every link a
+		// single packet ever crossed, which at ten-million-host scale
+		// dwarfs the queues' live content (DESIGN.md §14).
 		c := e.cfg.MaxQueue
-		if c == 0 {
-			c = 16
+		if c == 0 || c > 8 {
+			c = 8
 		}
-		q = make([]packet, 0, c)
+		s = int32(len(e.queueTab))
+		e.queueSlot[li] = s
+		e.queueTab = append(e.queueTab, make([]packet, 0, c))
+		e.queueLink = append(e.queueLink, li)
+		q = e.queueTab[s]
 	}
-	e.queues[li] = append(q, pkt)
+	e.queueTab[s] = append(q, pkt)
 	e.queueBits[li>>6] |= 1 << (uint(li) & 63)
 	e.backlog++
 }
@@ -803,21 +972,38 @@ func (e *Engine) routePacket(u int32, pkt packet) {
 // at once (hub scenarios are small; sharding buys nothing there).
 func (e *Engine) transmit() {
 	e.arrivals = e.arrivals[:0]
+	if e.backlog == 0 {
+		// Sparse-phase shortcut: nothing queued anywhere, so there is
+		// nothing to move and no budget to spend — O(1) instead of a
+		// sweep over the queue bitset.
+		return
+	}
 	words := len(e.queueBits)
 	if e.workers > 1 && e.nodeCap == nil && words > 1 {
 		shards := min(e.workers, words)
 		e.forEachShard(shards, func(i int) {
 			e.transmitRange(i, i*words/shards, (i+1)*words/shards)
 		})
+		// Merge: the counters fold serially, then the staged arrival
+		// runs are stitched together by prefix offsets and copied in
+		// parallel — the serial per-shard append was the scaling cliff
+		// of multi-worker hot-phase runs (the arrival stream is the
+		// phase's entire output).
+		total := 0
 		for i := 0; i < shards; i++ {
 			buf := &e.txBufs[i]
-			for _, li := range buf.cleared {
-				e.queueBits[li>>6] &^= 1 << (uint(li) & 63)
-			}
+			e.arrivalOff[i] = total
+			total += len(buf.arrivals)
 			e.backlog -= buf.drained
 			e.dropCount += buf.dropped
-			e.arrivals = append(e.arrivals, buf.arrivals...)
 		}
+		if cap(e.arrivals) < total {
+			e.arrivals = make([]arrival, total)
+		}
+		e.arrivals = e.arrivals[:total]
+		e.forEachShard(shards, func(i int) {
+			copy(e.arrivals[e.arrivalOff[i]:], e.txBufs[i].arrivals)
+		})
 		return
 	}
 	tick := int32(e.tick)
@@ -837,20 +1023,24 @@ func (e *Engine) transmit() {
 					continue
 				}
 			}
-			q := e.queues[li]
+			q := e.queueTab[e.queueSlot[li]]
 			allowed := len(q)
-			if e.linkLimited[li] && e.limitsActive && e.linkBudget[li] < allowed {
-				allowed = e.linkBudget[li]
-				if allowed < 0 {
-					allowed = 0
+			lr := -1
+			if e.linkLimited(li) {
+				lr = e.limitedRank(li)
+				if e.limitsActive && int(e.linkBudget[lr]) < allowed {
+					allowed = int(e.linkBudget[lr])
+					if allowed < 0 {
+						allowed = 0
+					}
 				}
 			}
 			to := int32(e.links.To(li))
 			for _, pkt := range q[:allowed] {
 				e.arrivals = append(e.arrivals, arrival{node: to, pkt: pkt})
 			}
-			if e.linkLimited[li] {
-				e.spendLink(li, allowed)
+			if lr >= 0 {
+				e.spendLink(lr, allowed)
 			}
 			switch {
 			case allowed == len(q):
@@ -859,7 +1049,7 @@ func (e *Engine) transmit() {
 				e.dropCount += uint64(len(q) - allowed)
 				e.clearQueue(li) // excess discarded
 			default:
-				e.queues[li] = append(q[:0], q[allowed:]...)
+				e.queueTab[e.queueSlot[li]] = append(q[:0], q[allowed:]...)
 				e.backlog -= allowed
 			}
 		}
@@ -868,10 +1058,11 @@ func (e *Engine) transmit() {
 
 // transmitRange runs worker w's share of the transmit sweep: non-empty
 // queues of bitset words [loWord, hiWord), ascending. The worker owns
-// its links outright — it drains queues and spends budgets in place —
-// but defers the shared-state effects (queue-bitset clears, the backlog
-// and drop counters, the arrival stream) to its private buffer for the
-// sequential merge.
+// its links outright — it drains queues, spends budgets, and clears
+// queue bits in place (the shard boundary is a word index, so every
+// bitset word belongs to exactly one worker) — but defers the truly
+// shared effects (the backlog and drop counters, the arrival stream)
+// to its private buffer for the sequential merge.
 func (e *Engine) transmitRange(w, loWord, hiWord int) {
 	buf := &e.txBufs[w]
 	buf.reset()
@@ -880,33 +1071,37 @@ func (e *Engine) transmitRange(w, loWord, hiWord int) {
 		for word != 0 {
 			li := wi<<6 + bits.TrailingZeros64(word)
 			word &= word - 1
-			q := e.queues[li]
+			q := e.queueTab[e.queueSlot[li]]
 			allowed := len(q)
-			if e.linkLimited[li] && e.limitsActive && e.linkBudget[li] < allowed {
-				allowed = e.linkBudget[li]
-				if allowed < 0 {
-					allowed = 0
+			lr := -1
+			if e.linkLimited(li) {
+				lr = e.limitedRank(li)
+				if e.limitsActive && int(e.linkBudget[lr]) < allowed {
+					allowed = int(e.linkBudget[lr])
+					if allowed < 0 {
+						allowed = 0
+					}
 				}
 			}
 			to := int32(e.links.To(li))
 			for _, pkt := range q[:allowed] {
 				buf.arrivals = append(buf.arrivals, arrival{node: to, pkt: pkt})
 			}
-			if e.linkLimited[li] {
-				e.spendLink(li, allowed)
+			if lr >= 0 {
+				e.spendLink(lr, allowed)
 			}
 			switch {
 			case allowed == len(q):
-				e.queues[li] = q[:0] // drained
-				buf.cleared = append(buf.cleared, int32(li))
+				e.queueTab[e.queueSlot[li]] = q[:0] // drained
+				e.queueBits[wi] &^= 1 << (uint(li) & 63)
 				buf.drained += allowed
 			case e.cfg.Policy == PolicyDrop:
 				buf.dropped += uint64(len(q) - allowed)
-				e.queues[li] = q[:0] // excess discarded
-				buf.cleared = append(buf.cleared, int32(li))
+				e.queueTab[e.queueSlot[li]] = q[:0] // excess discarded
+				e.queueBits[wi] &^= 1 << (uint(li) & 63)
 				buf.drained += len(q)
 			default:
-				e.queues[li] = append(q[:0], q[allowed:]...)
+				e.queueTab[e.queueSlot[li]] = append(q[:0], q[allowed:]...)
 				buf.drained += allowed
 			}
 		}
@@ -926,8 +1121,8 @@ func (e *Engine) transmitCapped(u, budget int) {
 	if deg == 0 || budget <= 0 {
 		if e.cfg.Policy == PolicyDrop {
 			for k := 0; k < deg; k++ {
-				if li := base + k; len(e.queues[li]) > 0 {
-					e.dropCount += uint64(len(e.queues[li]))
+				if li := base + k; len(e.queueAt(li)) > 0 {
+					e.dropCount += uint64(len(e.queueAt(li)))
 					e.clearQueue(li)
 				}
 			}
@@ -948,12 +1143,12 @@ func (e *Engine) transmitCapped(u, budget int) {
 		for k := 0; k < deg && budget > 0; k++ {
 			idx := (start + k) % deg
 			li := base + idx
-			q := e.queues[li]
+			q := e.queueAt(li)
 			s := int(sent[idx])
 			if s >= len(q) {
 				continue
 			}
-			if e.linkLimited[li] && s >= e.linkBudget[li] {
+			if e.linkLimited(li) && s >= int(e.linkBudget[e.limitedRank(li)]) {
 				continue
 			}
 			e.arrivals = append(e.arrivals, arrival{node: adj[idx], pkt: q[s]})
@@ -965,10 +1160,10 @@ func (e *Engine) transmitCapped(u, budget int) {
 	}
 	for k := 0; k < deg; k++ {
 		li := base + k
-		q := e.queues[li]
+		q := e.queueAt(li)
 		s := int(sent[k])
-		if e.linkLimited[li] {
-			e.spendLink(li, s)
+		if e.linkLimited(li) {
+			e.spendLink(e.limitedRank(li), s)
 		}
 		switch {
 		case len(q) == 0:
@@ -978,7 +1173,7 @@ func (e *Engine) transmitCapped(u, budget int) {
 			e.dropCount += uint64(len(q) - s)
 			e.clearQueue(li) // excess discarded
 		default:
-			e.queues[li] = append(q[:0], q[s:]...)
+			e.queueTab[e.queueSlot[li]] = append(q[:0], q[s:]...)
 			e.backlog -= s
 		}
 	}
@@ -1020,7 +1215,7 @@ func (e *Engine) deliverAt(pkt packet) {
 		// if it is still infected (it may have been patched meanwhile).
 		scanner := pkt.dst
 		target := pkt.src
-		if e.state[scanner] == stateInfected {
+		if e.stateOf(int(scanner)) == stateInfected {
 			e.genCount++
 			e.routePacket(scanner, packet{
 				src: scanner, dst: target, kind: kindExploit, birth: int32(e.tick),
@@ -1031,7 +1226,7 @@ func (e *Engine) deliverAt(pkt packet) {
 
 // attemptInfect infects the destination if it is still susceptible.
 func (e *Engine) attemptInfect(u, source int) {
-	if e.state[u] == stateSusceptible && e.susceptibleMask[u] {
+	if e.stateOf(u) == stateSusceptible {
 		e.infect(u, source)
 	}
 }
@@ -1068,9 +1263,23 @@ func (e *Engine) immunize(tick int) {
 			}
 		}
 		e.immunizing = true
+		// From here on every live node rolls µ each tick: the whole
+		// stream table becomes hot, so materialize it once, serially,
+		// before the sharded sweeps start reading page pointers.
+		e.streams.ensureAll()
 		if e.collector != nil {
 			e.collector.Event(obs.Event{Tick: tick, Kind: obs.EventImmunizationStarted})
 		}
+	}
+	// Sparse-phase shortcut: with no candidates left (everyone patched,
+	// or only infected hosts remain under SusceptibleOnly) the sweep
+	// draws nothing and changes nothing — skip the fan-out.
+	draws := e.popSize - e.removed - e.infected
+	if !im.SusceptibleOnly {
+		draws += e.infected
+	}
+	if draws == 0 {
+		return
 	}
 	// The µ rolls are sharded over node ranges: each candidate's roll
 	// comes from its own stream, so the pass-set is identical for every
@@ -1093,7 +1302,7 @@ func (e *Engine) immunize(tick int) {
 			if e.faults != nil && e.faults.DropImmunization() {
 				continue
 			}
-			if e.state[u] == stateInfected {
+			if e.stateOf(u) == stateInfected {
 				e.infected--
 				e.infectedBits[u>>6] &^= 1 << (uint(u) & 63)
 				if e.cfg.TrackSubnets {
@@ -1102,7 +1311,7 @@ func (e *Engine) immunize(tick int) {
 					}
 				}
 			}
-			e.state[u] = stateRemoved
+			e.setState(u, stateRemoved)
 			e.removed++
 		}
 	}
@@ -1115,11 +1324,13 @@ func (e *Engine) immunizeRange(w, lo, hi int) {
 	im := e.cfg.Immunize
 	buf := e.immBufs[w][:0]
 	for u := lo; u < hi; u++ {
-		if !e.susceptibleMask[u] || e.state[u] == stateRemoved {
+		switch e.stateOf(u) {
+		case stateExcluded, stateRemoved:
 			continue
-		}
-		if im.SusceptibleOnly && e.state[u] == stateInfected {
-			continue
+		case stateInfected:
+			if im.SusceptibleOnly {
+				continue
+			}
 		}
 		if e.nodeRand(w, u).Float64() >= im.Mu {
 			continue
@@ -1137,17 +1348,19 @@ func (e *Engine) record(res *Result) {
 	res.Immunized = append(res.Immunized, float64(e.removed)/pop)
 	res.Backlog = append(res.Backlog, e.backlog)
 	if e.cfg.TrackSubnets {
-		var sum float64
-		n := 0
-		for s, inf := range e.subnetInfected {
-			if inf > 0 {
-				sum += float64(inf) / float64(e.subnetSize[s])
-				n++
-			}
-		}
 		within := 0.0
-		if n > 0 {
-			within = sum / float64(n)
+		if e.infected > 0 { // no infections ⇒ no infected subnets
+			var sum float64
+			n := 0
+			for s, inf := range e.subnetInfected {
+				if inf > 0 {
+					sum += float64(inf) / float64(e.subnetSize[s])
+					n++
+				}
+			}
+			if n > 0 {
+				within = sum / float64(n)
+			}
 		}
 		res.WithinSubnet = append(res.WithinSubnet, within)
 	}

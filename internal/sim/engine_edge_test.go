@@ -15,12 +15,13 @@ func checkActiveSets(t *testing.T, e *Engine) {
 	t.Helper()
 	for u := 0; u < e.n; u++ {
 		bit := e.infectedBits[u>>6]&(1<<(uint(u)&63)) != 0
-		if want := e.state[u] == stateInfected; bit != want {
+		if want := e.stateOf(u) == stateInfected; bit != want {
 			t.Errorf("node %d: infected bit %v, state infected %v", u, bit, want)
 		}
 	}
 	total := 0
-	for li, q := range e.queues {
+	for li := 0; li < e.links.Count(); li++ {
+		q := e.queueAt(li)
 		total += len(q)
 		bit := e.queueBits[li>>6]&(1<<(uint(li)&63)) != 0
 		if want := len(q) > 0; bit != want {
@@ -137,9 +138,9 @@ func TestMaxQueueDropTail(t *testing.T) {
 		eng.deliver()
 		eng.immunize(tick)
 		eng.record(res)
-		for li, q := range eng.queues {
+		for s, q := range eng.queueTab {
 			if len(q) > cfg.MaxQueue {
-				t.Fatalf("tick %d: link %d queue %d > MaxQueue %d", tick, li, len(q), cfg.MaxQueue)
+				t.Fatalf("tick %d: link %d queue %d > MaxQueue %d", tick, eng.queueLink[s], len(q), cfg.MaxQueue)
 			}
 		}
 		if b := res.Backlog[tick]; b > maxLinks*cfg.MaxQueue {

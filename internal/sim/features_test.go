@@ -23,10 +23,10 @@ func TestInfectionGenealogy(t *testing.T) {
 	seeds := 0
 	seen := make(map[int]bool)
 	for _, inf := range res.Infections {
-		if seen[inf.Victim] {
+		if seen[int(inf.Victim)] {
 			t.Fatalf("victim %d infected twice", inf.Victim)
 		}
-		seen[inf.Victim] = true
+		seen[int(inf.Victim)] = true
 		if inf.Source < 0 {
 			seeds++
 			if inf.Tick != -1 {
@@ -35,7 +35,7 @@ func TestInfectionGenealogy(t *testing.T) {
 			continue
 		}
 		// Sources must have been infected before their victims.
-		if !seen[inf.Source] {
+		if !seen[int(inf.Source)] {
 			t.Fatalf("victim %d infected by not-yet-infected %d", inf.Victim, inf.Source)
 		}
 	}
@@ -53,11 +53,11 @@ func TestInfectionGenealogy(t *testing.T) {
 	}
 	maxDepth := 0
 	for _, inf := range res.Infections {
-		d := depths[inf.Victim]
+		d := depths[int(inf.Victim)]
 		if inf.Source < 0 && d != 0 {
 			t.Errorf("seed depth = %d", d)
 		}
-		if inf.Source >= 0 && d != depths[inf.Source]+1 {
+		if inf.Source >= 0 && d != depths[int(inf.Source)]+1 {
 			t.Errorf("depth chain broken at %d", inf.Victim)
 		}
 		if d > maxDepth {

@@ -14,13 +14,27 @@ import "repro/internal/topology"
 type Net struct {
 	graph *topology.Graph
 	ns    *netState
+	// threshold is the resolved structural threshold the state was
+	// built with; Validate rejects a Config whose own threshold
+	// resolves differently (the two would route with different
+	// representations, and the config's knob would silently not apply).
+	threshold int
 }
 
-// BuildNet constructs the shared routing state for g. The graph must
-// not be mutated afterwards; engines assume the Net and the graph
-// agree.
+// BuildNet constructs the shared routing state for g with the default
+// structural threshold. The graph must not be mutated afterwards;
+// engines assume the Net and the graph agree.
 func BuildNet(g *topology.Graph) *Net {
-	return &Net{graph: g, ns: newNetState(g)}
+	return BuildNetThreshold(g, 0)
+}
+
+// BuildNetThreshold is BuildNet with an explicit structural threshold,
+// interpreted like Config.StructuralThreshold (0 default, -1 dense
+// table at every size, >0 the switch point). Use it when the configs
+// sharing the Net set a non-default threshold.
+func BuildNetThreshold(g *topology.Graph, threshold int) *Net {
+	thr := resolveStructuralThreshold(threshold)
+	return &Net{graph: g, ns: newNetState(g, thr), threshold: thr}
 }
 
 // Graph returns the graph the Net was built from.

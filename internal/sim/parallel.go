@@ -33,19 +33,18 @@ func (b *genBuf) reset() {
 }
 
 // txBuf is one transmit worker's staged output: the arrivals of its
-// link range in ascending link order, the links whose queues drained
-// (their active-set bits are cleared in the merge), and the worker's
-// backlog/drop deltas.
+// link range in ascending link order plus the worker's backlog/drop
+// deltas. Queue-bitset clears need no staging — shard boundaries are
+// word indexes, so each worker owns its words outright and clears bits
+// in place.
 type txBuf struct {
 	arrivals []arrival
-	cleared  []int32
 	drained  int
 	dropped  uint64
 }
 
 func (b *txBuf) reset() {
 	b.arrivals = b.arrivals[:0]
-	b.cleared = b.cleared[:0]
 	b.drained = 0
 	b.dropped = 0
 }

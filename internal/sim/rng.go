@@ -12,13 +12,40 @@ import "math/rand"
 // and still consume exactly the per-node sub-streams a sequential sweep
 // would: worker count cannot change results (DESIGN.md §12).
 //
+// The table is materialized lazily in 64-stream pages: a stream's
+// initial counter is a pure function of the seed and the stream index,
+// so a page is allocated only when one of its streams is first needed —
+// a node being infected, the immunization process starting (every live
+// node then rolls µ), or the run stream drawing. A 10M-host run with 1%
+// seeded infections pays for the seeds' pages, not 80 MB of counters
+// for nodes that never draw (DESIGN.md §14).
+//
+// Pages are materialized ONLY from serial contexts (construction,
+// the infect/restore paths, the immunization start) — never from a
+// sharded phase. Sharded phases read the page-pointer array and
+// advance counters of their own nodes; pages span exactly one 64-bit
+// word of the node bitsets, so the word-aligned shard boundaries of
+// generate can never split a page between workers, and the
+// entry-level writes of the node-range immunize shards land on
+// distinct uint64s even when a page straddles two ranges.
+//
 // Each stream's whole state is one uint64 counter, so a checkpoint
-// stores the table verbatim (Snapshot.RNGStates) instead of replaying
-// draws to reposition a sequential source.
+// stores the sparse set of counters that have advanced past their
+// initial value (Snapshot.RNGIdx/RNGVal) — counter-mode state only
+// increments by the odd constant rngGamma, so "counter != initial" is
+// exactly "this stream has drawn".
 
 // rngGamma is the SplitMix64 increment (golden-ratio constant), shared
 // with internal/fault's generator.
 const rngGamma = 0x9e3779b97f4a7c15
+
+// streamPageShift sizes a page at 64 streams — one bitset word, so the
+// word-aligned shard boundaries of the generate phase align with page
+// boundaries.
+const (
+	streamPageShift = 6
+	streamPageLen   = 1 << streamPageShift
+)
 
 // rngMix is the SplitMix64 output function (identical to fault.mix;
 // duplicated to keep the engine free of a fault-package dependency for
@@ -29,37 +56,83 @@ func rngMix(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// newStreams builds the stream table for a run: streams[u] is node u's
-// counter for u in [0, n), streams[n] the run-level stream. Each stream
-// is decorrelated from the seed and from its neighbors by mixing the
-// seed hash with a per-stream offset.
-func newStreams(seed int64, n int) []uint64 {
-	base := rngMix(uint64(seed))
-	s := make([]uint64, n+1)
-	for i := range s {
-		s[i] = rngMix(base ^ (uint64(i)+1)*rngGamma)
+// streamTable is the lazily-materialized stream table for a run:
+// stream u is node u's counter for u in [0, n), stream n the run-level
+// stream.
+type streamTable struct {
+	base  uint64
+	n     int
+	pages []*[streamPageLen]uint64
+}
+
+func newStreamTable(seed int64, n int) *streamTable {
+	return &streamTable{
+		base:  rngMix(uint64(seed)),
+		n:     n,
+		pages: make([]*[streamPageLen]uint64, (n+1+streamPageLen-1)/streamPageLen),
 	}
-	return s
+}
+
+// initial returns stream i's initial counter: decorrelated from the
+// seed and from its neighbors by mixing the seed hash with a
+// per-stream offset. The formula is pinned by the golden fixtures.
+func (t *streamTable) initial(i int) uint64 {
+	return rngMix(t.base ^ (uint64(i)+1)*rngGamma)
+}
+
+// ensure materializes the page holding stream i. Must only be called
+// from a serial context (see the package comment above); sharded
+// phases rely on every stream they touch having been ensured before
+// the phase fanned out.
+func (t *streamTable) ensure(i int) {
+	pi := i >> streamPageShift
+	if t.pages[pi] != nil {
+		return
+	}
+	p := new([streamPageLen]uint64)
+	base := pi << streamPageShift
+	for k := range p {
+		p[k] = t.initial(base + k)
+	}
+	t.pages[pi] = p
+}
+
+// ensureAll materializes every page — the immunization process rolls µ
+// for every live node, so once it starts the whole table is hot.
+func (t *streamTable) ensureAll() {
+	for i := 0; i <= t.n; i += streamPageLen {
+		t.ensure(i)
+	}
+}
+
+// reset drops every materialized page (restore rebuilds the sparse set
+// a snapshot implies).
+func (t *streamTable) reset() {
+	clear(t.pages)
 }
 
 // streamSource adapts one stream of the shared table to rand.Source so
 // the existing worm.Picker interface (*rand.Rand) keeps working. The
 // active stream is selected by setting idx before drawing; advancing
-// mutates streams[idx] in place, so the table always holds the current
-// position of every stream. It deliberately implements only
-// rand.Source — not Source64 — so rand.Rand derives every value
+// mutates the stream's page entry in place, so the table always holds
+// the current position of every stream. It deliberately implements
+// only rand.Source — not Source64 — so rand.Rand derives every value
 // (Float64, Intn, Shuffle, ...) from Int63 alone and keeps no hidden
-// state between calls; swapping idx mid-use is therefore safe.
+// state between calls; swapping idx mid-use is therefore safe. A draw
+// from a stream whose page was never ensured is an engine bug and
+// panics on the nil page.
 type streamSource struct {
-	streams []uint64
-	idx     int
+	t   *streamTable
+	idx int
 }
 
 // Int63 implements rand.Source: one counter-mode SplitMix64 draw from
 // the selected stream, truncated to 63 bits.
 func (s *streamSource) Int63() int64 {
-	st := s.streams[s.idx] + rngGamma
-	s.streams[s.idx] = st
+	p := s.t.pages[s.idx>>streamPageShift]
+	k := s.idx & (streamPageLen - 1)
+	st := p[k] + rngGamma
+	p[k] = st
 	return int64(rngMix(st) >> 1)
 }
 
@@ -76,8 +149,8 @@ type workerRand struct {
 	rng *rand.Rand
 }
 
-func newWorkerRand(streams []uint64) *workerRand {
-	w := &workerRand{src: streamSource{streams: streams}}
+func newWorkerRand(t *streamTable) *workerRand {
+	w := &workerRand{src: streamSource{t: t}}
 	w.rng = rand.New(&w.src)
 	return w
 }

@@ -255,7 +255,7 @@ func TestHostsOnlyProtectsRouters(t *testing.T) {
 		t.Errorf("hosts should still saturate, got %v", got)
 	}
 	for u := 0; u < cfg.Graph.N(); u++ {
-		if cfg.Roles[u] != topology.RoleHost && eng.state[u] != stateSusceptible {
+		if cfg.Roles[u] != topology.RoleHost && eng.stateOf(u) == stateInfected {
 			t.Fatalf("router %d was infected", u)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/bits"
 	"os"
 
 	"repro/internal/ratelimit"
@@ -21,9 +22,17 @@ import (
 // checkpoint is a mid-run artifact, not an archive format.
 //
 // Version 2: the engine RNG became a per-node counter-mode stream
-// table; checkpoints store the stream states (RNGStates) instead of a
-// single sequential draw count, and version-1 files are rejected.
-const SnapshotVersion = 2
+// table; checkpoints stored the stream states (RNGStates) instead of a
+// single sequential draw count, and version-1 files were rejected.
+//
+// Version 3: the engine's hot-path state went compact (DESIGN.md §14).
+// Node states are packed four to a byte (StatesPacked replaces the
+// byte-per-node States), RNG streams are stored sparsely — only the
+// counters that have advanced past their seed-derived initial value
+// (RNGIdx/RNGVal replace the dense RNGStates) — and the deferred
+// link-recharge count rides along (RechargeDebt). Version-2 files are
+// rejected.
+const SnapshotVersion = 3
 
 // snapshotFormat identifies checkpoint files regardless of version.
 const snapshotFormat = "wormsim-checkpoint"
@@ -50,14 +59,21 @@ type Snapshot struct {
 	Seed     int64 `json:"seed"`
 	NextTick int   `json:"next_tick"`
 
-	// RNGStates is the engine's RNG stream table verbatim: one counter
-	// per node plus the run-level stream (length nodes+1). FaultState is
-	// the fault injector's RNG state.
-	RNGStates  []uint64 `json:"rng_states"`
+	// RNGIdx/RNGVal are the engine's RNG stream table stored sparsely:
+	// RNGVal[k] is the current counter of stream RNGIdx[k], listed in
+	// strictly ascending index order, and only for streams whose counter
+	// differs from its seed-derived initial value. A counter-mode stream
+	// advances by the odd constant rngGamma per draw, so it can never
+	// return to its initial value: "differs" is exactly "has drawn".
+	// Stream n (nodes) is the run-level stream. FaultState is the fault
+	// injector's RNG state.
+	RNGIdx     []uint32 `json:"rng_idx,omitempty"`
+	RNGVal     []uint64 `json:"rng_val,omitempty"`
 	FaultState uint64   `json:"fault_state,omitempty"`
 
-	// States is one nodeState byte per node.
-	States []byte `json:"states"`
+	// StatesPacked holds the 2-bit node states four to a byte, node u at
+	// bits 2*(u%4) of byte u/4; trailing bits of the last byte are zero.
+	StatesPacked []byte `json:"states_packed"`
 
 	Infected int `json:"infected"`
 	Ever     int `json:"ever"`
@@ -81,10 +97,13 @@ type Snapshot struct {
 	PrevRemoved int    `json:"prev_removed"`
 
 	// LinkCredit holds the fractional credit of each limited link, in
-	// limited-index order. RRPos is the per-node round-robin resume
+	// limited-index (= rank) order; RechargeDebt is the number of
+	// recharge sweeps deferred across trailing quiescent ticks (see
+	// Engine.rechargeLinks). RRPos is the per-node round-robin resume
 	// position when node caps are configured.
-	LinkCredit []float64 `json:"link_credit,omitempty"`
-	RRPos      []int32   `json:"rr_pos,omitempty"`
+	LinkCredit   []float64 `json:"link_credit,omitempty"`
+	RechargeDebt int       `json:"recharge_debt,omitempty"`
+	RRPos        []int32   `json:"rr_pos,omitempty"`
 
 	Queues   []queueSnap   `json:"queues,omitempty"`
 	Limiters []limiterSnap `json:"limiters,omitempty"`
@@ -204,10 +223,9 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 		Links:    e.links.Count(),
 		Ticks:    e.cfg.Ticks,
 		Seed:     e.cfg.Seed,
-		NextTick:  e.nextTick,
-		RNGStates: append([]uint64(nil), e.streams...),
+		NextTick: e.nextTick,
 
-		States: append([]byte(nil), stateBytes(e.state)...),
+		StatesPacked: e.packStates(),
 
 		Infected: e.infected,
 		Ever:     e.ever,
@@ -230,55 +248,85 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 		PrevEver:    e.prevEver,
 		PrevRemoved: e.prevRemoved,
 	}
+	// Sparse RNG: walk the materialized pages and record every counter
+	// that moved off its initial value. Unmaterialized pages hold only
+	// initial values by construction.
+	for pi, page := range e.streams.pages {
+		if page == nil {
+			continue
+		}
+		base := pi << streamPageShift
+		for k, cur := range page {
+			i := base + k
+			if i > e.n {
+				break
+			}
+			if cur != e.streams.initial(i) {
+				s.RNGIdx = append(s.RNGIdx, uint32(i))
+				s.RNGVal = append(s.RNGVal, cur)
+			}
+		}
+	}
 	if e.faults != nil {
 		s.FaultState = e.faults.State()
 	}
 	if len(e.limitedIdx) > 0 {
-		s.LinkCredit = make([]float64, len(e.limitedIdx))
-		for i, li := range e.limitedIdx {
-			s.LinkCredit[i] = e.linkCredit[li]
-		}
+		s.LinkCredit = append([]float64(nil), e.linkCredit...)
+		s.RechargeDebt = e.rechargeDebt
 	}
 	if e.rrPos != nil {
 		s.RRPos = append([]int32(nil), e.rrPos...)
 	}
-	for li, q := range e.queues {
-		if len(q) == 0 {
-			continue
+	// Non-empty queues, in ascending link order via the active set (the
+	// materialization order of queueTab is first-use order, which is
+	// not canonical).
+	for w, word := range e.queueBits {
+		for word != 0 {
+			li := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			q := e.queueTab[e.queueSlot[li]]
+			pkts := make([]int32, 0, len(q)*4)
+			for _, p := range q {
+				pkts = append(pkts, p.src, p.dst, int32(p.kind), p.birth)
+			}
+			s.Queues = append(s.Queues, queueSnap{Link: int32(li), Pkts: pkts})
 		}
-		pkts := make([]int32, 0, len(q)*4)
-		for _, p := range q {
-			pkts = append(pkts, p.src, p.dst, int32(p.kind), p.birth)
-		}
-		s.Queues = append(s.Queues, queueSnap{Link: int32(li), Pkts: pkts})
 	}
-	for u, l := range e.hostLimiters {
-		if l == nil {
-			continue
+	// Host limiters, ascending by node (limiterTab is in configuration
+	// order, so scan the slot directory instead).
+	if e.limiterSlot != nil {
+		for u := 0; u < e.n; u++ {
+			ls := e.limiterSlot[u]
+			if ls < 0 {
+				continue
+			}
+			l := e.limiterTab[ls]
+			m, ok := l.(ratelimit.StateMarshaler)
+			if !ok {
+				return nil, fmt.Errorf("sim: host limiter of node %d (%T) does not support snapshots", u, l)
+			}
+			data, err := m.MarshalState()
+			if err != nil {
+				return nil, fmt.Errorf("sim: snapshot limiter of node %d: %w", u, err)
+			}
+			s.Limiters = append(s.Limiters, limiterSnap{Node: u, State: data})
 		}
-		m, ok := l.(ratelimit.StateMarshaler)
-		if !ok {
-			return nil, fmt.Errorf("sim: host limiter of node %d (%T) does not support snapshots", u, l)
-		}
-		data, err := m.MarshalState()
-		if err != nil {
-			return nil, fmt.Errorf("sim: snapshot limiter of node %d: %w", u, err)
-		}
-		s.Limiters = append(s.Limiters, limiterSnap{Node: u, State: data})
 	}
-	for u, st := range e.state {
-		if st != stateInfected {
-			continue
+	// Stateful pickers of infected nodes, ascending via the active set.
+	for w, word := range e.infectedBits {
+		for word != 0 {
+			u := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			m, ok := e.pickerTab[e.pickerSlot[u]].(worm.StateMarshaler)
+			if !ok {
+				continue // stateless picker: the factory rebuilds it exactly
+			}
+			data, err := m.MarshalState()
+			if err != nil {
+				return nil, fmt.Errorf("sim: snapshot picker of node %d: %w", u, err)
+			}
+			s.Pickers = append(s.Pickers, pickerSnap{Node: u, State: data})
 		}
-		m, ok := e.pickers[u].(worm.StateMarshaler)
-		if !ok {
-			continue // stateless picker: the factory rebuilds it exactly
-		}
-		data, err := m.MarshalState()
-		if err != nil {
-			return nil, fmt.Errorf("sim: snapshot picker of node %d: %w", u, err)
-		}
-		s.Pickers = append(s.Pickers, pickerSnap{Node: u, State: data})
 	}
 	if e.cfg.RecordInfections {
 		s.Infections = append([]Infection(nil), e.infections...)
@@ -296,11 +344,13 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 	return s, nil
 }
 
-// stateBytes reinterprets the node-state slice as raw bytes.
-func stateBytes(st []nodeState) []byte {
-	b := make([]byte, len(st))
-	for i, s := range st {
-		b[i] = byte(s)
+// packStates serializes the packed state words into the snapshot's
+// four-nodes-per-byte layout (byte u/4, bits 2*(u%4) — the
+// little-endian bytes of Engine.stateBits, truncated to ⌈n/4⌉).
+func (e *Engine) packStates() []byte {
+	b := make([]byte, (e.n+3)/4)
+	for i := range b {
+		b[i] = byte(e.stateBits[i>>3] >> (uint(i&7) * 8))
 	}
 	return b
 }
@@ -344,12 +394,26 @@ func (e *Engine) restore(s *Snapshot) error {
 	if s.NextTick < 0 || s.NextTick > e.cfg.Ticks {
 		return fmt.Errorf("%w: next tick %d out of [0,%d]", ErrSnapshot, s.NextTick, e.cfg.Ticks)
 	}
-	if len(s.States) != e.n {
-		return fmt.Errorf("%w: %d node states for %d nodes", ErrSnapshot, len(s.States), e.n)
+	if len(s.StatesPacked) != (e.n+3)/4 {
+		return fmt.Errorf("%w: %d packed state bytes for %d nodes (want %d)",
+			ErrSnapshot, len(s.StatesPacked), e.n, (e.n+3)/4)
 	}
-	if len(s.RNGStates) != e.n+1 {
-		return fmt.Errorf("%w: %d RNG stream states, want %d (nodes + run stream)",
-			ErrSnapshot, len(s.RNGStates), e.n+1)
+	if e.n%4 != 0 && len(s.StatesPacked) > 0 {
+		if last := s.StatesPacked[len(s.StatesPacked)-1]; last>>(uint(e.n%4)*2) != 0 {
+			return fmt.Errorf("%w: trailing state bits beyond node %d are set", ErrSnapshot, e.n-1)
+		}
+	}
+	if len(s.RNGIdx) != len(s.RNGVal) {
+		return fmt.Errorf("%w: %d RNG stream indexes with %d values",
+			ErrSnapshot, len(s.RNGIdx), len(s.RNGVal))
+	}
+	for k, idx := range s.RNGIdx {
+		if int(idx) > e.n {
+			return fmt.Errorf("%w: RNG stream index %d beyond run stream %d", ErrSnapshot, idx, e.n)
+		}
+		if k > 0 && idx <= s.RNGIdx[k-1] {
+			return fmt.Errorf("%w: RNG stream indexes not strictly ascending at %d", ErrSnapshot, idx)
+		}
 	}
 	if len(s.Series.Infected) != s.NextTick || len(s.Series.EverInfected) != s.NextTick ||
 		len(s.Series.Immunized) != s.NextTick || len(s.Series.Backlog) != s.NextTick {
@@ -364,17 +428,33 @@ func (e *Engine) restore(s *Snapshot) error {
 			ErrSnapshot, len(s.Series.MeanLatency), s.NextTick)
 	}
 
-	// Node states, with the derived counts and active sets rebuilt and
-	// cross-checked against the stored totals.
+	// Node states. The snapshot must agree with the configuration on
+	// which nodes are excluded: exclusion is config-derived (HostsOnly ×
+	// Roles), and the fresh engine's packed words hold exactly the
+	// config's exclusion set (plus seed infections, which are never
+	// excluded). Then the packed words are rebuilt wholesale, with the
+	// derived counts and active sets cross-checked against the stored
+	// totals.
+	snapState := func(u int) uint8 {
+		return s.StatesPacked[u>>2] >> (uint(u&3) * 2) & 3
+	}
+	for u := 0; u < e.n; u++ {
+		if (snapState(u) == stateExcluded) != (e.stateOf(u) == stateExcluded) {
+			return fmt.Errorf("%w: node %d exclusion disagrees with config (HostsOnly/Roles changed?)",
+				ErrSnapshot, u)
+		}
+	}
+	clear(e.stateBits)
 	clear(e.infectedBits)
 	for i := range e.subnetInfected {
 		e.subnetInfected[i] = 0
 	}
 	nInfected, nRemoved := 0, 0
-	for u, b := range s.States {
-		st := nodeState(b)
+	for u := 0; u < e.n; u++ {
+		st := snapState(u)
 		switch st {
 		case stateSusceptible:
+			continue
 		case stateInfected:
 			nInfected++
 			e.infectedBits[u>>6] |= 1 << (uint(u) & 63)
@@ -385,10 +465,8 @@ func (e *Engine) restore(s *Snapshot) error {
 			}
 		case stateRemoved:
 			nRemoved++
-		default:
-			return fmt.Errorf("%w: node %d has unknown state %d", ErrSnapshot, u, b)
 		}
-		e.state[u] = st
+		e.setState(u, st)
 	}
 	if nInfected != s.Infected || nRemoved != s.Removed {
 		return fmt.Errorf("%w: stored counts (%d infected, %d removed) disagree with states (%d, %d)",
@@ -400,18 +478,21 @@ func (e *Engine) restore(s *Snapshot) error {
 	e.infected, e.ever, e.removed = s.Infected, s.Ever, s.Removed
 
 	// Pickers: rebuild via the strategy factory for the restored
-	// infected set, then overlay recorded stateful-picker state.
-	for u := range e.pickers {
-		e.pickers[u] = nil
-		if e.state[u] == stateInfected {
-			e.pickers[u] = e.cfg.Strategy(e.env, u)
+	// infected set (ascending node order; the table's slot order is not
+	// observable), then overlay recorded stateful-picker state.
+	e.pickerTab = e.pickerTab[:0]
+	for u := 0; u < e.n; u++ {
+		e.pickerSlot[u] = -1
+		if e.stateOf(u) == stateInfected {
+			e.pickerSlot[u] = int32(len(e.pickerTab))
+			e.pickerTab = append(e.pickerTab, e.cfg.Strategy(e.env, u))
 		}
 	}
 	for _, ps := range s.Pickers {
-		if ps.Node < 0 || ps.Node >= e.n || e.state[ps.Node] != stateInfected {
+		if ps.Node < 0 || ps.Node >= e.n || e.stateOf(ps.Node) != stateInfected {
 			return fmt.Errorf("%w: picker state for node %d which is not infected", ErrSnapshot, ps.Node)
 		}
-		m, ok := e.pickers[ps.Node].(worm.StateMarshaler)
+		m, ok := e.pickerTab[e.pickerSlot[ps.Node]].(worm.StateMarshaler)
 		if !ok {
 			return fmt.Errorf("%w: picker state recorded for node %d but the configured strategy is stateless",
 				ErrSnapshot, ps.Node)
@@ -421,13 +502,15 @@ func (e *Engine) restore(s *Snapshot) error {
 		}
 	}
 
-	// Link queues.
+	// Link queues: drop every materialized queue and rebuild from the
+	// snapshot (slot order is restore order here, first-use order on a
+	// live run; neither is observable).
 	nLinks := e.links.Count()
-	for li := range e.queues {
-		if e.queues[li] != nil {
-			e.queues[li] = e.queues[li][:0]
-		}
+	for i := range e.queueSlot {
+		e.queueSlot[i] = -1
 	}
+	e.queueTab = e.queueTab[:0]
+	e.queueLink = e.queueLink[:0]
 	clear(e.queueBits)
 	e.backlog = 0
 	for _, qs := range s.Queues {
@@ -438,10 +521,10 @@ func (e *Engine) restore(s *Snapshot) error {
 		if len(qs.Pkts)%4 != 0 || len(qs.Pkts) == 0 {
 			return fmt.Errorf("%w: link %d queue has %d values (not non-empty quads)", ErrSnapshot, li, len(qs.Pkts))
 		}
-		if len(e.queues[li]) > 0 {
+		if e.queueSlot[li] >= 0 {
 			return fmt.Errorf("%w: duplicate queue entry for link %d", ErrSnapshot, li)
 		}
-		q := make([]packet, 0, max(len(qs.Pkts)/4, e.cfg.MaxQueue))
+		q := make([]packet, 0, len(qs.Pkts)/4)
 		for i := 0; i < len(qs.Pkts); i += 4 {
 			p := packet{src: qs.Pkts[i], dst: qs.Pkts[i+1], kind: packetKind(qs.Pkts[i+2]), birth: qs.Pkts[i+3]}
 			if p.src < 0 || int(p.src) >= e.n || p.dst < 0 || int(p.dst) >= e.n {
@@ -452,44 +535,43 @@ func (e *Engine) restore(s *Snapshot) error {
 			}
 			q = append(q, p)
 		}
-		e.queues[li] = q
+		e.queueSlot[li] = int32(len(e.queueTab))
+		e.queueTab = append(e.queueTab, q)
+		e.queueLink = append(e.queueLink, int32(li))
 		e.queueBits[li>>6] |= 1 << (uint(li) & 63)
 		e.backlog += len(q)
 	}
 
 	// Host limiter state: every configured limiter must have been
 	// recorded, and every recorded limiter must still be configured.
-	configured := 0
-	for _, l := range e.hostLimiters {
-		if l != nil {
-			configured++
-		}
-	}
-	if len(s.Limiters) != configured {
+	if len(s.Limiters) != len(e.limiterTab) {
 		return fmt.Errorf("%w: %d limiter states for %d configured host limiters",
-			ErrSnapshot, len(s.Limiters), configured)
+			ErrSnapshot, len(s.Limiters), len(e.limiterTab))
 	}
 	for _, ls := range s.Limiters {
-		if ls.Node < 0 || ls.Node >= e.n || e.hostLimiters == nil || e.hostLimiters[ls.Node] == nil {
+		if ls.Node < 0 || ls.Node >= e.n || e.limiterSlot == nil || e.limiterSlot[ls.Node] < 0 {
 			return fmt.Errorf("%w: limiter state for node %d which has no host limiter", ErrSnapshot, ls.Node)
 		}
-		m, ok := e.hostLimiters[ls.Node].(ratelimit.StateMarshaler)
+		l := e.limiterTab[e.limiterSlot[ls.Node]]
+		m, ok := l.(ratelimit.StateMarshaler)
 		if !ok {
 			return fmt.Errorf("%w: host limiter of node %d (%T) does not support snapshots",
-				ErrSnapshot, ls.Node, e.hostLimiters[ls.Node])
+				ErrSnapshot, ls.Node, l)
 		}
 		if err := m.UnmarshalState(ls.State); err != nil {
 			return fmt.Errorf("%w: limiter of node %d: %v", ErrSnapshot, ls.Node, err)
 		}
 	}
 
-	// Link credits and round-robin positions.
+	// Link credits, deferred recharges, and round-robin positions.
 	if len(s.LinkCredit) != len(e.limitedIdx) {
 		return fmt.Errorf("%w: %d link credits for %d limited links", ErrSnapshot, len(s.LinkCredit), len(e.limitedIdx))
 	}
-	for i, li := range e.limitedIdx {
-		e.linkCredit[li] = s.LinkCredit[i]
+	if s.RechargeDebt < 0 {
+		return fmt.Errorf("%w: negative recharge debt %d", ErrSnapshot, s.RechargeDebt)
 	}
+	copy(e.linkCredit, s.LinkCredit)
+	e.rechargeDebt = s.RechargeDebt
 	if (e.rrPos == nil) != (len(s.RRPos) == 0) {
 		return fmt.Errorf("%w: node-cap scheduler state disagrees with configured NodeCaps", ErrSnapshot)
 	}
@@ -523,10 +605,30 @@ func (e *Engine) restore(s *Snapshot) error {
 		e.faults.SetState(s.FaultState)
 	}
 
-	// RNG: overwrite the stream table with the checkpointed counters.
-	// The per-worker rand.Rands alias e.streams, so they see the
-	// restored positions immediately; no replay is needed.
-	copy(e.streams, s.RNGStates)
+	// RNG: reset the lazily-materialized stream table, re-materialize
+	// the pages the restored run will read from a sharded phase — the
+	// run stream, every infected node's page, and the whole table once
+	// immunization is rolling — then overlay the checkpointed counters
+	// (ensuring each one's page: a counter may belong to a node that
+	// drew and was since patched). The per-worker rand.Rands alias the
+	// table, so they see the restored positions immediately.
+	e.streams.reset()
+	e.streams.ensure(e.n)
+	if e.immunizing {
+		e.streams.ensureAll()
+	} else {
+		for w, word := range e.infectedBits {
+			for word != 0 {
+				u := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				e.streams.ensure(u)
+			}
+		}
+	}
+	for k, idx := range s.RNGIdx {
+		e.streams.ensure(int(idx))
+		e.streams.pages[idx>>streamPageShift][idx&(streamPageLen-1)] = s.RNGVal[k]
+	}
 
 	// Partial series; RunContext appends the remaining ticks.
 	e.res = &Result{

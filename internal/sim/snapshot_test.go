@@ -4,11 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math/rand"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/topology"
 	"repro/internal/worm"
 )
 
@@ -187,7 +190,23 @@ func TestSnapshotRejectsVersionSkew(t *testing.T) {
 		t.Fatalf("version-1 decode error = %v, want ErrSnapshot", derr)
 	}
 
+	// A version-2 checkpoint (dense per-node state bytes, dense RNG
+	// stream array, per-link credit before the rank compaction) must be
+	// rejected with an error that names both versions — there is no
+	// migration path, and misreading it as version 3 would corrupt state.
 	env["version"] = json.RawMessage("2")
+	v2, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, derr = DecodeSnapshot(v2)
+	if !errors.Is(derr, ErrSnapshot) {
+		t.Fatalf("version-2 decode error = %v, want ErrSnapshot", derr)
+	}
+	if msg := derr.Error(); !strings.Contains(msg, "version 2") || !strings.Contains(msg, "version 3") {
+		t.Fatalf("version-2 rejection %q does not name the versions", msg)
+	}
+
 	env["format"] = json.RawMessage(`"something-else"`)
 	foreign, err := json.Marshal(env)
 	if err != nil {
@@ -195,6 +214,61 @@ func TestSnapshotRejectsVersionSkew(t *testing.T) {
 	}
 	if _, derr := DecodeSnapshot(foreign); !errors.Is(derr, ErrSnapshot) {
 		t.Fatalf("foreign-format decode error = %v, want ErrSnapshot", derr)
+	}
+}
+
+// TestSnapshotResumeLargeAcrossWorkerCounts exercises the v3 sparse
+// encoding where it matters: a 100k-host two-level internet, where the
+// RNG table must stay sparse (only touched streams encoded) and the
+// packed states must survive a worker-count change on resume.
+func TestSnapshotResumeLargeAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-host resume test skipped in -short mode")
+	}
+	g, roles, _, err := topology.TwoLevel(topology.TwoLevelConfig{
+		ASes: 412, AttachM: 2, TransitFraction: 0.05, HostsPerStub: 256,
+	}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Graph: g, Roles: roles,
+		Beta: 0.8, ScansPerTick: 10,
+		Strategy:        worm.NewRandomFactory(),
+		InitialInfected: 100, Ticks: 8, Seed: 11,
+		MaxQueue: 50, Workers: 4,
+		LimitedNodes: DeployBackbone(roles), BaseRate: 0.4,
+	}
+	full, snaps := runWithCheckpoints(t, cfg)
+	want := toGolden(full)
+	snap := snaps[3]
+	if n := g.N(); len(snap.StatesPacked) != (n+3)/4 {
+		t.Fatalf("packed states %d bytes for %d nodes, want %d", len(snap.StatesPacked), n, (n+3)/4)
+	}
+	// Early in the epidemic only infected nodes have drawn from their
+	// streams: the sparse RNG table must be far smaller than the node
+	// count, or the encoding has degenerated to dense.
+	if len(snap.RNGIdx) >= g.N()/10 {
+		t.Fatalf("sparse RNG table holds %d of %d streams — not sparse", len(snap.RNGIdx), g.N())
+	}
+	data, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		rcfg := cfg
+		rcfg.Workers = workers
+		eng, err := Restore(rcfg, decoded)
+		if err != nil {
+			t.Fatalf("restore under workers=%d: %v", workers, err)
+		}
+		if got := toGolden(eng.Run()); !reflect.DeepEqual(got, want) {
+			t.Errorf("100k-host resume under workers=%d diverged", workers)
+		}
 	}
 }
 

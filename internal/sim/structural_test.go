@@ -23,8 +23,8 @@ func TestStructuralRoutingEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.N() < structuralThreshold {
-		t.Fatalf("test graph has %d nodes, below the structural threshold %d", g.N(), structuralThreshold)
+	if g.N() < DefaultStructuralThreshold {
+		t.Fatalf("test graph has %d nodes, below the structural threshold %d", g.N(), DefaultStructuralThreshold)
 	}
 	cfg := Config{
 		Graph: g, Beta: 0.5, ScansPerTick: 2,

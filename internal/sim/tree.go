@@ -38,7 +38,7 @@ func AnalyzeTree(r *Result) TreeStats {
 	secondary := make(map[int]int)
 	var depthSum int
 	for _, inf := range r.Infections {
-		d := depths[inf.Victim]
+		d := depths[int(inf.Victim)]
 		stats.DepthHistogram[d]++
 		depthSum += d
 		if d > stats.MaxDepth {
@@ -48,7 +48,7 @@ func AnalyzeTree(r *Result) TreeStats {
 			stats.Seeds++
 			continue
 		}
-		secondary[inf.Source]++
+		secondary[int(inf.Source)]++
 	}
 	stats.MeanDepth = float64(depthSum) / float64(stats.Total)
 	for _, c := range secondary {
@@ -66,7 +66,7 @@ func AnalyzeTree(r *Result) TreeStats {
 func InfectionsPerTick(r *Result, maxTick int) []int {
 	out := make([]int, maxTick+1)
 	for _, inf := range r.Infections {
-		if inf.Tick >= 0 && inf.Tick <= maxTick {
+		if inf.Tick >= 0 && int(inf.Tick) <= maxTick {
 			out[inf.Tick]++
 		}
 	}
@@ -79,7 +79,7 @@ func TopSpreaders(r *Result, k int) []struct{ Node, Victims int } {
 	secondary := make(map[int]int)
 	for _, inf := range r.Infections {
 		if inf.Source >= 0 {
-			secondary[inf.Source]++
+			secondary[int(inf.Source)]++
 		}
 	}
 	out := make([]struct{ Node, Victims int }, 0, len(secondary))

@@ -192,6 +192,10 @@ type Run struct {
 	Checkpoint      string `json:"checkpoint,omitempty"`
 	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
 	Resume          string `json:"resume,omitempty"`
+	// StructuralThreshold is the node count at which routing switches
+	// to the structural router (0 = library default, -1 = dense table
+	// at every size; results are identical either way).
+	StructuralThreshold int `json:"structural_threshold,omitempty"`
 }
 
 // Axis is one sweep dimension: a dot-path into the spec ("worm.beta",
@@ -397,14 +401,15 @@ func (s *Spec) Compile() (*Compiled, error) {
 			c.Runs = r.Runs
 		}
 		c.Options = core.RunOptions{
-			Jobs:            r.Jobs,
-			Workers:         r.Workers,
-			Check:           r.Check,
-			KeepGoing:       r.KeepGoing,
-			Retries:         r.Retries,
-			Checkpoint:      r.Checkpoint,
-			CheckpointEvery: r.CheckpointEvery,
-			Resume:          r.Resume,
+			Jobs:                r.Jobs,
+			Workers:             r.Workers,
+			Check:               r.Check,
+			KeepGoing:           r.KeepGoing,
+			Retries:             r.Retries,
+			Checkpoint:          r.Checkpoint,
+			CheckpointEvery:     r.CheckpointEvery,
+			Resume:              r.Resume,
+			StructuralThreshold: r.StructuralThreshold,
 		}
 		var err error
 		if c.Options.Timeout, err = parseDuration("run.timeout", r.Timeout); err != nil {

@@ -88,6 +88,7 @@ run:
   runs: 2
   jobs: 2
   timeout: 30s
+  structural_threshold: 4096
 grid:
   - path: worm.beta
     values: [0.4, 0.8]
@@ -118,7 +119,7 @@ grid:
 	if points[0].Name != "yaml-demo[worm.beta=0.4]" {
 		t.Errorf("point name = %q", points[0].Name)
 	}
-	if points[0].Runs != 2 || points[0].Options.Jobs != 2 {
+	if points[0].Runs != 2 || points[0].Options.Jobs != 2 || points[0].Options.StructuralThreshold != 4096 {
 		t.Errorf("point run options wrong: %+v", points[0])
 	}
 	// YAML and its canonical JSON must describe the identical spec.
@@ -201,6 +202,7 @@ func TestCompileRejects(t *testing.T) {
 		{"bad duration", func(s *Spec) { s.Run = &Run{Timeout: "soon"} }, "run.timeout"},
 		{"bad runs", func(s *Spec) { s.Run = &Run{Runs: -2} }, "run.runs"},
 		{"bad jobs", func(s *Spec) { s.Run = &Run{Jobs: -1} }, "-jobs"},
+		{"bad structural threshold", func(s *Spec) { s.Run = &Run{StructuralThreshold: -2} }, "-structural-threshold"},
 		{"bad throttle", func(s *Spec) {
 			s.Topology = Topology{Kind: "powerlaw", Nodes: 50}
 			s.Defenses = []Defense{{Kind: "throttle", WorkingSet: 0, Period: 1, Hosts: 3}}

@@ -74,9 +74,13 @@ func Sweep(ctx context.Context, s *Spec, mod func(*Compiled)) ([]PointResult, Sw
 		if kerr != nil {
 			pr.Err = kerr
 		} else {
+			// Routing state depends on the structural threshold as well
+			// as the topology, so points sweeping the threshold itself
+			// must not share one Net.
+			key = fmt.Sprintf("%s|structural_threshold=%d", key, c.Options.StructuralThreshold)
 			net, ok := nets[key]
 			if !ok {
-				net, kerr = c.Scenario.BuildNet()
+				net, kerr = c.Scenario.BuildNetThreshold(c.Options.StructuralThreshold)
 				if kerr != nil {
 					pr.Err = kerr
 				} else {

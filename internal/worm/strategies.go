@@ -12,12 +12,35 @@ import (
 )
 
 // Env exposes the population structure a strategy may use to pick
-// targets. Subnet[i] is the subnet index of node i (-1 for routers);
-// Members maps a subnet index to the node IDs inside it.
+// targets. Subnet[i] is the subnet index of node i (-1 for routers).
+// Ids are int32 throughout: at internet scale the environment is a
+// per-host cost, and halving it matters (DESIGN.md §14).
 type Env struct {
-	N       int
-	Subnet  []int
-	Members map[int][]int
+	N      int
+	Subnet []int32
+
+	// members maps a subnet index to the node IDs inside it, in
+	// ascending node order. It is built lazily on the first MembersOf
+	// call: only subnet-aware strategies (LocalPreferential) pay its
+	// footprint, and a uniform-random worm over ten million hosts pays
+	// nothing.
+	membersOnce sync.Once
+	members     map[int32][]int32
+}
+
+// MembersOf returns the node IDs of subnet sub in ascending order, nil
+// for unknown subnets. Safe for concurrent use: the engine's sharded
+// generate sweep may call it from several workers at once.
+func (e *Env) MembersOf(sub int32) []int32 {
+	e.membersOnce.Do(func() {
+		e.members = make(map[int32][]int32)
+		for u, s := range e.Subnet {
+			if s >= 0 {
+				e.members[s] = append(e.members[s], int32(u))
+			}
+		}
+	})
+	return e.members[sub]
 }
 
 // Picker selects the next infection target for an infected node. A
@@ -104,12 +127,12 @@ func (l *LocalPreferential) Pick(rng *rand.Rand, self int) int {
 		return -1
 	}
 	if rng.Float64() < l.p {
-		sub := -1
+		sub := int32(-1)
 		if self >= 0 && self < len(env.Subnet) {
 			sub = env.Subnet[self]
 		}
-		if members := env.Members[sub]; sub >= 0 && len(members) > 0 {
-			return members[rng.Intn(len(members))]
+		if members := env.MembersOf(sub); sub >= 0 && len(members) > 0 {
+			return int(members[rng.Intn(len(members))])
 		}
 		// Routers (or hosts without a subnet) fall back to random.
 	}

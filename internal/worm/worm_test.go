@@ -8,14 +8,11 @@ import (
 
 func testEnv() *Env {
 	// 12 nodes; nodes 0-3 subnet 0, 4-7 subnet 1, 8-11 subnet 2.
-	subnet := make([]int, 12)
-	members := make(map[int][]int)
+	subnet := make([]int32, 12)
 	for i := range subnet {
-		s := i / 4
-		subnet[i] = s
-		members[s] = append(members[s], i)
+		subnet[i] = int32(i / 4)
 	}
-	return &Env{N: 12, Subnet: subnet, Members: members}
+	return &Env{N: 12, Subnet: subnet}
 }
 
 func TestRandomPickerUniform(t *testing.T) {
