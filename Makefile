@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet audit chaos fuzz-smoke bench bench-figures bench-smoke bench-scale bench-compare figures clean
+.PHONY: check build test race vet audit chaos fuzz-smoke daemon-smoke bench bench-figures bench-smoke bench-scale bench-compare figures clean
 
 ## check: the full gate — vet, build, race-enabled tests. The race run
 ## covers the intra-run parallel engine (cross-worker determinism and
@@ -44,6 +44,15 @@ chaos:
 ## `wormsim -specfuzz N -seed S`.
 fuzz-smoke:
 	$(GO) test -run 'TestFuzzSmoke|TestSpectralThreshold' -v ./internal/spec
+
+## daemon-smoke: the wormsimd service gate — the full HTTP round-trip
+## (submit, JSONL/SSE stream, result, cancel, 429 backpressure, shared
+## net-cache reuse) against the in-process server, plus the two restart
+## stories against the real binary: graceful close and SIGKILL, both
+## required to resume from checkpoints to a result byte-identical to an
+## uninterrupted run.
+daemon-smoke:
+	$(GO) test -run 'TestDaemon|TestServerRestartResume|TestJobQueueOrdering' -v ./internal/daemon ./cmd/wormsimd
 
 ## bench: the per-tick engine microbenchmarks, repeated so the output
 ## feeds benchstat directly (`make bench > new.txt && benchstat old.txt

@@ -1,0 +1,103 @@
+// Command wormsimd is the simulation daemon: a long-lived HTTP service
+// that accepts scenario-spec submissions, schedules them with per-job
+// priorities on a bounded queue, streams per-tick progress as JSONL or
+// SSE, shares one LRU-capped topology cache across jobs, and persists
+// job state plus engine checkpoints so in-flight work survives a
+// restart — even an unclean one — and resumes to a byte-identical
+// result (DESIGN.md §15).
+//
+// Usage:
+//
+//	wormsimd -addr :8321 -data ./wormsimd-data \
+//	         [-queue 64] [-executors 1] [-net-cache 8] \
+//	         [-checkpoint-every 200]
+//
+// API (see internal/daemon):
+//
+//	curl -X POST --data-binary @scenario.yaml 'http://localhost:8321/jobs?priority=5'
+//	curl http://localhost:8321/jobs/j000001/stream        # JSONL progress
+//	curl http://localhost:8321/jobs/j000001/result
+//	curl -X DELETE http://localhost:8321/jobs/j000001     # cancel
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: running jobs stop,
+// their persisted state stays "running", and the next start over the
+// same -data directory resumes them from their checkpoints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/daemon"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr            = flag.String("addr", ":8321", "listen address (host:port; :0 picks a free port)")
+		data            = flag.String("data", "wormsimd-data", "persistent state directory")
+		queue           = flag.Int("queue", daemon.DefaultQueueCap, "max queued jobs before submissions get 429")
+		executors       = flag.Int("executors", daemon.DefaultExecutors, "jobs run concurrently")
+		netCache        = flag.Int("net-cache", daemon.DefaultNetCacheCap, "topologies kept in the shared net cache (-1 = unbounded)")
+		checkpointEvery = flag.Int("checkpoint-every", daemon.DefaultCheckpointEvery, "ticks between engine checkpoints")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "wormsimd: unexpected arguments: %v\n", flag.Args())
+		return 2
+	}
+
+	srv, err := daemon.New(daemon.Config{
+		DataDir:         *data,
+		QueueCap:        *queue,
+		Executors:       *executors,
+		NetCacheCap:     *netCache,
+		CheckpointEvery: *checkpointEvery,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wormsimd: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wormsimd: %v\n", err)
+		srv.Close()
+		return 1
+	}
+	// The smoke tests (and humans with -addr :0) parse this line for
+	// the bound address.
+	fmt.Printf("wormsimd: listening on http://%s (data %s)\n", ln.Addr(), *data)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "wormsimd: %v: shutting down\n", s)
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "wormsimd: serve: %v\n", err)
+		srv.Close()
+		return 1
+	}
+
+	// Stop the scheduler first: running jobs halt at their next tick
+	// boundary with checkpoints on disk, their brokers close (ending
+	// any open streams), and job records persist as "running" for the
+	// next start to resume. Then drop the HTTP side.
+	srv.Close()
+	_ = hs.Close()
+	fmt.Fprintln(os.Stderr, "wormsimd: stopped")
+	return 0
+}

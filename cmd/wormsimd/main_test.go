@@ -1,0 +1,251 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildOnce compiles the wormsimd binary one time for all tests here.
+var buildOnce sync.Once
+var builtBin string
+var buildErr error
+
+func daemonBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "wormsimd-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtBin = filepath.Join(dir, "wormsimd")
+		out, err := exec.Command("go", "build", "-o", builtBin, ".").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return builtBin
+}
+
+// daemonProc is one running wormsimd subprocess.
+type daemonProc struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://\S+)`)
+
+// startDaemon launches wormsimd on a free port over dataDir and waits
+// for its listen banner.
+func startDaemon(t *testing.T, dataDir string, extra ...string) *daemonProc {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-data", dataDir}, extra...)
+	cmd := exec.Command(daemonBinary(t), args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	lines := bufio.NewScanner(stdout)
+	deadline := time.AfterFunc(20*time.Second, func() { cmd.Process.Kill() })
+	defer deadline.Stop()
+	for lines.Scan() {
+		if m := listenRE.FindStringSubmatch(lines.Text()); m != nil {
+			go io.Copy(io.Discard, stdout) // keep draining
+			return &daemonProc{cmd: cmd, base: m[1]}
+		}
+	}
+	t.Fatalf("wormsimd never printed its listen banner (scan err %v)", lines.Err())
+	return nil
+}
+
+func testSpec(name string, nodes, ticks, runs int) []byte {
+	return []byte(fmt.Sprintf(`{
+  "format": "wormsim-scenario",
+  "version": 1,
+  "name": %q,
+  "topology": {"kind": "star", "nodes": %d},
+  "worm": {"kind": "random", "beta": 0.5},
+  "ticks": %d,
+  "seed": 7,
+  "run": {"runs": %d, "jobs": 1}
+}`, name, nodes, ticks, runs))
+}
+
+func submitSpec(t *testing.T, base string, doc []byte) string {
+	t.Helper()
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: %d: %s", resp.StatusCode, body)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v.ID
+}
+
+// waitDone polls the job until it reaches the done state.
+func waitDone(t *testing.T, base, id string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		switch v.State {
+		case "done":
+			return
+		case "failed", "canceled":
+			t.Fatalf("job %s settled %s: %s", id, v.State, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished (state %s)", id, v.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func fetchResult(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDaemonSmoke is the end-to-end happy path against the real binary:
+// submit over HTTP, stream progress to completion, fetch the result,
+// and shut down cleanly on SIGTERM.
+func TestDaemonSmoke(t *testing.T) {
+	p := startDaemon(t, t.TempDir())
+	id := submitSpec(t, p.base, testSpec("smoke", 40, 60, 2))
+
+	resp, err := http.Get(p.base + "/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := io.ReadAll(resp.Body) // EOF when the job finishes
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(stream), `"type":"tick"`) {
+		t.Fatal("stream carried no tick records")
+	}
+	waitDone(t, p.base, id, 10*time.Second)
+	var doc struct {
+		Points []struct {
+			Infected []float64 `json:"infected"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(fetchResult(t, p.base, id), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Points) != 1 || len(doc.Points[0].Infected) == 0 {
+		t.Fatalf("result shape: %+v", doc)
+	}
+
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown exit: %v", err)
+	}
+}
+
+// TestDaemonRestartResumeSIGKILL is the crash half of the restart
+// story, against the real binary: SIGKILL the daemon mid-job (no
+// goodbye, no flush beyond what safeio already made durable), restart
+// it over the same data directory, and require the resumed job's
+// result.json to be byte-identical to an uninterrupted run's.
+func TestDaemonRestartResumeSIGKILL(t *testing.T) {
+	dataDir := t.TempDir()
+	doc := testSpec("crash-resume", 150, 20000, 2)
+
+	p1 := startDaemon(t, dataDir, "-checkpoint-every", "100")
+	id := submitSpec(t, p1.base, doc)
+
+	// Wait for the first durable engine checkpoint, then kill -9.
+	ckptDir := filepath.Join(dataDir, "jobs", id, "checkpoints", "point-000")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if ents, err := os.ReadDir(ckptDir); err == nil && len(ents) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared before the kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := p1.cmd.Process.Kill(); err != nil { // SIGKILL
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+	if _, err := os.Stat(filepath.Join(dataDir, "jobs", id, "result.json")); !os.IsNotExist(err) {
+		t.Fatalf("killed mid-run but result.json exists (stat err %v)", err)
+	}
+
+	// Restart over the same data dir: the job must resume and finish.
+	p2 := startDaemon(t, dataDir, "-checkpoint-every", "100")
+	waitDone(t, p2.base, id, 120*time.Second)
+	resumed := fetchResult(t, p2.base, id)
+
+	// Control: same spec, uninterrupted, fresh data dir.
+	p3 := startDaemon(t, t.TempDir(), "-checkpoint-every", "100")
+	cid := submitSpec(t, p3.base, doc)
+	waitDone(t, p3.base, cid, 120*time.Second)
+	control := fetchResult(t, p3.base, cid)
+
+	if !bytes.Equal(resumed, control) {
+		t.Fatalf("post-crash resume diverged from uninterrupted run (%d vs %d bytes)", len(resumed), len(control))
+	}
+}

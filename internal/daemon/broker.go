@@ -1,0 +1,156 @@
+package daemon
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// defaultHistory is how many stream records a job retains for replay to
+// late subscribers. Long jobs overflow it; subscribers then see a
+// truncated prefix plus everything live — acceptable for a progress
+// stream, whose source of truth for outcomes is result.json.
+const defaultHistory = 4096
+
+// StreamRecord is one line of a job's progress stream, JSON-encoded as
+// JSONL or an SSE data frame. Type discriminates the payload:
+//
+//	"job"      — lifecycle transition; State carries the new state.
+//	"tick"     — one engine tick's obs.TickMetrics (Point/Run locate it).
+//	"event"    — a discrete obs.Event (quarantine trigger, etc).
+//	"progress" — replica-batch progress for one grid point.
+//	"point"    — a grid point completed (Completed/Runs are final).
+type StreamRecord struct {
+	Type  string `json:"type"`
+	Seq   uint64 `json:"seq"`
+	Point string `json:"point,omitempty"`
+	Run   int    `json:"run,omitempty"`
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+
+	Tick  *obs.TickMetrics `json:"tick,omitempty"`
+	Event *obs.Event       `json:"event,omitempty"`
+
+	Completed int   `json:"completed,omitempty"`
+	Runs      int   `json:"runs,omitempty"`
+	Ticks     int64 `json:"ticks,omitempty"`
+}
+
+// broker fans one job's stream records out to any number of HTTP
+// subscribers while keeping a bounded replay history. Publishers never
+// block: a subscriber that falls more than its channel buffer behind is
+// dropped (its channel closes) and can reconnect to replay history.
+type broker struct {
+	mu      sync.Mutex
+	seq     uint64
+	hist    []StreamRecord
+	histCap int
+	subs    map[chan StreamRecord]struct{}
+	closed  bool
+}
+
+// subBuffer is each subscriber's channel depth. The stream handler only
+// does network writes between receives, so this bounds how far a slow
+// client can lag before being dropped.
+const subBuffer = 1024
+
+func newBroker(histCap int) *broker {
+	return &broker{histCap: histCap, subs: make(map[chan StreamRecord]struct{})}
+}
+
+// publish stamps the record with the next sequence number, appends it
+// to history, and offers it to every live subscriber. After close it is
+// a no-op.
+func (b *broker) publish(rec StreamRecord) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.appendLocked(rec)
+}
+
+// close publishes a terminal record and ends the stream: subscriber
+// channels close after the terminal record, and future subscribers get
+// the history plus a nil live channel.
+func (b *broker) close(rec StreamRecord) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.appendLocked(rec)
+	for ch := range b.subs {
+		close(ch)
+	}
+	b.subs = nil
+	b.closed = true
+}
+
+func (b *broker) appendLocked(rec StreamRecord) {
+	b.seq++
+	rec.Seq = b.seq
+	b.hist = append(b.hist, rec)
+	if len(b.hist) > 2*b.histCap {
+		// Trim lazily at 2x capacity so the copy amortizes to O(1) per
+		// publish; a fresh slice is allocated so the backing array does
+		// not pin the dropped prefix.
+		b.hist = append([]StreamRecord(nil), b.hist[len(b.hist)-b.histCap:]...)
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- rec:
+		default:
+			// Subscriber too slow: drop it rather than block the
+			// simulation's collector path.
+			delete(b.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// subscribe returns a snapshot of the history and a live channel for
+// records published afterwards. The channel is nil when the stream has
+// already ended (the terminal record is the history's last entry).
+// cancel detaches the subscriber; it is safe to call after the broker
+// closed the channel.
+func (b *broker) subscribe() (history []StreamRecord, live <-chan StreamRecord, cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	history = append([]StreamRecord(nil), b.hist...)
+	if b.closed {
+		return history, nil, func() {}
+	}
+	ch := make(chan StreamRecord, subBuffer)
+	b.subs[ch] = struct{}{}
+	return history, ch, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// streamCollector adapts a job's broker to the obs.Collector interface:
+// every engine tick and event of one replica becomes a stream record.
+//
+// It deliberately does NOT implement obs.Summarizer. Summaries would
+// flow into Result.Counters, and a replica resumed from a checkpoint
+// only observes post-resume ticks — its summary would differ from an
+// uninterrupted run's, breaking the byte-identical result.json
+// guarantee the daemon's restart recovery makes.
+type streamCollector struct {
+	b     *broker
+	point string
+	run   int
+}
+
+func (c *streamCollector) Tick(m obs.TickMetrics) {
+	c.b.publish(StreamRecord{Type: "tick", Point: c.point, Run: c.run, Tick: &m})
+}
+
+func (c *streamCollector) Event(ev obs.Event) {
+	c.b.publish(StreamRecord{Type: "event", Point: c.point, Run: c.run, Event: &ev})
+}

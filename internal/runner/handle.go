@@ -1,0 +1,82 @@
+package runner
+
+import (
+	"context"
+	"sync"
+)
+
+// Handle supervises a batch started asynchronously with Pool.Start: a
+// live view of the batch's Stats while it runs, cancellation, and a
+// Wait that returns the final Stats and error exactly as Pool.Run
+// would have. The wormsimd daemon runs every job under a Handle, so a
+// panicking job surfaces as a *PanicError on its handle instead of
+// taking the process down, and a cancel request maps onto the batch's
+// context without the caller having to thread its own.
+type Handle struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu    sync.Mutex
+	last  Stats
+	final bool
+	err   error
+}
+
+// Start launches Run(ctx, runs, task) on its own goroutine and returns
+// immediately with a Handle supervising it. The batch observes a
+// context derived from ctx that Handle.Cancel also cancels. Progress
+// snapshots feed the handle's live Stats (and still reach any
+// WithProgress callback configured on the pool).
+func (p *Pool) Start(ctx context.Context, runs int, task Task) *Handle {
+	hctx, cancel := context.WithCancel(ctx)
+	h := &Handle{cancel: cancel, done: make(chan struct{})}
+	// Chain the handle into the pool's progress path on a private copy:
+	// the original pool is stateless and stays reusable.
+	sp := *p
+	orig := sp.progress
+	sp.progress = func(s Stats) {
+		h.mu.Lock()
+		if !h.final {
+			h.last = s
+		}
+		h.mu.Unlock()
+		if orig != nil {
+			orig(s)
+		}
+	}
+	go func() {
+		stats, err := sp.Run(hctx, runs, task)
+		h.mu.Lock()
+		h.last, h.err, h.final = stats, err, true
+		h.mu.Unlock()
+		cancel()
+		close(h.done)
+	}()
+	return h
+}
+
+// Stats returns the latest batch snapshot: live progress while the
+// batch runs, the final Stats after it finishes. Snapshots are private
+// copies, safe to retain.
+func (h *Handle) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.last
+}
+
+// Cancel aborts the batch. Safe to call at any time, from any
+// goroutine, and after completion (a no-op then). Cancellation is
+// asynchronous: use Wait or Done to observe the batch actually ending.
+func (h *Handle) Cancel() { h.cancel() }
+
+// Done returns a channel closed when the batch has fully finished.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the batch finishes and returns its final Stats and
+// error — the exact values a synchronous Pool.Run would have returned.
+func (h *Handle) Wait() (Stats, error) {
+	<-h.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.last, h.err
+}

@@ -1,0 +1,108 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHandleWaitMatchesRun: an asynchronously-started batch finishes
+// with the same Stats and error a synchronous Run would produce.
+func TestHandleWaitMatchesRun(t *testing.T) {
+	task := func(ctx context.Context, i int) (Report, error) {
+		return Report{Ticks: int64(i + 1)}, nil
+	}
+	p := New(WithJobs(2))
+	want, werr := p.Run(context.Background(), 5, task)
+
+	h := p.Start(context.Background(), 5, task)
+	got, gerr := h.Wait()
+	if !errors.Is(gerr, werr) {
+		t.Fatalf("err = %v, want %v", gerr, werr)
+	}
+	if got.Completed != want.Completed || got.Ticks != want.Ticks || got.Runs != want.Runs {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+	// After Wait, Stats returns the final snapshot.
+	if s := h.Stats(); !s.Done() || s.Ticks != want.Ticks {
+		t.Fatalf("post-wait Stats() = %+v, want final snapshot", s)
+	}
+	select {
+	case <-h.Done():
+	default:
+		t.Fatal("Done() not closed after Wait returned")
+	}
+}
+
+// TestHandleCancelAbortsBatch: Cancel stops a running batch; Wait
+// reports the cancellation and the batch's partial progress.
+func TestHandleCancelAbortsBatch(t *testing.T) {
+	started := make(chan struct{}, 64)
+	task := func(ctx context.Context, i int) (Report, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return Report{}, ctx.Err()
+	}
+	h := New(WithJobs(1)).Start(context.Background(), 8, task)
+	<-started // a worker is inside the first task
+	h.Cancel()
+	stats, err := h.Wait()
+	if err == nil {
+		t.Fatal("cancelled batch returned nil error")
+	}
+	if stats.Started == 0 {
+		t.Fatalf("stats = %+v, want at least one started task", stats)
+	}
+	h.Cancel() // idempotent after completion
+}
+
+// TestHandleLiveStats: Stats observes monotonic progress while the
+// batch runs, without waiting for completion.
+func TestHandleLiveStats(t *testing.T) {
+	release := make(chan struct{})
+	var reached atomic.Int32
+	task := func(ctx context.Context, i int) (Report, error) {
+		if reached.Add(1) == 3 {
+			// Third task: hold until the test has sampled live stats.
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+		}
+		return Report{Ticks: 1}, nil
+	}
+	h := New(WithJobs(1)).Start(context.Background(), 4, task)
+	defer h.Wait()
+
+	deadline := time.After(5 * time.Second)
+	for {
+		if s := h.Stats(); s.Completed >= 2 && !s.Done() {
+			break // live snapshot: partial progress observed mid-batch
+		}
+		select {
+		case <-deadline:
+			t.Fatal("never observed a live partial snapshot")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	if stats, err := h.Wait(); err != nil || stats.Completed != 4 {
+		t.Fatalf("final = %+v err=%v, want 4 completed", stats, err)
+	}
+}
+
+// TestHandlePanicCaptured: a panicking task fails its handle with a
+// *PanicError instead of crashing the process — the property the
+// daemon leans on to survive a malformed job.
+func TestHandlePanicCaptured(t *testing.T) {
+	h := New(WithJobs(1)).Start(context.Background(), 1, func(ctx context.Context, i int) (Report, error) {
+		panic("job gone wrong")
+	})
+	_, err := h.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+}

@@ -1,37 +1,56 @@
 // Package safeio is the one atomic file-write helper every output path
 // of the system goes through: metrics JSONL streams, golden-fixture
-// regeneration, figure .dat/.metrics files, and engine checkpoints. A
-// write happens into a temp file in the destination directory, is
-// fsynced, and is renamed over the target only on success — so a crash,
-// SIGKILL, or mid-write error never leaves a truncated or
-// partially-written file at the destination: the old content (or
-// nothing) survives intact.
+// regeneration, figure .dat/.metrics files, engine checkpoints, and the
+// daemon's job state. A write happens into a temp file in the
+// destination directory, is fsynced, and is renamed over the target only
+// on success — so a crash, SIGKILL, or mid-write error never leaves a
+// truncated or partially-written file at the destination: the old
+// content (or nothing) survives intact. After the rename the parent
+// directory is fsynced too, so the renamed entry itself is durable — a
+// power cut shortly after Commit cannot lose the file.
 package safeio
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
+
+// DefaultPerm is the file mode Create commits with: world-readable
+// artifacts (metrics streams, figures, checkpoints) that a different
+// user or a post-mortem tool can read, unlike os.CreateTemp's 0600.
+const DefaultPerm os.FileMode = 0o644
 
 // File is an atomically-committed file. Writes go to a hidden temp file
 // next to the destination; Commit fsyncs, closes, and renames it into
-// place. Close before Commit aborts the write and removes the temp
-// file, leaving any previous destination content untouched. After
-// Commit, Close is a no-op, so `defer f.Close()` is always safe.
+// place, then fsyncs the parent directory. Close before Commit aborts
+// the write and removes the temp file, leaving any previous destination
+// content untouched. After Commit, Close is a no-op, so
+// `defer f.Close()` is always safe.
 type File struct {
 	tmp       *os.File
 	path      string
+	perm      os.FileMode
 	committed bool
 	closed    bool
 }
 
 var _ io.WriteCloser = (*File)(nil)
 
-// Create opens an atomic writer targeting path. The temp file lives in
-// path's directory so the final rename cannot cross filesystems.
+// Create opens an atomic writer targeting path, committing with
+// DefaultPerm. The temp file lives in path's directory so the final
+// rename cannot cross filesystems.
 func Create(path string) (*File, error) {
+	return CreateMode(path, DefaultPerm)
+}
+
+// CreateMode is Create with an explicit file mode for the committed
+// destination. The mode is applied with chmod at Commit (not subject to
+// the umask), replacing the 0600 the temp file is created with.
+func CreateMode(path string, perm os.FileMode) (*File, error) {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
@@ -40,16 +59,19 @@ func Create(path string) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("safeio: create temp for %s: %w", path, err)
 	}
-	return &File{tmp: tmp, path: path}, nil
+	return &File{tmp: tmp, path: path, perm: perm}, nil
 }
 
 // Write implements io.Writer, appending to the temp file.
 func (f *File) Write(p []byte) (int, error) { return f.tmp.Write(p) }
 
 // Commit makes the written content durable and visible at the target
-// path: fsync the temp file, close it, rename it over the destination.
-// On any error the temp file is removed and the destination is left as
-// it was.
+// path: fsync the temp file, apply the destination mode, close, rename
+// over the destination, and fsync the parent directory so the rename
+// itself survives a crash. On any error before the rename the temp file
+// is removed and the destination is left as it was; a directory-sync
+// failure after the rename reports an error with the new content
+// already in place (visible but possibly not yet durable).
 func (f *File) Commit() error {
 	if f.committed {
 		return nil
@@ -60,6 +82,10 @@ func (f *File) Commit() error {
 	if err := f.tmp.Sync(); err != nil {
 		f.abort()
 		return fmt.Errorf("safeio: sync %s: %w", f.path, err)
+	}
+	if err := f.tmp.Chmod(f.perm); err != nil {
+		f.abort()
+		return fmt.Errorf("safeio: chmod %s: %w", f.path, err)
 	}
 	if err := f.tmp.Close(); err != nil {
 		f.closed = true
@@ -72,7 +98,34 @@ func (f *File) Commit() error {
 		return fmt.Errorf("safeio: rename %s: %w", f.path, err)
 	}
 	f.committed = true
+	if err := fsyncDir(filepath.Dir(f.path)); err != nil {
+		return fmt.Errorf("safeio: sync dir for %s: %w", f.path, err)
+	}
 	return nil
+}
+
+// fsyncDir makes a directory's entries durable after a rename. It is a
+// package variable so the durability test can observe that Commit
+// actually syncs the destination's parent.
+var fsyncDir = syncDir
+
+// syncDir opens dir and fsyncs its handle. Filesystems that cannot sync
+// a directory handle (some network and FUSE mounts report EINVAL or
+// ENOTSUP) are treated as success: the rename is already atomic there,
+// and refusing to commit would make those mounts unusable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
+		return err
+	}
+	return d.Close()
 }
 
 // Close aborts the write when Commit has not run: the temp file is
@@ -97,19 +150,17 @@ func (f *File) abort() {
 func (f *File) Name() string { return f.path }
 
 // WriteFile atomically replaces path with data (temp file + fsync +
-// rename): readers never observe a partial write, and a crash leaves
-// either the old content or the new, never a mix.
+// rename + parent-directory fsync): readers never observe a partial
+// write, and a crash leaves either the old content or the new, never a
+// mix — and never neither.
 func WriteFile(path string, data []byte, perm os.FileMode) error {
-	f, err := Create(path)
+	f, err := CreateMode(path, perm)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	if _, err := f.Write(data); err != nil {
 		return fmt.Errorf("safeio: write %s: %w", path, err)
-	}
-	if err := f.tmp.Chmod(perm); err != nil {
-		return fmt.Errorf("safeio: chmod %s: %w", path, err)
 	}
 	return f.Commit()
 }

@@ -92,6 +92,103 @@ func TestCommitAfterCloseFails(t *testing.T) {
 	}
 }
 
+// TestCommitSyncsParentDir pins the crash-durability fix: a committed
+// rename is followed by an fsync of the destination's parent directory,
+// so the new directory entry itself survives a power cut. The test
+// intercepts the package's directory-sync hook and asserts Commit
+// reaches it with the right directory (and that the default
+// implementation succeeds on a real one).
+func TestCommitSyncsParentDir(t *testing.T) {
+	dir := t.TempDir()
+	var synced []string
+	orig := fsyncDir
+	fsyncDir = func(d string) error {
+		synced = append(synced, d)
+		return orig(d)
+	}
+	defer func() { fsyncDir = orig }()
+
+	if err := WriteFile(filepath.Join(dir, "out.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("parent dirs synced = %v, want exactly [%s]", synced, dir)
+	}
+
+	// The streaming path must sync the parent too.
+	synced = nil
+	f, err := Create(filepath.Join(dir, "stream.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("parent dirs synced = %v, want exactly [%s]", synced, dir)
+	}
+
+	// An aborted write must not sync anything: nothing was renamed.
+	synced = nil
+	g, err := Create(filepath.Join(dir, "aborted.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	if len(synced) != 0 {
+		t.Fatalf("aborted write synced dirs %v, want none", synced)
+	}
+}
+
+// TestCreateCommitsReadableMode pins the permission fix: files written
+// via the streaming Create/Commit path end up with DefaultPerm (0644),
+// not os.CreateTemp's private 0600 — metrics streams and figure outputs
+// are readable artifacts.
+func TestCreateCommitsReadableMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.jsonl")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte(`{"type":"tick"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.Mode().Perm(); got != DefaultPerm {
+		t.Fatalf("committed mode = %o, want %o", got, DefaultPerm)
+	}
+}
+
+// TestWriteFileAppliesCallerMode: the one-shot path keeps honoring an
+// explicit caller mode, including one stricter than the default, and
+// the mode is not subject to the process umask.
+func TestWriteFileAppliesCallerMode(t *testing.T) {
+	for _, perm := range []os.FileMode{0o600, 0o644} {
+		path := filepath.Join(t.TempDir(), "out.bin")
+		if err := WriteFile(path, []byte("x"), perm); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := info.Mode().Perm(); got != perm {
+			t.Fatalf("mode = %o, want %o", got, perm)
+		}
+	}
+}
+
 // leftovers fails the test if the directory holds anything besides the
 // named files: an aborted or committed write must not leak temp files.
 func leftovers(t *testing.T, dir string, keep ...string) {

@@ -29,10 +29,12 @@ type PointResult struct {
 type SweepStats struct {
 	// Points is the number of grid points executed (or attempted).
 	Points int
-	// NetBuilds counts how many distinct topology states were
-	// materialized. Grid points whose axes leave the topology alone
-	// share one build — for a pure worm/defense sweep this is 1
-	// regardless of grid size.
+	// NetBuilds counts how many topology states this sweep actually
+	// materialized — cache misses that built, not Gets. Grid points
+	// whose axes leave the topology alone share one build, so a pure
+	// worm/defense sweep on a cold cache builds 1 regardless of grid
+	// size; a sweep run over an already-warm shared cache (SweepCache)
+	// can report 0.
 	NetBuilds int
 	// Failed counts points that errored.
 	Failed int
@@ -48,6 +50,9 @@ type SweepStats struct {
 // graph and routing tables (core.Scenario.BuildNet), and every later
 // point with the same key reuses them via RunOptions.Net. A β sweep
 // over a 100k-node topology builds routing once, not once per point.
+// Sweep dedups through a private, unbounded NetCache that lives for
+// this call only; a long-lived scheduler sharing one warm cache across
+// many sweeps uses SweepCache instead.
 //
 // mod, when non-nil, is applied to each compiled point before it runs
 // — the CLIs use it to overlay command-line flags on the spec's run
@@ -56,11 +61,19 @@ type SweepStats struct {
 // recorded in its PointResult and the sweep continues; Sweep returns
 // an error only when every point failed or the context was cancelled.
 func Sweep(ctx context.Context, s *Spec, mod func(*Compiled)) ([]PointResult, SweepStats, error) {
+	return SweepCache(ctx, s, mod, NewNetCache(0))
+}
+
+// SweepCache is Sweep running its topology dedup through a
+// caller-supplied NetCache — the sharing point between the sweep engine
+// and the wormsimd daemon, whose cache outlives any one sweep and is
+// capped by an LRU. SweepStats.NetBuilds counts only the builds this
+// sweep performed: points served from an already-warm cache report 0.
+func SweepCache(ctx context.Context, s *Spec, mod func(*Compiled), cache *NetCache) ([]PointResult, SweepStats, error) {
 	points, err := s.Expand()
 	if err != nil {
 		return nil, SweepStats{}, err
 	}
-	nets := make(map[string]*core.Net)
 	results := make([]PointResult, 0, len(points))
 	var stats SweepStats
 	for _, c := range points {
@@ -70,25 +83,21 @@ func Sweep(ctx context.Context, s *Spec, mod func(*Compiled)) ([]PointResult, Sw
 		stats.Points++
 		pr := PointResult{Point: c, Warnings: c.Scenario.Warnings(c.Options)}
 
-		key, kerr := c.Scenario.NetKey()
+		key, kerr := netCacheKey(c)
 		if kerr != nil {
 			pr.Err = kerr
 		} else {
-			// Routing state depends on the structural threshold as well
-			// as the topology, so points sweeping the threshold itself
-			// must not share one Net.
-			key = fmt.Sprintf("%s|structural_threshold=%d", key, c.Options.StructuralThreshold)
-			net, ok := nets[key]
-			if !ok {
-				net, kerr = c.Scenario.BuildNetThreshold(c.Options.StructuralThreshold)
-				if kerr != nil {
-					pr.Err = kerr
-				} else {
-					nets[key] = net
-					stats.NetBuilds++
-				}
+			sc := c.Scenario
+			threshold := c.Options.StructuralThreshold
+			net, built, kerr := cache.Get(key, func() (*core.Net, error) {
+				return sc.BuildNetThreshold(threshold)
+			})
+			if built {
+				stats.NetBuilds++
 			}
-			if pr.Err == nil {
+			if kerr != nil {
+				pr.Err = kerr
+			} else {
 				opts := c.Options
 				opts.Net = net
 				pr.Result, pr.Stats, pr.Err = c.Scenario.SimulateOptions(ctx, c.Runs, opts)
