@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet audit chaos fuzz-smoke daemon-smoke bench bench-figures bench-smoke bench-scale bench-compare figures clean
+.PHONY: check build test race vet audit chaos fuzz-smoke daemon-smoke crash-smoke bench bench-figures bench-smoke bench-scale bench-compare figures clean
 
 ## check: the full gate — vet, build, race-enabled tests. The race run
 ## covers the intra-run parallel engine (cross-worker determinism and
@@ -53,6 +53,18 @@ fuzz-smoke:
 ## uninterrupted run.
 daemon-smoke:
 	$(GO) test -run 'TestDaemon|TestServerRestartResume|TestJobQueueOrdering' -v ./internal/daemon ./cmd/wormsimd
+
+## crash-smoke: the durability gate (DESIGN.md §16) — the crash-point
+## sweeper kills the write stream at every enumerated durability point
+## (temp create, write, fsync, chmod, rename, parent-dir fsync) of a
+## full daemon job lifecycle and requires recovery to a byte-identical
+## result; the transient sweeps do the same with one-shot EIO and torn
+## writes; the disk-pressure test requires checkpointing to degrade to
+## skip-with-event under ENOSPC; and the scrub test requires a daemon
+## over hand-corrupted state to start, quarantine, and keep serving.
+crash-smoke:
+	$(GO) test -run 'TestCrashPointSweep|TestTransientIOErrSweep|TestCrashSweepMatchesFixtureSpec|TestDaemonShedsCheckpointsUnderDiskPressure|TestShortWriteTearsNothing|TestScrubQuarantinesCorruptArtifacts' -v ./internal/daemon
+	$(GO) test -v ./internal/crashfs ./internal/safeio
 
 ## bench: the per-tick engine microbenchmarks, repeated so the output
 ## feeds benchstat directly (`make bench > new.txt && benchstat old.txt

@@ -10,7 +10,8 @@
 //
 //	wormsimd -addr :8321 -data ./wormsimd-data \
 //	         [-queue 64] [-executors 1] [-net-cache 8] \
-//	         [-checkpoint-every 200]
+//	         [-checkpoint-every 200] \
+//	         [-ttl 0] [-gc-interval 1m] [-stuck-after 0] [-stuck-requeue]
 //
 // API (see internal/daemon):
 //
@@ -19,9 +20,18 @@
 //	curl http://localhost:8321/jobs/j000001/result
 //	curl -X DELETE http://localhost:8321/jobs/j000001     # cancel
 //
-// SIGINT/SIGTERM shut the daemon down gracefully: running jobs stop,
-// their persisted state stays "running", and the next start over the
-// same -data directory resumes them from their checkpoints.
+// SIGINT/SIGTERM drain the daemon gracefully: the HTTP side stays up
+// while the scheduler winds down (new submissions get 503, /healthz
+// reports "draining"), running jobs checkpoint at their next tick
+// boundary, their persisted state stays "running", and the next start
+// over the same -data directory resumes them from those checkpoints.
+//
+// Startup scrubs the data directory: interrupted safeio commits are
+// deleted and corrupt artifacts move to <data>/quarantine/ with a
+// sidecar .error.json, so a damaged store never keeps the daemon down
+// (DESIGN.md §16). -ttl bounds how long settled jobs are retained;
+// -stuck-after arms a watchdog that kills (or, with -stuck-requeue,
+// restarts) jobs making no tick progress.
 package main
 
 import (
@@ -48,6 +58,10 @@ func run() int {
 		executors       = flag.Int("executors", daemon.DefaultExecutors, "jobs run concurrently")
 		netCache        = flag.Int("net-cache", daemon.DefaultNetCacheCap, "topologies kept in the shared net cache (-1 = unbounded)")
 		checkpointEvery = flag.Int("checkpoint-every", daemon.DefaultCheckpointEvery, "ticks between engine checkpoints")
+		ttl             = flag.Duration("ttl", 0, "garbage-collect settled jobs after this long (0 = keep forever)")
+		gcInterval      = flag.Duration("gc-interval", daemon.DefaultGCInterval, "how often the janitor scans for expired and stuck jobs")
+		stuckAfter      = flag.Duration("stuck-after", 0, "watchdog: cancel running jobs with no tick progress for this long (0 = off)")
+		stuckRequeue    = flag.Bool("stuck-requeue", false, "re-enqueue watchdog-killed jobs instead of failing them")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -61,6 +75,10 @@ func run() int {
 		Executors:       *executors,
 		NetCacheCap:     *netCache,
 		CheckpointEvery: *checkpointEvery,
+		TTL:             *ttl,
+		GCInterval:      *gcInterval,
+		StuckAfter:      *stuckAfter,
+		StuckRequeue:    *stuckRequeue,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wormsimd: %v\n", err)

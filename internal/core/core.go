@@ -621,9 +621,18 @@ func (s *Scenario) SimulateOptions(ctx context.Context, runs int, o RunOptions) 
 			cfg.CheckpointEvery = 10
 		}
 		dir := o.Checkpoint
+		onErr := o.OnCheckpointError
 		cfg.CheckpointFactory = func(run int) func(*sim.Snapshot) error {
 			path := ReplicaCheckpoint(dir, run)
-			return func(snap *sim.Snapshot) error { return sim.WriteSnapshot(path, snap) }
+			return func(snap *sim.Snapshot) error {
+				err := sim.WriteSnapshot(path, snap)
+				if err != nil && onErr != nil {
+					// The caller decides whether losing this checkpoint
+					// is survivable (e.g. skip-under-ENOSPC) or fatal.
+					err = onErr(run, err)
+				}
+				return err
+			}
 		}
 	}
 	if o.Resume != "" {

@@ -77,6 +77,13 @@ type RunOptions struct {
 	// Progress, when non-nil, observes live runner.Stats after every
 	// finished replica. Not serializable; CLI- or caller-supplied.
 	Progress func(runner.Stats)
+	// OnCheckpointError, when non-nil, is consulted before a failed
+	// checkpoint write aborts its replica. Returning nil swallows the
+	// failure and the run continues (the caller accepted losing that
+	// checkpoint — e.g. the daemon skipping checkpoints under disk
+	// pressure, errors.Is(err, safeio.ErrNoSpace)); returning an error
+	// aborts the replica as before. Not serializable; caller-supplied.
+	OnCheckpointError func(run int, err error) error
 	// Collectors, when non-nil, builds a per-replica metrics collector
 	// (see internal/obs); called from worker goroutines and must be
 	// safe for concurrent calls with distinct run indices. Not

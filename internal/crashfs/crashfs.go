@@ -1,0 +1,350 @@
+// Package crashfs is a deterministic fault-injecting implementation of
+// safeio.FS: it counts every durability point a commit passes through —
+// temp create, write, file fsync, chmod, rename, parent-dir fsync — and
+// injects a chosen failure at a chosen point by index. A crash-point
+// sweeper arms it at index 1, 2, 3, … and replays the same workload,
+// proving recovery invariants hold no matter where the write stream
+// stops; transient kinds (ENOSPC, EIO, short write) exercise the
+// degraded-but-alive paths instead.
+//
+// The crash model is "writes stop cold": from the injected point on,
+// every mutating operation fails with ErrCrashed, so nothing later in
+// the process can repair the damage — exactly the view a restarted
+// process finds on disk after a SIGKILL or power cut at that point.
+// Optionally (Config.LoseRenames) a crash also rolls back renames whose
+// parent directory was never fsynced, modeling a power cut that loses
+// the directory-entry update: the destination reverts to its previous
+// content (or absence). Un-fsynced temp-file content is not modeled
+// because it cannot affect recovery — safeio never renames a temp file
+// before fsyncing it, so a temp file that could be torn is by
+// construction never visible at a destination path.
+package crashfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+
+	"repro/internal/safeio"
+)
+
+// Op identifies one kind of durability point on safeio's commit path.
+type Op uint8
+
+const (
+	OpCreate  Op = iota // temp-file creation
+	OpWrite             // a write into the temp file
+	OpSync              // fsync of the temp file
+	OpChmod             // chmod to the destination mode
+	OpRename            // rename over the destination
+	OpSyncDir           // fsync of the destination's parent directory
+)
+
+var opNames = [...]string{"create", "write", "sync", "chmod", "rename", "syncdir"}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", op)
+}
+
+// Kind selects the failure injected at the armed point.
+type Kind uint8
+
+const (
+	// Crash stops the write stream cold: the armed operation does not
+	// happen and every later mutating operation fails with ErrCrashed.
+	Crash Kind = iota
+	// NoSpace fails the armed operation with ENOSPC (classified by
+	// safeio into ErrNoSpace); later operations succeed unless
+	// Config.Persistent repeats the failure.
+	NoSpace
+	// IOErr fails the armed operation with EIO.
+	IOErr
+	// ShortWrite persists only the first half of the armed write's
+	// bytes, then fails with EIO — a torn in-flight write. On a
+	// non-write operation it degrades to a plain EIO.
+	ShortWrite
+)
+
+var kindNames = [...]string{"crash", "enospc", "eio", "short-write"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// ErrCrashed marks operations refused because the simulated crash
+// already happened: the process's writes have "stopped", and whatever
+// is on disk now is what a restart will find.
+var ErrCrashed = errors.New("crashfs: simulated crash (write stream stopped)")
+
+// Record is one counted durability point: its 1-based index, the
+// operation, and the destination path it served.
+type Record struct {
+	N    int
+	Op   Op
+	Path string
+}
+
+// Config arms an FS.
+type Config struct {
+	// At is the 1-based index of the durability point to break; 0
+	// counts points without injecting anything (the enumeration pass
+	// of a sweep).
+	At int
+	// Kind is the failure injected at point At.
+	Kind Kind
+	// Persistent repeats the failure on every point at or past At
+	// instead of firing once. Crash is inherently persistent.
+	Persistent bool
+	// Match restricts counting (and so injection) to operations whose
+	// destination path contains the substring; everything else passes
+	// straight through. Lets a test target one artifact class, e.g.
+	// ".ckpt" for engine checkpoints.
+	Match string
+	// LoseRenames models losing not-yet-durable directory entries on
+	// Crash: renames whose parent directory fsync has not completed
+	// are rolled back (old destination content restored, or the
+	// destination removed if it did not exist).
+	LoseRenames bool
+}
+
+// FS implements safeio.FS with deterministic fault injection. Install
+// it with safeio.SetFS (or the Install convenience) and drive any
+// workload whose writes go through safeio.
+type FS struct {
+	cfg Config
+
+	mu      sync.Mutex
+	n       int
+	trace   []Record
+	fired   bool
+	crashed bool
+	// pending holds the undo state of renames whose parent directory
+	// has not been fsynced yet, in commit order.
+	pending []renameUndo
+}
+
+// renameUndo is what it takes to pretend a rename never became durable.
+type renameUndo struct {
+	path   string // destination of the rename
+	dir    string // parent directory (cleared by its fsync)
+	hadOld bool
+	old    []byte
+	mode   os.FileMode
+}
+
+// New builds an armed (or counting) FS.
+func New(cfg Config) *FS { return &FS{cfg: cfg} }
+
+// Install swaps this FS into safeio and returns the restore func.
+func (f *FS) Install() (restore func()) { return safeio.SetFS(f) }
+
+// Ops returns the counted durability points so far, in order.
+func (f *FS) Ops() []Record {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Record(nil), f.trace...)
+}
+
+// Fired reports whether the armed point was reached.
+func (f *FS) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// Crashed reports whether the simulated crash happened.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// verdict is step's decision for one operation.
+type verdict uint8
+
+const (
+	proceed verdict = iota
+	failOp          // return the error, operation does not happen
+	tearOp          // ShortWrite on a write: half the bytes, then the error
+)
+
+// step counts one durability point and decides its fate. path is the
+// destination the operation serves (temp files count under their temp
+// name, which embeds the destination base name — substring matching
+// works on both).
+func (f *FS) step(op Op, path string) (verdict, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return failOp, ErrCrashed
+	}
+	if f.cfg.Match != "" && !strings.Contains(path, f.cfg.Match) {
+		return proceed, nil
+	}
+	f.n++
+	f.trace = append(f.trace, Record{N: f.n, Op: op, Path: path})
+	if f.cfg.At <= 0 || f.n < f.cfg.At {
+		return proceed, nil
+	}
+	if f.n > f.cfg.At && !f.cfg.Persistent {
+		return proceed, nil
+	}
+	f.fired = true
+	switch f.cfg.Kind {
+	case Crash:
+		f.crashed = true
+		if f.cfg.LoseRenames {
+			f.rollbackLocked()
+		}
+		return failOp, ErrCrashed
+	case NoSpace:
+		return failOp, fmt.Errorf("crashfs: inject %s at point %d (%s): %w", f.cfg.Kind, f.n, op, syscall.ENOSPC)
+	case ShortWrite:
+		err := fmt.Errorf("crashfs: inject %s at point %d (%s): %w", f.cfg.Kind, f.n, op, syscall.EIO)
+		if op == OpWrite {
+			return tearOp, err
+		}
+		return failOp, err
+	default: // IOErr
+		return failOp, fmt.Errorf("crashfs: inject %s at point %d (%s): %w", f.cfg.Kind, f.n, op, syscall.EIO)
+	}
+}
+
+// rollbackLocked undoes every rename whose parent directory was never
+// fsynced, newest first (two renames of the same path unwind to the
+// oldest surviving content).
+func (f *FS) rollbackLocked() {
+	for i := len(f.pending) - 1; i >= 0; i-- {
+		u := f.pending[i]
+		if u.hadOld {
+			os.WriteFile(u.path, u.old, u.mode)
+		} else {
+			os.Remove(u.path)
+		}
+	}
+	f.pending = nil
+}
+
+// CreateTemp implements safeio.FS (durability point: create).
+func (f *FS) CreateTemp(dir, pattern string) (safeio.FileHandle, error) {
+	if _, err := f.step(OpCreate, filepath.Join(dir, pattern)); err != nil {
+		return nil, err
+	}
+	h, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &handle{fs: f, h: h}, nil
+}
+
+// Rename implements safeio.FS (durability point: rename). On success
+// the destination's prior state is remembered until the parent
+// directory is fsynced, so a later crash with LoseRenames can revert
+// it.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if _, err := f.step(OpRename, newpath); err != nil {
+		return err
+	}
+	var u renameUndo
+	u.path = newpath
+	u.dir = filepath.Dir(newpath)
+	if data, err := os.ReadFile(newpath); err == nil {
+		u.hadOld, u.old = true, data
+		if info, err := os.Stat(newpath); err == nil {
+			u.mode = info.Mode().Perm()
+		} else {
+			u.mode = 0o644
+		}
+	}
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.pending = append(f.pending, u)
+	f.mu.Unlock()
+	return nil
+}
+
+// Remove implements safeio.FS. It is an abort-path helper, not a
+// durability point: it is not counted, but a crashed FS refuses it like
+// every other mutation.
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return os.Remove(name)
+}
+
+// SyncDir implements safeio.FS (durability point: parent-dir fsync).
+// Success makes every pending rename under dir durable: a later crash
+// can no longer revert them.
+func (f *FS) SyncDir(dir string) error {
+	if _, err := f.step(OpSyncDir, dir); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	kept := f.pending[:0]
+	for _, u := range f.pending {
+		if u.dir != dir {
+			kept = append(kept, u)
+		}
+	}
+	f.pending = kept
+	f.mu.Unlock()
+	return nil
+}
+
+// handle wraps the temp file so writes, fsync, and chmod count as
+// durability points.
+type handle struct {
+	fs *FS
+	h  *os.File
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	v, err := h.fs.step(OpWrite, h.h.Name())
+	switch v {
+	case failOp:
+		return 0, err
+	case tearOp:
+		n, werr := h.h.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	return h.h.Write(p)
+}
+
+func (h *handle) Sync() error {
+	if _, err := h.fs.step(OpSync, h.h.Name()); err != nil {
+		return err
+	}
+	return h.h.Sync()
+}
+
+func (h *handle) Chmod(mode os.FileMode) error {
+	if _, err := h.fs.step(OpChmod, h.h.Name()); err != nil {
+		return err
+	}
+	return h.h.Chmod(mode)
+}
+
+// Close is not a durability point and stays allowed after a crash —
+// releasing a file descriptor does not write anything.
+func (h *handle) Close() error { return h.h.Close() }
+
+func (h *handle) Name() string { return h.h.Name() }

@@ -1,0 +1,203 @@
+package crashfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/safeio"
+)
+
+// TestEnumeratesDurabilityPoints pins the op inventory of one atomic
+// commit: exactly create, write, sync, chmod, rename, parent-dir
+// fsync, in that order. The crash-point sweeper's coverage claim rests
+// on this enumeration being exhaustive.
+func TestEnumeratesDurabilityPoints(t *testing.T) {
+	fs := New(Config{})
+	restore := fs.Install()
+	defer restore()
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := safeio.WriteFile(path, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ops := fs.Ops()
+	want := []Op{OpCreate, OpWrite, OpSync, OpChmod, OpRename, OpSyncDir}
+	if len(ops) != len(want) {
+		t.Fatalf("one commit counted %d points (%v), want %d", len(ops), ops, len(want))
+	}
+	for i, rec := range ops {
+		if rec.Op != want[i] {
+			t.Fatalf("point %d = %s, want %s (trace %v)", i+1, rec.Op, want[i], ops)
+		}
+		if rec.N != i+1 {
+			t.Fatalf("point %d numbered %d", i+1, rec.N)
+		}
+	}
+}
+
+// TestCrashAtEveryPoint walks the armed index across a single commit
+// over an existing destination and checks the old-or-new guarantee at
+// each stop: the destination flips to the new content only once the
+// rename has happened (point 5 done ⇒ visible at point 6's failure),
+// and with LoseRenames only once the parent fsync has happened too.
+func TestCrashAtEveryPoint(t *testing.T) {
+	for _, lose := range []bool{false, true} {
+		for at := 1; at <= 6; at++ {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "state.json")
+			if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fs := New(Config{At: at, Kind: Crash, LoseRenames: lose})
+			restore := fs.Install()
+			err := safeio.WriteFile(path, []byte("new"), 0o644)
+			if !errors.Is(err, ErrCrashed) {
+				restore()
+				t.Fatalf("at=%d lose=%v: err = %v, want ErrCrashed", at, lose, err)
+			}
+			if !fs.Fired() || !fs.Crashed() {
+				restore()
+				t.Fatalf("at=%d: fired=%v crashed=%v", at, fs.Fired(), fs.Crashed())
+			}
+			// Writes have stopped cold: a later commit fails too.
+			if err := safeio.WriteFile(filepath.Join(dir, "later"), []byte("x"), 0o644); !errors.Is(err, ErrCrashed) {
+				restore()
+				t.Fatalf("at=%d: post-crash commit err = %v, want ErrCrashed", at, err)
+			}
+			restore()
+			got, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("at=%d lose=%v: destination unreadable after crash: %v", at, lose, rerr)
+			}
+			// The rename is point 5; crash AT it means it did not
+			// happen. Only a crash at point 6 (parent fsync) sees the
+			// new content — and LoseRenames takes even that back.
+			want := "old"
+			if at == 6 && !lose {
+				want = "new"
+			}
+			if string(got) != want {
+				t.Fatalf("at=%d lose=%v: content %q, want %q", at, lose, got, want)
+			}
+		}
+	}
+}
+
+// TestCrashLoseRenamesRemovesFreshFile: a first-ever commit whose
+// parent fsync is lost reverts to the file not existing at all.
+func TestCrashLoseRenamesRemovesFreshFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.json")
+	fs := New(Config{At: 6, Kind: Crash, LoseRenames: true})
+	restore := fs.Install()
+	err := safeio.WriteFile(path, []byte("data"), 0o644)
+	restore()
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatalf("lost rename left the fresh file behind (stat err %v)", serr)
+	}
+}
+
+// TestSyncDirMakesRenameDurable: once the parent fsync has run, a later
+// crash with LoseRenames must NOT revert the commit.
+func TestSyncDirMakesRenameDurable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "kept.json")
+	// 7 points: the first commit completes (6), the second commit's
+	// create (7) crashes.
+	fs := New(Config{At: 7, Kind: Crash, LoseRenames: true})
+	restore := fs.Install()
+	defer restore()
+	if err := safeio.WriteFile(path, []byte("durable"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := safeio.WriteFile(path, []byte("next"), 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	restore()
+	if got, _ := os.ReadFile(path); string(got) != "durable" {
+		t.Fatalf("content %q, want the fsynced first commit", got)
+	}
+}
+
+// TestNoSpaceOneShot: a single injected ENOSPC surfaces through safeio
+// as ErrNoSpace, leaves the destination untouched, and the next commit
+// succeeds — disk pressure is transient, not terminal.
+func TestNoSpaceOneShot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := New(Config{At: 3, Kind: NoSpace}) // the file fsync
+	restore := fs.Install()
+	defer restore()
+	err := safeio.WriteFile(path, []byte("new"), 0o644)
+	if !errors.Is(err, safeio.ErrNoSpace) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ErrNoSpace wrapping ENOSPC", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "old" {
+		t.Fatalf("failed commit clobbered destination: %q", got)
+	}
+	if err := safeio.WriteFile(path, []byte("new"), 0o644); err != nil {
+		t.Fatalf("commit after one-shot ENOSPC: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "new" {
+		t.Fatalf("content %q after recovery", got)
+	}
+}
+
+// TestPersistentMatchedFailure: Match + Persistent breaks one artifact
+// class forever while everything else keeps committing — the model for
+// "the checkpoint partition is full, the job store is not".
+func TestPersistentMatchedFailure(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(Config{At: 1, Kind: NoSpace, Persistent: true, Match: ".ckpt"})
+	restore := fs.Install()
+	defer restore()
+	for i := 0; i < 3; i++ {
+		err := safeio.WriteFile(filepath.Join(dir, "replica-000.ckpt"), []byte("snap"), 0o644)
+		if !errors.Is(err, safeio.ErrNoSpace) {
+			t.Fatalf("ckpt commit %d: err = %v, want ErrNoSpace", i, err)
+		}
+		if err := safeio.WriteFile(filepath.Join(dir, "job.json"), []byte("rec"), 0o644); err != nil {
+			t.Fatalf("unmatched commit %d failed: %v", i, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "replica-000.ckpt")); !os.IsNotExist(err) {
+		t.Fatal("failed ckpt commit left a destination file")
+	}
+}
+
+// TestShortWrite: a torn write fails the commit with EIO, and the
+// destination never sees the half-written bytes (they died in the temp
+// file).
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.json")
+	if err := os.WriteFile(path, []byte("intact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := New(Config{At: 2, Kind: ShortWrite})
+	restore := fs.Install()
+	defer restore()
+	err := safeio.WriteFile(path, []byte("0123456789"), 0o644)
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want EIO", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "intact" {
+		t.Fatalf("torn write reached the destination: %q", got)
+	}
+	// The harness really did tear the temp file (half the payload) —
+	// and safeio aborted it away rather than leaking it.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if safeio.IsTempName(e.Name()) {
+			t.Fatalf("torn temp file leaked: %s", e.Name())
+		}
+	}
+}

@@ -2,6 +2,8 @@ package daemon
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -47,7 +49,16 @@ type broker struct {
 	histCap int
 	subs    map[chan StreamRecord]struct{}
 	closed  bool
+	// drops counts subscribers disconnected for falling behind — the
+	// back-pressure signal /stats surfaces so operators can tell "client
+	// too slow" from "network flaky". Atomic so stats never contends
+	// with the collector path's publish lock.
+	drops atomic.Int64
 }
+
+// dropped reports how many subscribers this broker has disconnected for
+// falling behind.
+func (b *broker) dropped() int64 { return b.drops.Load() }
 
 // subBuffer is each subscriber's channel depth. The stream handler only
 // does network writes between receives, so this bounds how far a slow
@@ -105,6 +116,7 @@ func (b *broker) appendLocked(rec StreamRecord) {
 			// simulation's collector path.
 			delete(b.subs, ch)
 			close(ch)
+			b.drops.Add(1)
 		}
 	}
 }
@@ -143,11 +155,17 @@ func (b *broker) subscribe() (history []StreamRecord, live <-chan StreamRecord, 
 // guarantee the daemon's restart recovery makes.
 type streamCollector struct {
 	b     *broker
+	job   *Job // heartbeat target; nil in tests that stream without a job
 	point string
 	run   int
 }
 
 func (c *streamCollector) Tick(m obs.TickMetrics) {
+	if c.job != nil {
+		// Every engine tick feeds the watchdog: a job is stuck only when
+		// NO replica of NO point has ticked within the deadline.
+		c.job.lastBeat.Store(time.Now().UnixNano())
+	}
 	c.b.publish(StreamRecord{Type: "tick", Point: c.point, Run: c.run, Tick: &m})
 }
 

@@ -1,0 +1,438 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/crashfs"
+	"repro/internal/safeio"
+	"repro/internal/sim"
+)
+
+// The crash-point sweeper: the daemon's durable state is driven through
+// a full job lifecycle with crashfs counting every durability point,
+// then the same workload is replayed once per point with the write
+// stream killed exactly there. After every crash the disk must satisfy
+// the recovery invariants (no torn artifact, checkpoints old-or-new,
+// result.json absent-or-exact) and a restarted daemon must finish the
+// job with a result byte-identical to an uninterrupted run's.
+
+// crashSpec is the sweep workload: small enough that one lifecycle is
+// cheap, structured enough to exercise every artifact class (spec.json,
+// job.json transitions, three engine checkpoints, result.json).
+func crashSpec() []byte { return testSpec("crashsweep", 16, 24, 1, "") }
+
+const crashCheckpointEvery = 8
+
+// runLifecycle drives one complete submit-to-done lifecycle on a fresh
+// daemon over dataDir and returns the job's directory.
+func runLifecycle(t *testing.T, dataDir string) string {
+	t.Helper()
+	srv, err := New(Config{DataDir: dataDir, CheckpointEvery: crashCheckpointEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	j, err := srv.Submit(crashSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSettled(t, srv, j.id, 30*time.Second)
+	if st, jerr := jobState(srv, j.id); st != StateDone {
+		t.Fatalf("control job settled %s (%s), want done", st, jerr)
+	}
+	return j.dir
+}
+
+// jobState reads a job's in-memory state (empty when the job is not in
+// the table).
+func jobState(s *Server, id string) (state, errText string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return "", ""
+	}
+	return j.state, j.err
+}
+
+// waitSettled polls until the job reaches any terminal state.
+func waitSettled(t *testing.T, s *Server, id string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		switch st, _ := jobState(s, id); st {
+		case StateDone, StateFailed, StateCanceled:
+			return
+		}
+		if time.Now().After(deadline) {
+			st, jerr := jobState(s, id)
+			t.Fatalf("job %s never settled (state %s, err %q)", id, st, jerr)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitDone is waitSettled that additionally requires success.
+func waitDone(t *testing.T, s *Server, id string, timeout time.Duration) {
+	t.Helper()
+	waitSettled(t, s, id, timeout)
+	if st, jerr := jobState(s, id); st != StateDone {
+		t.Fatalf("job %s settled %s (%s), want done", id, st, jerr)
+	}
+}
+
+// crashControl runs the uninterrupted lifecycle on the real filesystem
+// and returns the canonical spec.json and result.json bytes every sweep
+// iteration is held to.
+func crashControl(t *testing.T) (specBytes, resultBytes []byte) {
+	t.Helper()
+	dir := runLifecycle(t, t.TempDir())
+	specBytes, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultBytes, err = os.ReadFile(filepath.Join(dir, "result.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specBytes, resultBytes
+}
+
+// enumerateCrashPoints replays the lifecycle with crashfs in counting
+// mode (At: 0) and returns the full durability-point trace.
+func enumerateCrashPoints(t *testing.T) []crashfs.Record {
+	t.Helper()
+	cfs := crashfs.New(crashfs.Config{})
+	restore := safeio.SetFS(cfs)
+	defer restore()
+	runLifecycle(t, t.TempDir())
+	return cfs.Ops()
+}
+
+// checkDiskInvariants asserts the post-crash disk state is never torn:
+// every surviving artifact is either absent or exactly what an atomic
+// commit would have left.
+func checkDiskInvariants(t *testing.T, k int, jobDir string, wantSpec, wantResult []byte) {
+	t.Helper()
+	if data, err := os.ReadFile(filepath.Join(jobDir, "spec.json")); err == nil {
+		if !bytes.Equal(data, wantSpec) {
+			t.Fatalf("crash at %d: torn spec.json (%d bytes)", k, len(data))
+		}
+	}
+	if data, err := os.ReadFile(filepath.Join(jobDir, "job.json")); err == nil {
+		var rec jobRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			t.Fatalf("crash at %d: torn job.json: %v\n%s", k, err, data)
+		}
+		switch rec.State {
+		case StateQueued, StateRunning, StateDone:
+		default:
+			t.Fatalf("crash at %d: job.json persisted unexpected state %q", k, rec.State)
+		}
+	}
+	if data, err := os.ReadFile(filepath.Join(jobDir, "result.json")); err == nil {
+		if !bytes.Equal(data, wantResult) {
+			t.Fatalf("crash at %d: torn result.json (%d bytes, want %d)", k, len(data), len(wantResult))
+		}
+	}
+	// Checkpoints are old-or-new: any surviving .ckpt must verify.
+	filepath.WalkDir(filepath.Join(jobDir, "checkpoints"), func(path string, d fs.DirEntry, err error) error { //nolint:errcheck
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".ckpt") ||
+			safeio.IsTempName(d.Name()) {
+			return nil //nolint:nilerr
+		}
+		if _, rerr := sim.ReadSnapshot(path); rerr != nil {
+			t.Fatalf("crash at %d: torn checkpoint %s: %v", k, path, rerr)
+		}
+		return nil
+	})
+}
+
+// TestCrashPointSweep is the tentpole: kill the write stream at every
+// enumerated durability point, restart, and require full recovery to a
+// byte-identical result.
+func TestCrashPointSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps every durability point; skipped under -short")
+	}
+	wantSpec, wantResult := crashControl(t)
+	trace := enumerateCrashPoints(t)
+	n := len(trace)
+	if n < 30 {
+		t.Fatalf("enumerated only %d durability points; the lifecycle should commit at least 5 artifacts", n)
+	}
+	if n%6 != 0 {
+		t.Fatalf("durability points = %d, want a multiple of 6 (create,write,sync,chmod,rename,syncdir per commit)", n)
+	}
+	t.Logf("sweeping %d durability points: %v ... %v", n, trace[0], trace[n-1])
+
+	doc := crashSpec()
+	cfg := Config{CheckpointEvery: crashCheckpointEvery}
+	for k := 1; k <= n; k++ {
+		dataDir := t.TempDir()
+		cfg.DataDir = dataDir
+		jobDir := filepath.Join(dataDir, "jobs", "j000001")
+
+		// Phase 1: run with the write stream armed to die at point k.
+		// LoseRenames models the harshest power cut: directory entries
+		// not yet fsynced are lost too.
+		cfs := crashfs.New(crashfs.Config{At: k, Kind: crashfs.Crash, LoseRenames: true})
+		restore := safeio.SetFS(cfs)
+		srv, err := New(cfg)
+		if err != nil {
+			restore()
+			t.Fatalf("crash at %d: New on a fresh dir: %v", k, err)
+		}
+		if j, err := srv.Submit(doc, 0); err == nil {
+			waitSettled(t, srv, j.id, 30*time.Second)
+		}
+		srv.Close()
+		restore()
+		if !cfs.Fired() {
+			t.Fatalf("crash at %d: lifecycle ended before the armed point (only %d ops)", k, len(cfs.Ops()))
+		}
+
+		// Phase 2: the disk is now exactly what a restart would find.
+		checkDiskInvariants(t, k, jobDir, wantSpec, wantResult)
+
+		// Phase 3: restart on the healthy filesystem. Startup must always
+		// succeed — whatever the crash left, the scrub absorbs it — and
+		// the job must reach done, resubmitted if the crash predated its
+		// durable existence.
+		srv2, err := New(cfg)
+		if err != nil {
+			t.Fatalf("crash at %d: restart: %v", k, err)
+		}
+		id := "j000001"
+		switch st, jerr := jobState(srv2, id); st {
+		case "":
+			j2, err := srv2.Submit(doc, 0)
+			if err != nil {
+				srv2.Close()
+				t.Fatalf("crash at %d: resubmit after restart: %v", k, err)
+			}
+			id = j2.id
+			waitDone(t, srv2, id, 30*time.Second)
+		case StateDone:
+			// Settled before the crash point; nothing to recover.
+		case StateQueued, StateRunning:
+			waitDone(t, srv2, id, 30*time.Second)
+		default:
+			srv2.Close()
+			t.Fatalf("crash at %d: restart loaded job as %s (%s)", k, st, jerr)
+		}
+		srv2.Close()
+
+		got, err := os.ReadFile(filepath.Join(dataDir, "jobs", id, "result.json"))
+		if err != nil {
+			t.Fatalf("crash at %d: no result after recovery: %v", k, err)
+		}
+		if !bytes.Equal(got, wantResult) {
+			t.Fatalf("crash at %d: recovered result diverged (%d bytes, want %d)", k, len(got), len(wantResult))
+		}
+	}
+}
+
+// TestTransientIOErrSweep injects a one-shot EIO at every durability
+// point. Unlike a crash, the daemon must stay alive through each: the
+// job either completes anyway (persist failures are absorbed) or fails
+// cleanly, and in every case a follow-up submission on the same daemon
+// produces the byte-identical result.
+func TestTransientIOErrSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps every durability point; skipped under -short")
+	}
+	_, wantResult := crashControl(t)
+	n := len(enumerateCrashPoints(t))
+	doc := crashSpec()
+	for k := 1; k <= n; k++ {
+		dataDir := t.TempDir()
+		cfs := crashfs.New(crashfs.Config{At: k, Kind: crashfs.IOErr})
+		restore := safeio.SetFS(cfs)
+		srv, err := New(Config{DataDir: dataDir, CheckpointEvery: crashCheckpointEvery})
+		if err != nil {
+			restore()
+			t.Fatalf("eio at %d: New: %v", k, err)
+		}
+		doneID := ""
+		if j, err := srv.Submit(doc, 0); err == nil {
+			waitSettled(t, srv, j.id, 30*time.Second)
+			if st, _ := jobState(srv, j.id); st == StateDone {
+				doneID = j.id
+			}
+		}
+		if doneID == "" {
+			// The fault consumed the first job; the daemon must still be
+			// serving and the retry must succeed (the fault was one-shot).
+			j, err := srv.Submit(doc, 0)
+			if err != nil {
+				srv.Close()
+				restore()
+				t.Fatalf("eio at %d: daemon not serving after transient fault: %v", k, err)
+			}
+			waitDone(t, srv, j.id, 30*time.Second)
+			doneID = j.id
+		}
+		srv.Close()
+		restore()
+		got, err := os.ReadFile(filepath.Join(dataDir, "jobs", doneID, "result.json"))
+		if err != nil {
+			t.Fatalf("eio at %d: %v", k, err)
+		}
+		if !bytes.Equal(got, wantResult) {
+			t.Fatalf("eio at %d: result diverged", k)
+		}
+	}
+}
+
+// TestDaemonShedsCheckpointsUnderDiskPressure pins the degraded mode:
+// when every checkpoint write hits ENOSPC, the job still completes with
+// a byte-identical result, the skips are counted and streamed, and
+// /healthz drops to "degraded" while staying 200.
+func TestDaemonShedsCheckpointsUnderDiskPressure(t *testing.T) {
+	_, wantResult := crashControl(t)
+	cfs := crashfs.New(crashfs.Config{At: 1, Kind: crashfs.NoSpace, Persistent: true, Match: ".ckpt"})
+	restore := safeio.SetFS(cfs)
+	defer restore()
+
+	srv, err := New(Config{DataDir: t.TempDir(), CheckpointEvery: crashCheckpointEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	j, err := srv.Submit(crashSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, srv, j.id, 30*time.Second)
+
+	if skips := srv.checkpointSkips.Load(); skips == 0 {
+		t.Fatal("no checkpoint skips counted under persistent ENOSPC")
+	}
+	hist, _, stop := j.broker.subscribe()
+	stop()
+	streamed := false
+	for _, rec := range hist {
+		if rec.Type == "event" && strings.Contains(rec.Error, "checkpoint skipped") {
+			streamed = true
+			break
+		}
+	}
+	if !streamed {
+		t.Fatal("checkpoint skips not surfaced on the job stream")
+	}
+
+	got, err := os.ReadFile(filepath.Join(j.dir, "result.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantResult) {
+		t.Fatal("result under disk pressure diverged from the clean run")
+	}
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("degraded healthz status = %d, want 200", hr.StatusCode)
+	}
+	var health map[string]string
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "degraded" {
+		t.Fatalf("healthz status = %q, want degraded", health["status"])
+	}
+
+	var st ServerStats
+	sr, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Robustness.CheckpointSkips == 0 {
+		t.Fatal("stats did not surface checkpoint skips")
+	}
+}
+
+// TestShortWriteTearsNothing aims ShortWrite at result.json's write:
+// the commit must fail without a torn destination, the job fails
+// cleanly, and the next submission succeeds.
+func TestShortWriteTearsNothing(t *testing.T) {
+	cfs := crashfs.New(crashfs.Config{At: 2, Kind: crashfs.ShortWrite, Match: "result.json"})
+	restore := safeio.SetFS(cfs)
+	defer restore()
+
+	srv, err := New(Config{DataDir: t.TempDir(), CheckpointEvery: crashCheckpointEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	j, err := srv.Submit(crashSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSettled(t, srv, j.id, 30*time.Second)
+	if st, jerr := jobState(srv, j.id); st != StateFailed {
+		t.Fatalf("job with torn result write settled %s (%s), want failed", st, jerr)
+	}
+	if !cfs.Fired() {
+		t.Fatal("short write never fired")
+	}
+	if _, err := os.Stat(filepath.Join(j.dir, "result.json")); !os.IsNotExist(err) {
+		t.Fatalf("torn result.json visible at destination (stat err %v)", err)
+	}
+
+	j2, err := srv.Submit(crashSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, srv, j2.id, 30*time.Second)
+}
+
+// TestCrashSweepMatchesFixtureSpec sanity-checks the sweep's workload
+// against the fixture the whole harness depends on: the counting pass
+// and the control run enumerate identical traces, so arming point k in
+// the sweep really breaks the k-th point of the same lifecycle.
+func TestCrashSweepMatchesFixtureSpec(t *testing.T) {
+	a := enumerateCrashPoints(t)
+	b := enumerateCrashPoints(t)
+	if len(a) != len(b) {
+		t.Fatalf("lifecycle not deterministic: %d vs %d durability points", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Op != b[i].Op || filepath.Base(a[i].Path) != filepath.Base(b[i].Path) {
+			// Temp names embed random suffixes; compare op + base name.
+			ab, bb := filepath.Base(a[i].Path), filepath.Base(b[i].Path)
+			if trimTempSuffix(ab) != trimTempSuffix(bb) || a[i].Op != b[i].Op {
+				t.Fatalf("point %d differs between runs: %v vs %v", i+1, a[i], b[i])
+			}
+		}
+	}
+}
+
+// trimTempSuffix strips safeio's random temp suffix so two runs'
+// temp-file paths compare equal.
+func trimTempSuffix(name string) string {
+	if i := strings.Index(name, ".tmp-"); i >= 0 {
+		return name[:i]
+	}
+	return name
+}

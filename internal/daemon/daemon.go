@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -43,6 +44,7 @@ const (
 	DefaultExecutors       = 1
 	DefaultNetCacheCap     = 8
 	DefaultCheckpointEvery = 200
+	DefaultGCInterval      = time.Minute
 )
 
 // Config configures a daemon Server. The zero value of every field
@@ -63,6 +65,25 @@ type Config struct {
 	// CheckpointEvery is the tick interval between engine checkpoints
 	// for every job (the restart-recovery granularity).
 	CheckpointEvery int
+	// TTL, when > 0, garbage-collects settled jobs (done, failed,
+	// canceled) once they have been settled at least this long: the
+	// job directory is removed and the job leaves the table. 0 keeps
+	// everything forever.
+	TTL time.Duration
+	// GCInterval is how often the janitor scans for expired jobs and
+	// stuck runs (default one minute). Only meaningful when TTL or
+	// StuckAfter enables the janitor.
+	GCInterval time.Duration
+	// StuckAfter, when > 0, is the watchdog deadline: a running job
+	// whose engine reports no tick progress for this long is cancelled
+	// and marked failed (or re-enqueued, see StuckRequeue). Must
+	// comfortably exceed the scenario's topology construction time,
+	// which ticks no heartbeats. 0 disables the watchdog.
+	StuckAfter time.Duration
+	// StuckRequeue re-enqueues a watchdog-killed job (to resume from
+	// its checkpoints) instead of failing it — for wedges worth one
+	// more try, e.g. an executor stalled by transient I/O.
+	StuckRequeue bool
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if c.GCInterval == 0 {
+		c.GCInterval = DefaultGCInterval
 	}
 	return c
 }
@@ -108,11 +132,21 @@ type Job struct {
 	pointsTotal int
 	pointsDone  int
 	canceled    bool
+	stuck       bool
 	cancel      context.CancelFunc
 	handle      *runner.Handle
+	// settled is when the job reached a terminal state (zero while
+	// queued/running); the TTL garbage collector measures age from it.
+	settled time.Time
 	// lastStats is the current grid point's live replica-batch
 	// progress, refreshed by the sweep's Progress callback.
 	lastStats runner.Stats
+
+	// lastBeat is the watchdog heartbeat: unix-nano of the most recent
+	// engine tick (or lifecycle transition). Atomic because engine
+	// worker goroutines stamp it on the tick path without taking
+	// Server.mu.
+	lastBeat atomic.Int64
 }
 
 // Server is the daemon: scheduler, executors, job table, and shared
@@ -133,8 +167,22 @@ type Server struct {
 	jobs        map[string]*Job
 	queue       jobQueue
 	queuedCount int
-	nextSeq     int
-	closed      bool
+	// queueHighWater is the deepest the queue has been — sizing signal
+	// for QueueCap, surfaced in /stats.
+	queueHighWater int
+	nextSeq        int
+	closed         bool
+
+	// Robustness counters (atomic: bumped from executor, janitor, and
+	// collector goroutines without Server.mu). Surfaced in /stats and
+	// /healthz.
+	quarantined      atomic.Int64 // artifacts moved to quarantine/ by the startup scrub
+	tempCleaned      atomic.Int64 // stale safeio temp files removed by the scrub
+	gcRemoved        atomic.Int64 // settled job dirs removed by the TTL janitor
+	checkpointSkips  atomic.Int64 // checkpoints shed under disk pressure (ErrNoSpace)
+	persistErrors    atomic.Int64 // job.json commits that failed (daemon kept going)
+	watchdogStuck    atomic.Int64 // running jobs the watchdog killed
+	watchdogRequeues atomic.Int64 // of those, how many were re-enqueued
 }
 
 // New builds a Server over cfg.DataDir, reloading any persisted jobs
@@ -162,6 +210,15 @@ func New(cfg Config) (*Server, error) {
 		nextSeq: 1,
 	}
 	s.mux = s.newMux()
+	// Scrub before the rescan: stale temp files go away, and corrupt or
+	// half-created artifacts (a crash between mkdir and the first
+	// commit, a truncated job.json, a damaged checkpoint) move to
+	// quarantine/ so the rescan sees only loadable state. A scrub
+	// failure is fatal only if the data dir itself is unusable.
+	if err := s.scrub(); err != nil {
+		cancel()
+		return nil, err
+	}
 	s.mu.Lock()
 	err := s.loadJobs()
 	s.mu.Unlock()
@@ -169,9 +226,14 @@ func New(cfg Config) (*Server, error) {
 		cancel()
 		return nil, err
 	}
+	s.gcExpired(time.Now())
 	for i := 0; i < cfg.Executors; i++ {
 		s.wg.Add(1)
 		go s.executor()
+	}
+	if cfg.TTL > 0 || cfg.StuckAfter > 0 {
+		s.wg.Add(1)
+		go s.janitor()
 	}
 	return s, nil
 }
@@ -260,6 +322,7 @@ func (s *Server) Cancel(id string) error {
 		j.state = StateCanceled
 		j.err = "canceled before start"
 		j.canceled = true
+		j.settled = time.Now()
 		s.queuedCount-- // stays in the heap; the executor skips it
 		s.persistLocked(j)
 		j.broker.close(StreamRecord{Type: "job", State: StateCanceled, Error: j.err})
@@ -337,6 +400,10 @@ func (s *Server) runJob(j *Job) {
 	s.mu.Lock()
 	j.cancel = cancel
 	s.mu.Unlock()
+	// Arm the watchdog heartbeat at the start: a job must not count as
+	// stuck before its first tick just because topology construction
+	// takes a while.
+	j.lastBeat.Store(time.Now().UnixNano())
 	j.broker.publish(StreamRecord{Type: "job", State: StateRunning})
 
 	h := s.pool.Start(jctx, 1, func(ctx context.Context, _ int) (runner.Report, error) {
@@ -353,11 +420,13 @@ func (s *Server) runJob(j *Job) {
 	switch {
 	case err == nil:
 		j.state = StateDone
+		j.settled = time.Now()
 		s.persistLocked(j)
 		j.broker.close(StreamRecord{Type: "job", State: StateDone})
 	case j.canceled:
 		j.state = StateCanceled
 		j.err = "canceled"
+		j.settled = time.Now()
 		s.persistLocked(j)
 		j.broker.close(StreamRecord{Type: "job", State: StateCanceled, Error: j.err})
 	case s.ctx.Err() != nil:
@@ -366,9 +435,28 @@ func (s *Server) runJob(j *Job) {
 		// checkpoints. Close the broker so live streams end now.
 		j.state = StateInterrupted
 		j.broker.close(StreamRecord{Type: "job", State: StateInterrupted})
+	case j.stuck && s.cfg.StuckRequeue:
+		// Watchdog kill, re-enqueue policy: back on the queue to
+		// resume from checkpoints, like a restart would.
+		j.stuck = false
+		j.state = StateQueued
+		j.pointsDone = 0
+		j.lastStats = runner.Stats{}
+		s.watchdogRequeues.Add(1)
+		s.persistLocked(j)
+		j.broker.publish(StreamRecord{Type: "job", State: StateQueued,
+			Error: fmt.Sprintf("watchdog: no tick progress within %v; re-enqueued", s.cfg.StuckAfter)})
+		s.pushLocked(j)
+	case j.stuck:
+		j.state = StateFailed
+		j.err = fmt.Sprintf("watchdog: no tick progress within %v", s.cfg.StuckAfter)
+		j.settled = time.Now()
+		s.persistLocked(j)
+		j.broker.close(StreamRecord{Type: "job", State: StateFailed, Error: j.err})
 	default:
 		j.state = StateFailed
 		j.err = err.Error()
+		j.settled = time.Now()
 		s.persistLocked(j)
 		j.broker.close(StreamRecord{Type: "job", State: StateFailed, Error: j.err})
 	}
@@ -389,8 +477,23 @@ func (s *Server) execute(ctx context.Context, j *Job) (runner.Report, error) {
 		c.Options.Checkpoint = dir
 		c.Options.Resume = dir
 		c.Options.CheckpointEvery = s.cfg.CheckpointEvery
+		// Degrade under disk pressure instead of failing the replica: a
+		// full disk costs recovery granularity (the next restart replays
+		// from an older checkpoint), not the job. Any other write error
+		// still aborts — it means durable state can't be trusted.
+		c.Options.OnCheckpointError = func(run int, err error) error {
+			if errors.Is(err, safeio.ErrNoSpace) {
+				s.checkpointSkips.Add(1)
+				j.broker.publish(StreamRecord{
+					Type: "event", Point: point, Run: run,
+					Error: "checkpoint skipped: " + err.Error(),
+				})
+				return nil
+			}
+			return err
+		}
 		c.Options.Collectors = func(run int) obs.Collector {
-			return &streamCollector{b: j.broker, point: point, run: run}
+			return &streamCollector{b: j.broker, job: j, point: point, run: run}
 		}
 		c.Options.Progress = func(st runner.Stats) {
 			s.mu.Lock()
@@ -464,6 +567,9 @@ func (q *jobQueue) Pop() any {
 func (s *Server) pushLocked(j *Job) {
 	heap.Push(&s.queue, j)
 	s.queuedCount++
+	if s.queuedCount > s.queueHighWater {
+		s.queueHighWater = s.queuedCount
+	}
 	s.wakeUp()
 }
 

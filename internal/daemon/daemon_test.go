@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -260,8 +261,24 @@ func TestDaemonBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-capacity submit: status %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Fatal("429 without Retry-After")
+	} else if n, err := strconv.Atoi(ra); err != nil || n < 1 || n > 4 {
+		t.Fatalf("Retry-After = %q, want a jittered 1..4 seconds", ra)
+	}
+
+	// The rejected burst is visible in the sizing stats.
+	sr, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var st ServerStats
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.QueueHighWater < 1 {
+		t.Fatalf("queue_high_water = %d, want >= 1", st.QueueHighWater)
 	}
 
 	// Cancel the queued job: settles immediately, frees the queue slot.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -38,11 +39,31 @@ type JobView struct {
 
 // ServerStats is the /stats payload.
 type ServerStats struct {
-	Jobs      map[string]int     `json:"jobs"`
-	Queued    int                `json:"queued"`
-	Executors int                `json:"executors"`
-	QueueCap  int                `json:"queue_cap"`
-	NetCache  spec.NetCacheStats `json:"net_cache"`
+	Jobs      map[string]int `json:"jobs"`
+	Queued    int            `json:"queued"`
+	Executors int            `json:"executors"`
+	QueueCap  int            `json:"queue_cap"`
+	// QueueHighWater is the deepest the queue has been since startup —
+	// the sizing signal for QueueCap.
+	QueueHighWater int `json:"queue_high_water"`
+	// StreamDrops counts subscribers disconnected for falling behind a
+	// job's progress stream (summed over the jobs still in the table).
+	StreamDrops int64              `json:"stream_drops"`
+	NetCache    spec.NetCacheStats `json:"net_cache"`
+	Robustness  RobustnessStats    `json:"robustness"`
+}
+
+// RobustnessStats are the self-healing counters: what the scrubber,
+// janitor, and watchdog have done since startup, and how the daemon has
+// degraded under disk pressure.
+type RobustnessStats struct {
+	Quarantined      int64 `json:"quarantined"`
+	TempCleaned      int64 `json:"temp_cleaned"`
+	GCRemoved        int64 `json:"gc_removed"`
+	CheckpointSkips  int64 `json:"checkpoint_skips"`
+	PersistErrors    int64 `json:"persist_errors"`
+	WatchdogStuck    int64 `json:"watchdog_stuck"`
+	WatchdogRequeues int64 `json:"watchdog_requeues"`
 }
 
 // Handler returns the daemon's HTTP API:
@@ -66,11 +87,29 @@ func (s *Server) newMux() *http.ServeMux {
 	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz is the liveness/readiness probe. "ok" is healthy;
+// "degraded" means the daemon is serving but has quarantined artifacts,
+// shed checkpoints, or failed persists worth an operator's look (still
+// 200 — degraded is an alert, not an outage); "draining" (503) means
+// Close has begun and new submissions are being rejected.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+	status, code := "ok", http.StatusOK
+	degraded := s.quarantined.Load() > 0 || s.checkpointSkips.Load() > 0 ||
+		s.persistErrors.Load() > 0 || s.watchdogStuck.Load() > 0
+	if degraded {
+		status = "degraded"
+	}
+	if draining {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": status})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -96,7 +135,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.Submit(body, priority)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// Jittered so a herd of 429'd clients doesn't retry in lockstep
+		// and slam the queue again on the same second.
+		w.Header().Set("Retry-After", strconv.Itoa(1+rand.IntN(4)))
 		httpError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrClosed):
@@ -248,16 +289,27 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	st := ServerStats{
-		Jobs:      make(map[string]int),
-		Queued:    s.queuedCount,
-		Executors: s.cfg.Executors,
-		QueueCap:  s.cfg.QueueCap,
+		Jobs:           make(map[string]int),
+		Queued:         s.queuedCount,
+		Executors:      s.cfg.Executors,
+		QueueCap:       s.cfg.QueueCap,
+		QueueHighWater: s.queueHighWater,
 	}
 	for _, j := range s.jobs {
 		st.Jobs[j.state]++
+		st.StreamDrops += j.broker.dropped()
 	}
 	s.mu.Unlock()
 	st.NetCache = s.cache.Stats()
+	st.Robustness = RobustnessStats{
+		Quarantined:      s.quarantined.Load(),
+		TempCleaned:      s.tempCleaned.Load(),
+		GCRemoved:        s.gcRemoved.Load(),
+		CheckpointSkips:  s.checkpointSkips.Load(),
+		PersistErrors:    s.persistErrors.Load(),
+		WatchdogStuck:    s.watchdogStuck.Load(),
+		WatchdogRequeues: s.watchdogRequeues.Load(),
+	}
 	writeJSON(w, http.StatusOK, st)
 }
 

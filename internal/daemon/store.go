@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"repro/internal/safeio"
 	"repro/internal/spec"
@@ -27,6 +28,11 @@ type jobRecord struct {
 	PointsTotal int    `json:"points_total"`
 	PointsDone  int    `json:"points_done"`
 	Submitted   string `json:"submitted,omitempty"`
+	// Settled is when the job reached a terminal state (RFC3339;
+	// omitted while queued/running) — the TTL garbage collector's
+	// clock. Additive: records written before this field existed load
+	// fine and fall back to job.json's mtime.
+	Settled string `json:"settled,omitempty"`
 }
 
 // persistLocked writes the job's current state to its job.json. Called
@@ -45,12 +51,16 @@ func (s *Server) persistLocked(j *Job) {
 		PointsDone:  j.pointsDone,
 		Submitted:   j.submitted,
 	}
+	if !j.settled.IsZero() {
+		rec.Settled = j.settled.UTC().Format(time.RFC3339)
+	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err == nil {
 		data = append(data, '\n')
 		err = safeio.WriteFile(filepath.Join(j.dir, "job.json"), data, 0o644)
 	}
 	if err != nil {
+		s.persistErrors.Add(1)
 		fmt.Fprintf(os.Stderr, "wormsimd: persist %s: %v\n", j.id, err)
 	}
 }
@@ -129,7 +139,7 @@ func loadJob(dir string) (*Job, jobRecord, error) {
 	if err != nil {
 		return nil, rec, fmt.Errorf("spec.json: %w", err)
 	}
-	return &Job{
+	j := &Job{
 		id:          rec.ID,
 		seq:         seq,
 		name:        rec.Name,
@@ -142,7 +152,19 @@ func loadJob(dir string) (*Job, jobRecord, error) {
 		err:         rec.Error,
 		pointsTotal: len(points),
 		pointsDone:  rec.PointsDone,
-	}, rec, nil
+	}
+	switch rec.State {
+	case StateDone, StateFailed, StateCanceled:
+		if t, err := time.Parse(time.RFC3339, rec.Settled); err == nil {
+			j.settled = t
+		} else if fi, err := os.Stat(filepath.Join(dir, "job.json")); err == nil {
+			// Terminal record predating the Settled field: its job.json
+			// was last written at settlement, so the mtime is the
+			// settlement time.
+			j.settled = fi.ModTime()
+		}
+	}
+	return j, rec, nil
 }
 
 // resultDoc is the payload of result.json: the job's complete outcome,

@@ -8,6 +8,14 @@
 // content (or nothing) survives intact. After the rename the parent
 // directory is fsynced too, so the renamed entry itself is durable — a
 // power cut shortly after Commit cannot lose the file.
+//
+// Every filesystem operation on the commit path goes through the FS
+// interface (SetFS), so a test harness can enumerate the durability
+// points — temp create, write, file fsync, chmod, rename, parent-dir
+// fsync — and inject a failure at any one of them (internal/crashfs).
+// Failures caused by a full filesystem are classified with ErrNoSpace,
+// letting callers degrade (skip a checkpoint, shed an artifact) instead
+// of treating disk pressure like corruption.
 package safeio
 
 import (
@@ -24,6 +32,71 @@ import (
 // user or a post-mortem tool can read, unlike os.CreateTemp's 0600.
 const DefaultPerm os.FileMode = 0o644
 
+// ErrNoSpace classifies a commit failure caused by a full filesystem
+// (ENOSPC or a quota limit). Callers that can shed the write — a
+// periodic checkpoint, a best-effort artifact — match it with errors.Is
+// and degrade instead of failing the whole job; every other commit
+// error still means the write is lost for an unknown reason.
+var ErrNoSpace = errors.New("safeio: no space on device")
+
+// FS is the filesystem surface the atomic-commit path runs on. The
+// package default is the real OS; SetFS swaps in an instrumented or
+// fault-injecting implementation (internal/crashfs) so tests can
+// enumerate and break every durability point deterministically.
+type FS interface {
+	// CreateTemp creates the hidden temp file the write streams into
+	// (durability point 1).
+	CreateTemp(dir, pattern string) (FileHandle, error)
+	// Rename moves the synced temp file over the destination
+	// (durability point 5).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a temp file on the abort path (not a durability
+	// point: nothing committed depends on it).
+	Remove(name string) error
+	// SyncDir fsyncs the destination's parent directory after the
+	// rename (durability point 6).
+	SyncDir(dir string) error
+}
+
+// FileHandle is the open temp file an FS hands back: the write
+// (durability point 2), fsync (3), and chmod (4) steps run on it.
+type FileHandle interface {
+	io.Writer
+	Sync() error
+	Chmod(mode os.FileMode) error
+	Close() error
+	Name() string
+}
+
+// fsys is the active filesystem. Package-level because safeio's callers
+// (sim.WriteSnapshot, the daemon store, the CLIs) construct writes from
+// many layers that never see each other — a single injection point is
+// what lets one test harness break all of them at once.
+var fsys FS = osFS{}
+
+// SetFS swaps the package filesystem and returns a restore func. Only
+// test harnesses call this; it is not safe to swap while commits are in
+// flight on the old FS.
+func SetFS(fs FS) (restore func()) {
+	old := fsys
+	fsys = fs
+	return func() { fsys = old }
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (FileHandle, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) SyncDir(dir string) error             { return fsyncDir(dir) }
+
 // File is an atomically-committed file. Writes go to a hidden temp file
 // next to the destination; Commit fsyncs, closes, and renames it into
 // place, then fsyncs the parent directory. Close before Commit aborts
@@ -31,7 +104,8 @@ const DefaultPerm os.FileMode = 0o644
 // content untouched. After Commit, Close is a no-op, so
 // `defer f.Close()` is always safe.
 type File struct {
-	tmp       *os.File
+	fs        FS
+	tmp       FileHandle
 	path      string
 	perm      os.FileMode
 	committed bool
@@ -55,15 +129,22 @@ func CreateMode(path string, perm os.FileMode) (*File, error) {
 	if dir == "" {
 		dir = "."
 	}
-	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	fs := fsys
+	tmp, err := fs.CreateTemp(dir, "."+base+".tmp-*")
 	if err != nil {
-		return nil, fmt.Errorf("safeio: create temp for %s: %w", path, err)
+		return nil, fmt.Errorf("safeio: create temp for %s: %w", path, classify(err))
 	}
-	return &File{tmp: tmp, path: path, perm: perm}, nil
+	return &File{fs: fs, tmp: tmp, path: path, perm: perm}, nil
 }
 
 // Write implements io.Writer, appending to the temp file.
-func (f *File) Write(p []byte) (int, error) { return f.tmp.Write(p) }
+func (f *File) Write(p []byte) (int, error) {
+	n, err := f.tmp.Write(p)
+	if err != nil {
+		err = fmt.Errorf("safeio: write %s: %w", f.path, classify(err))
+	}
+	return n, err
+}
 
 // Commit makes the written content durable and visible at the target
 // path: fsync the temp file, apply the destination mode, close, rename
@@ -81,27 +162,37 @@ func (f *File) Commit() error {
 	}
 	if err := f.tmp.Sync(); err != nil {
 		f.abort()
-		return fmt.Errorf("safeio: sync %s: %w", f.path, err)
+		return fmt.Errorf("safeio: sync %s: %w", f.path, classify(err))
 	}
 	if err := f.tmp.Chmod(f.perm); err != nil {
 		f.abort()
-		return fmt.Errorf("safeio: chmod %s: %w", f.path, err)
+		return fmt.Errorf("safeio: chmod %s: %w", f.path, classify(err))
 	}
 	if err := f.tmp.Close(); err != nil {
 		f.closed = true
-		os.Remove(f.tmp.Name())
-		return fmt.Errorf("safeio: close %s: %w", f.path, err)
+		f.fs.Remove(f.tmp.Name())
+		return fmt.Errorf("safeio: close %s: %w", f.path, classify(err))
 	}
 	f.closed = true
-	if err := os.Rename(f.tmp.Name(), f.path); err != nil {
-		os.Remove(f.tmp.Name())
-		return fmt.Errorf("safeio: rename %s: %w", f.path, err)
+	if err := f.fs.Rename(f.tmp.Name(), f.path); err != nil {
+		f.fs.Remove(f.tmp.Name())
+		return fmt.Errorf("safeio: rename %s: %w", f.path, classify(err))
 	}
 	f.committed = true
-	if err := fsyncDir(filepath.Dir(f.path)); err != nil {
-		return fmt.Errorf("safeio: sync dir for %s: %w", f.path, err)
+	if err := f.fs.SyncDir(filepath.Dir(f.path)); err != nil {
+		return fmt.Errorf("safeio: sync dir for %s: %w", f.path, classify(err))
 	}
 	return nil
+}
+
+// classify tags recognizable operational failures with a sentinel the
+// caller can match: a full disk (or exhausted quota) becomes
+// ErrNoSpace. The original error stays in the chain.
+func classify(err error) error {
+	if errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT) {
+		return fmt.Errorf("%w: %w", ErrNoSpace, err)
+	}
+	return err
 }
 
 // fsyncDir makes a directory's entries durable after a rename. It is a
@@ -142,7 +233,7 @@ func (f *File) Close() error {
 // abort closes and removes the temp file.
 func (f *File) abort() {
 	f.tmp.Close()
-	os.Remove(f.tmp.Name())
+	f.fs.Remove(f.tmp.Name())
 	f.closed = true
 }
 
@@ -160,7 +251,23 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 	}
 	defer f.Close()
 	if _, err := f.Write(data); err != nil {
-		return fmt.Errorf("safeio: write %s: %w", path, err)
+		return err
 	}
 	return f.Commit()
+}
+
+// IsTempName reports whether a directory entry is one of safeio's
+// in-flight temp files (".<base>.tmp-<rand>"). Scanners and startup
+// scrubbers use it to recognize — and clean up — debris a crash left
+// behind mid-commit.
+func IsTempName(name string) bool {
+	if len(name) == 0 || name[0] != '.' {
+		return false
+	}
+	for i := 1; i+5 <= len(name); i++ {
+		if name[i:i+5] == ".tmp-" {
+			return true
+		}
+	}
+	return false
 }

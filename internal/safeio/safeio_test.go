@@ -1,9 +1,11 @@
 package safeio
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -185,6 +187,135 @@ func TestWriteFileAppliesCallerMode(t *testing.T) {
 		}
 		if got := info.Mode().Perm(); got != perm {
 			t.Fatalf("mode = %o, want %o", got, perm)
+		}
+	}
+}
+
+// enospcFS fails a chosen operation with ENOSPC and passes everything
+// else to the real filesystem — the minimal FS stub for the
+// classification tests (the full injection harness is internal/crashfs).
+type enospcFS struct {
+	inner  FS
+	failOp string // "create", "write", "sync", "rename", "syncdir"
+}
+
+func (e *enospcFS) CreateTemp(dir, pattern string) (FileHandle, error) {
+	if e.failOp == "create" {
+		return nil, syscall.ENOSPC
+	}
+	h, err := e.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &enospcHandle{FileHandle: h, fs: e}, nil
+}
+func (e *enospcFS) Rename(o, n string) error {
+	if e.failOp == "rename" {
+		return syscall.ENOSPC
+	}
+	return e.inner.Rename(o, n)
+}
+func (e *enospcFS) Remove(name string) error { return e.inner.Remove(name) }
+func (e *enospcFS) SyncDir(dir string) error {
+	if e.failOp == "syncdir" {
+		return syscall.ENOSPC
+	}
+	return e.inner.SyncDir(dir)
+}
+
+type enospcHandle struct {
+	FileHandle
+	fs *enospcFS
+}
+
+func (h *enospcHandle) Write(p []byte) (int, error) {
+	if h.fs.failOp == "write" {
+		return 0, syscall.ENOSPC
+	}
+	return h.FileHandle.Write(p)
+}
+func (h *enospcHandle) Sync() error {
+	if h.fs.failOp == "sync" {
+		return syscall.ENOSPC
+	}
+	return h.FileHandle.Sync()
+}
+
+// TestClassifyNoSpace pins the error classification: a full-disk
+// failure at any durability point surfaces as ErrNoSpace (with the
+// original errno still in the chain), so callers can shed the write
+// instead of treating disk pressure as corruption.
+func TestClassifyNoSpace(t *testing.T) {
+	dir := t.TempDir()
+	for _, op := range []string{"create", "write", "sync", "rename", "syncdir"} {
+		restore := SetFS(&enospcFS{inner: osFS{}, failOp: op})
+		err := WriteFile(filepath.Join(dir, "out-"+op), []byte("x"), 0o644)
+		restore()
+		if err == nil {
+			t.Fatalf("op %s: injected ENOSPC but WriteFile succeeded", op)
+		}
+		if !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("op %s: error %v does not match ErrNoSpace", op, err)
+		}
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("op %s: error %v lost the underlying errno", op, err)
+		}
+	}
+	// A destination with prior content keeps it across a failed commit.
+	path := filepath.Join(dir, "kept")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	restore := SetFS(&enospcFS{inner: osFS{}, failOp: "sync"})
+	if err := WriteFile(path, []byte("new"), 0o644); !errors.Is(err, ErrNoSpace) {
+		restore()
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	restore()
+	if got, _ := os.ReadFile(path); string(got) != "old" {
+		t.Fatalf("failed commit clobbered destination: %q", got)
+	}
+}
+
+// TestSetFSRestores: the restore func returned by SetFS reinstates the
+// previous filesystem, and commits made under the stub never ran on the
+// real one.
+func TestSetFSRestores(t *testing.T) {
+	restore := SetFS(&enospcFS{inner: osFS{}, failOp: "create"})
+	if _, err := Create(filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Fatal("stub FS not active after SetFS")
+	}
+	restore()
+	path := filepath.Join(t.TempDir(), "y")
+	if err := WriteFile(path, []byte("ok"), 0o644); err != nil {
+		t.Fatalf("real FS not restored: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "ok" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+// TestIsTempName pins the temp-file naming contract scrubbers depend
+// on: exactly the ".<base>.tmp-<rand>" pattern CreateMode uses.
+func TestIsTempName(t *testing.T) {
+	f, err := Create(filepath.Join(t.TempDir(), "job.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if name := filepath.Base(f.tmp.Name()); !IsTempName(name) {
+		t.Fatalf("IsTempName(%q) = false for a live temp file", name)
+	}
+	for name, want := range map[string]bool{
+		".job.json.tmp-123":       true,
+		".replica-000.ckpt.tmp-9": true,
+		"job.json":                false,
+		".hidden":                 false,
+		"x.tmp-1":                 false, // no leading dot: not ours
+		".tmp-1":                  false, // no base name
+	} {
+		if got := IsTempName(name); got != want {
+			t.Errorf("IsTempName(%q) = %v, want %v", name, got, want)
 		}
 	}
 }

@@ -108,6 +108,70 @@ func TestMultiRunAllReplicasFailed(t *testing.T) {
 	}
 }
 
+// cancelAtCollector cancels a context from inside the engine loop at a
+// chosen tick — a deterministic stand-in for a daemon drain or replica
+// timeout landing mid-run.
+type cancelAtCollector struct {
+	at     int
+	cancel context.CancelFunc
+}
+
+func (c cancelAtCollector) Tick(m obs.TickMetrics) {
+	if m.Tick == c.at {
+		c.cancel()
+	}
+}
+func (c cancelAtCollector) Event(obs.Event) {}
+
+// TestCancelWritesFinalCheckpoint pins the drain contract: a cancelled
+// run leaves a best-effort checkpoint at the exact tick boundary it
+// stopped on — not just the last CheckpointEvery multiple — so a
+// drained daemon resumes with zero re-simulated ticks. The resumed run
+// still finishes identical to an uninterrupted one.
+func TestCancelWritesFinalCheckpoint(t *testing.T) {
+	cfg := goldenScenarios(t)["star-open"]
+	path := filepath.Join(t.TempDir(), "replica-000.ckpt")
+
+	clean, _, err := MultiRunStats(context.Background(), cfg, 1, runner.WithJobs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	chaos := cfg
+	chaos.CheckpointEvery = 10
+	chaos.CheckpointFactory = func(run int) func(*Snapshot) error {
+		return func(s *Snapshot) error { return WriteSnapshot(path, s) }
+	}
+	chaos.CollectorFactory = func(run int) obs.Collector {
+		return cancelAtCollector{at: 25, cancel: cancel}
+	}
+	if _, _, err := MultiRunStats(ctx, chaos, 1, runner.WithJobs(1)); err == nil {
+		t.Fatal("cancelled batch returned nil error")
+	}
+	snap, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatalf("no final checkpoint after cancellation: %v", err)
+	}
+	// Cancel fires inside tick 25; the loop notices at the tick-26
+	// boundary and must snapshot there, past the periodic point at 20.
+	if snap.NextTick != 26 {
+		t.Fatalf("final checkpoint at tick %d, want 26 (the cancellation boundary)", snap.NextTick)
+	}
+
+	resumed := cfg
+	resumed.ResumeFactory = func(run int) (*Snapshot, error) { return ReadSnapshot(path) }
+	agg, _, err := MultiRunStats(context.Background(), resumed, 1, runner.WithJobs(1))
+	if err != nil {
+		t.Fatalf("resume from drain checkpoint: %v", err)
+	}
+	if !reflect.DeepEqual(agg.Infected, clean.Infected) ||
+		!reflect.DeepEqual(agg.Backlog, clean.Backlog) {
+		t.Error("run resumed from the drain checkpoint diverged from the uninterrupted run")
+	}
+}
+
 // TestMultiRunRetryResumesFromCheckpoint is the full crash-recovery
 // loop: a replica panics on its first attempt after writing
 // checkpoints; the retry resumes from the replica's last checkpoint

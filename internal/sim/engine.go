@@ -717,6 +717,16 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	var err error
 	for tick := e.nextTick; tick < e.cfg.Ticks; tick++ {
 		if err = ctx.Err(); err != nil {
+			// A cancelled run (shutdown drain, replica timeout) leaves a
+			// final checkpoint at this boundary, best-effort: the resumed
+			// run re-simulates zero ticks instead of up to
+			// CheckpointEvery-1. Results are unaffected either way —
+			// resume from any boundary is byte-identical.
+			if e.cfg.CheckpointEvery > 0 && e.cfg.Checkpoint != nil && e.nextTick > 0 {
+				if snap, serr := e.Snapshot(); serr == nil {
+					e.cfg.Checkpoint(snap) //nolint:errcheck // already aborting
+				}
+			}
 			break
 		}
 		e.tick = tick
