@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet audit chaos fuzz-smoke daemon-smoke crash-smoke bench bench-figures bench-smoke bench-scale bench-compare figures clean
+.PHONY: check build test race vet audit chaos fuzz-smoke daemon-smoke crash-smoke replay-smoke bench bench-figures bench-smoke bench-scale bench-compare figures clean
 
 ## check: the full gate — vet, build, race-enabled tests. The race run
 ## covers the intra-run parallel engine (cross-worker determinism and
@@ -65,6 +65,17 @@ daemon-smoke:
 crash-smoke:
 	$(GO) test -run 'TestCrashPointSweep|TestTransientIOErrSweep|TestCrashSweepMatchesFixtureSpec|TestDaemonShedsCheckpointsUnderDiskPressure|TestShortWriteTearsNothing|TestScrubQuarantinesCorruptArtifacts' -v ./internal/daemon
 	$(GO) test -v ./internal/crashfs ./internal/safeio
+
+## replay-smoke: the trace-replay workload gate — the golden replay
+## fixture (series + collateral counters pinned across Workers=1/2/8
+## and a mid-run checkpoint/resume), the streaming replayer's
+## determinism/Skip/constant-memory guards, the core workload
+## lowering, and the CLI end-to-end: generate a trace, replay it under
+## the invariant audit, and check the collateral counters balance.
+replay-smoke:
+	$(GO) test -run 'TestGoldenReplay|TestReplay|TestRecordReplayer|TestSyntheticReplayer|TestWormFlow' -v ./internal/sim ./internal/trace
+	$(GO) test -run 'TestWorkload|TestMergeRunFlagsWorkload|TestSimulateSynthetic|TestSimulateTraceFile|TestCompileWorkload' -v ./internal/core ./internal/spec
+	$(GO) test -run 'TestRunTraceReplay|TestCollateralShape' -v ./cmd/wormsim ./internal/experiment
 
 ## bench: the per-tick engine microbenchmarks, repeated so the output
 ## feeds benchstat directly (`make bench > new.txt && benchstat old.txt

@@ -18,6 +18,20 @@
 //	wormsim -spec scenario.yaml        # declarative scenario or sweep
 //	wormsim -specfuzz 25 -seed 1       # random valid specs under -check
 //
+//	wormsim -topology enterprise -n 120 -trace-replay synthetic -check
+//	wormsim -trace-replay campus.trace -trace-tick-ms 1000
+//
+// -trace-replay swaps the worm's β-draw scan source for a trace-replay
+// workload: worm scans and benign background flows (normal clients,
+// servers, P2P) stream tick by tick from the trace generator's traffic
+// profile ('synthetic') or a serialized trace file (the tracegen
+// format), competing for the same rate-limiter credits. The counters
+// footer then reports collateral damage — benign contacts a defense
+// falsely throttled. -trace-tick-ms maps trace milliseconds onto
+// engine ticks (default 1000 = one simulated second per tick); a spec
+// file configures the same workload declaratively (its "workload"
+// section, DESIGN.md §17).
+//
 // -spec runs the scenario described by a JSON or YAML spec file
 // (DESIGN.md §13) instead of one assembled from flags; a spec with a
 // grid section becomes a sweep, printing one summary line per grid
@@ -403,6 +417,12 @@ func printSeries(res *sim.Result) {
 		fmt.Printf("# scans=%d throttled=%d generated=%d delivered=%d dropped=%d infections=%d\n",
 			c["scan_attempts"], c["throttled_contacts"], c["packets_generated"],
 			c["packets_delivered"], c["packets_dropped"], c["infections"])
+		if bc := c["benign_contacts"]; bc > 0 {
+			// Trace-replay runs carry benign background flows; the
+			// collateral rate is the fraction a defense falsely throttled.
+			fmt.Printf("# benign=%d benign_throttled=%d collateral=%.4f\n",
+				bc, c["benign_throttled"], float64(c["benign_throttled"])/float64(bc))
+		}
 	}
 }
 

@@ -8,11 +8,15 @@
 //
 // Entry points:
 //
-//   - internal/core      — the Scenario facade (topology × worm × defense)
+//   - internal/core      — the Scenario facade (topology × worm × defense
+//     × workload: -trace-replay drives the engine from flow records)
 //   - internal/model     — the paper's closed-form/ODE models (§3-6)
-//   - internal/sim       — the discrete-event simulator (§5.4)
-//   - internal/trace     — the trace generator + analyzer (§7)
-//   - internal/experiment — per-figure regeneration (Figures 1-10)
+//   - internal/sim       — the discrete-event simulator (§5.4), with a
+//     trace-replay workload seam (§17) beside the β-draw generator
+//   - internal/trace     — the trace generator + analyzer + streaming
+//     replayer (§7)
+//   - internal/experiment — per-figure regeneration (Figures 1-10, the
+//     ablations, and the collateral-damage figure)
 //   - cmd/figures, cmd/wormsim, cmd/wormmodel, cmd/tracegen,
 //     cmd/traceanalyze — command-line tools
 //

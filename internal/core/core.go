@@ -612,6 +612,11 @@ func (s *Scenario) SimulateOptions(ctx context.Context, runs int, o RunOptions) 
 	cfg.StructuralThreshold = o.StructuralThreshold
 	cfg.CollectorFactory = o.Collectors
 	cfg.Check = o.Check
+	if o.Workload != nil {
+		if err := applyWorkload(&cfg, o.Workload); err != nil {
+			return nil, runner.Stats{}, err
+		}
+	}
 	if o.Checkpoint != "" {
 		if err := os.MkdirAll(o.Checkpoint, 0o755); err != nil {
 			return nil, runner.Stats{}, fmt.Errorf("core: checkpoint dir: %w", err)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"flag"
+	"strconv"
 	"time"
 )
 
@@ -25,6 +26,32 @@ func BindRunFlags(fs *flag.FlagSet, o *RunOptions) {
 	fs.IntVar(&o.CheckpointEvery, "checkpoint-every", o.CheckpointEvery, "ticks between checkpoints (0 = default 10)")
 	fs.StringVar(&o.Resume, "resume", o.Resume, "resume replicas from this checkpoint directory (or single .ckpt file when runs=1)")
 	fs.IntVar(&o.StructuralThreshold, "structural-threshold", o.StructuralThreshold, "node count at which routing switches to the structural router (0 = library default, -1 = dense table at every size; results are identical)")
+	fs.Func("trace-replay", "drive scans from a trace-replay workload: a trace file path, or 'synthetic' for the generator's traffic profile (empty = β draws)", func(v string) error {
+		w := ensureWorkload(o)
+		if v == WorkloadSynthetic {
+			w.Kind, w.Path = WorkloadSynthetic, ""
+		} else {
+			w.Kind, w.Path = WorkloadTrace, v
+		}
+		return nil
+	})
+	fs.Func("trace-tick-ms", "trace milliseconds one engine tick spans under -trace-replay (0 = 1000)", func(v string) error {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return err
+		}
+		ensureWorkload(o).TickMS = ms
+		return nil
+	})
+}
+
+// ensureWorkload returns o's workload spec, allocating it on first use
+// so the two -trace-* flags compose in either order.
+func ensureWorkload(o *RunOptions) *WorkloadSpec {
+	if o.Workload == nil {
+		o.Workload = &WorkloadSpec{}
+	}
+	return o.Workload
 }
 
 // runFlagNames lists the flags BindRunFlags registers, in registration
@@ -35,6 +62,7 @@ var runFlagNames = map[string]bool{
 	"keep-going": true, "retries": true, "retry-backoff": true,
 	"replica-timeout": true, "checkpoint": true, "checkpoint-every": true,
 	"resume": true, "structural-threshold": true,
+	"trace-replay": true, "trace-tick-ms": true,
 }
 
 // MergeRunFlags overlays the run flags the user explicitly set on the
@@ -74,6 +102,22 @@ func MergeRunFlags(fs *flag.FlagSet, base, cli RunOptions) RunOptions {
 			out.Resume = cli.Resume
 		case "structural-threshold":
 			out.StructuralThreshold = cli.StructuralThreshold
+		case "trace-replay":
+			// The flag decides the source; everything else (tick
+			// mapping, populations) stays with the spec's workload.
+			w := out.Workload.clone()
+			if w == nil {
+				w = &WorkloadSpec{}
+			}
+			w.Kind, w.Path = cli.Workload.Kind, cli.Workload.Path
+			out.Workload = w
+		case "trace-tick-ms":
+			w := out.Workload.clone()
+			if w == nil {
+				w = &WorkloadSpec{}
+			}
+			w.TickMS = cli.Workload.TickMS
+			out.Workload = w
 		}
 	})
 	return out

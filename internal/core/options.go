@@ -73,6 +73,13 @@ type RunOptions struct {
 	// is the switch point. Results are identical either way; this
 	// trades construction memory against per-hop lookup cost.
 	StructuralThreshold int
+	// Workload, when non-nil, replaces the worm's β-draw scan source
+	// with a trace-replay workload (see WorkloadSpec): worm scans and
+	// benign background flows stream from a synthetic traffic profile
+	// or a trace file, competing for the same rate-limiter credits, and
+	// the run reports collateral damage (benign contacts throttled) via
+	// the obs counters.
+	Workload *WorkloadSpec
 
 	// Progress, when non-nil, observes live runner.Stats after every
 	// finished replica. Not serializable; CLI- or caller-supplied.
@@ -118,6 +125,9 @@ func (o *RunOptions) Validate() error {
 		return fmt.Errorf("core: -checkpoint-every must be >= 0 (0 = default), got %d", o.CheckpointEvery)
 	case o.StructuralThreshold < -1:
 		return fmt.Errorf("core: -structural-threshold must be >= -1 (-1 = dense routing at every size, 0 = default), got %d", o.StructuralThreshold)
+	}
+	if o.Workload != nil {
+		return o.Workload.Validate()
 	}
 	return nil
 }
@@ -258,6 +268,14 @@ func WithResume(path string) RunOption {
 // have been built with the same threshold.
 func WithStructuralThreshold(n int) RunOption {
 	return func(o *RunOptions) { o.StructuralThreshold = n }
+}
+
+// WithWorkload replaces the worm's β-draw scan source with a
+// trace-replay workload (see WorkloadSpec): scans and benign
+// background flows stream from a traffic profile or trace file and
+// compete for the same rate-limiter credits.
+func WithWorkload(w *WorkloadSpec) RunOption {
+	return func(o *RunOptions) { o.Workload = w }
 }
 
 // WithNet runs the batch over prebuilt topology state (see

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Workload kinds.
+const (
+	// WorkloadSynthetic streams the trace generator's four-class traffic
+	// profile (internal/trace.GenConfig) directly, without materializing
+	// a trace file.
+	WorkloadSynthetic = "synthetic"
+	// WorkloadTrace replays a serialized trace file (the tracegen /
+	// trace.WriteTo format).
+	WorkloadTrace = "trace"
+)
+
+// paperClassTotal is the trace generator's paper population (999
+// normal + 17 servers + 33 P2P + 79 infected hosts); the synthetic
+// workload defaults scale this mix down to the scenario's host count.
+const paperClassTotal = trace.PaperNormalClients + trace.PaperServers +
+	trace.PaperP2PClients + trace.PaperInfected
+
+// WorkloadSpec replaces the engine's β-draw scan source with a
+// trace-replay workload: worm scans and benign background flows
+// (normal clients, servers, P2P) stream tick by tick from a trace and
+// compete for the same rate-limiter credits, so a run measures
+// collateral damage — benign traffic a defense falsely throttles —
+// alongside containment. The trace's millisecond timeline maps onto
+// engine ticks via TickMS (tick t covers [t·TickMS, (t+1)·TickMS)).
+//
+// Replay replaces scan generation only: the scenario's worm section
+// still defines Beta for the analytic model and the target strategy
+// required by checkpoint restore, but neither is consulted for scans
+// during replay.
+type WorkloadSpec struct {
+	// Kind selects the source: WorkloadSynthetic or WorkloadTrace.
+	Kind string
+	// Path is the trace file for WorkloadTrace.
+	Path string
+	// TickMS is the trace time one engine tick spans (0 = 1000, one
+	// simulated second per tick).
+	TickMS int64
+	// DurationMS bounds the synthetic stream (0 = the scenario horizon,
+	// Ticks·TickMS).
+	DurationMS int64
+	// Seed drives the synthetic generator (0 = the scenario seed).
+	Seed int64
+	// Normal, Servers, P2P, and Infected are the synthetic class
+	// populations. All zero means the paper's traffic mix scaled down
+	// to the scenario's host count.
+	Normal, Servers, P2P, Infected int
+	// BlasterFraction of the synthetic infected hosts run Blaster; the
+	// rest run Welchia.
+	BlasterFraction float64
+	// WormOnsetMS is when synthetic infected hosts begin scanning.
+	WormOnsetMS int64
+}
+
+// Validate checks the workload spec; error messages name the
+// command-line flags (BindRunFlags).
+func (w *WorkloadSpec) Validate() error {
+	switch w.Kind {
+	case WorkloadSynthetic:
+		if w.Path != "" {
+			return fmt.Errorf("core: -trace-replay synthetic does not take a trace path (got %q)", w.Path)
+		}
+	case WorkloadTrace:
+		if w.Path == "" {
+			return fmt.Errorf("core: -trace-replay with a trace workload needs a trace file path")
+		}
+	case "":
+		return fmt.Errorf("core: workload needs a source; pass -trace-replay synthetic or -trace-replay <trace file>")
+	default:
+		return fmt.Errorf("core: -trace-replay workload kind %q (want %q or a trace file path)", w.Kind, WorkloadSynthetic)
+	}
+	switch {
+	case w.TickMS < 0:
+		return fmt.Errorf("core: -trace-tick-ms must be >= 0 (0 = 1000), got %d", w.TickMS)
+	case w.DurationMS < 0:
+		return fmt.Errorf("core: workload duration_ms must be >= 0, got %d", w.DurationMS)
+	case w.Normal < 0 || w.Servers < 0 || w.P2P < 0 || w.Infected < 0:
+		return fmt.Errorf("core: workload class populations must be >= 0")
+	case w.BlasterFraction < 0 || w.BlasterFraction > 1:
+		return fmt.Errorf("core: workload blaster_fraction %v out of [0,1]", w.BlasterFraction)
+	case w.WormOnsetMS < 0:
+		return fmt.Errorf("core: workload worm_onset_ms must be >= 0, got %d", w.WormOnsetMS)
+	}
+	return nil
+}
+
+// clone returns a copy, so flag merging never mutates a spec-owned
+// workload in place.
+func (w *WorkloadSpec) clone() *WorkloadSpec {
+	if w == nil {
+		return nil
+	}
+	c := *w
+	return &c
+}
+
+// tickMS returns the effective trace milliseconds per tick.
+func (w *WorkloadSpec) tickMS() int64 {
+	if w.TickMS == 0 {
+		return 1000
+	}
+	return w.TickMS
+}
+
+// fileWorkload is a record replayer plus the file it streams, closed by
+// the engine when the run finishes.
+type fileWorkload struct {
+	*trace.Replayer
+	f *os.File
+}
+
+func (w *fileWorkload) Close() error { return w.f.Close() }
+
+// replayHostNodes returns the simulation nodes trace hosts map onto:
+// the topology's host-role nodes in ascending order (every node for
+// unrouted topologies), capped at the trace format's host ceiling.
+func replayHostNodes(cfg *sim.Config) []int {
+	var hosts []int
+	if cfg.Roles != nil {
+		hosts = topology.NodesWithRole(cfg.Roles, topology.RoleHost)
+	} else {
+		hosts = make([]int, cfg.Graph.N())
+		for i := range hosts {
+			hosts[i] = i
+		}
+	}
+	if len(hosts) > 1<<16 {
+		hosts = hosts[:1<<16]
+	}
+	return hosts
+}
+
+// applyWorkload lowers the workload spec onto the simulation config:
+// it builds the host map (trace host i → i-th host-role node), the
+// workload factory, and — when the workload knows who is infected —
+// replaces random seeding with the trace's infected set.
+func applyWorkload(cfg *sim.Config, w *WorkloadSpec) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	tick := w.tickMS()
+	hostNodes := replayHostNodes(cfg)
+	if len(hostNodes) == 0 {
+		return fmt.Errorf("core: trace replay needs host nodes; the topology has none")
+	}
+
+	var (
+		hostMap   []int32
+		wormHosts []int
+		factory   func() (sim.Workload, error)
+	)
+	switch w.Kind {
+	case WorkloadSynthetic:
+		gen := trace.GenConfig{
+			Duration:        w.DurationMS,
+			Seed:            w.Seed,
+			NormalClients:   w.Normal,
+			Servers:         w.Servers,
+			P2PClients:      w.P2P,
+			Infected:        w.Infected,
+			BlasterFraction: w.BlasterFraction,
+			WormOnset:       w.WormOnsetMS,
+		}
+		if gen.Duration == 0 {
+			gen.Duration = int64(cfg.Ticks) * tick
+		}
+		if gen.Seed == 0 {
+			gen.Seed = cfg.Seed
+		}
+		if gen.NormalClients+gen.Servers+gen.P2PClients+gen.Infected == 0 {
+			scalePaperClasses(&gen, len(hostNodes))
+		}
+		if gen.NumHosts() > len(hostNodes) {
+			return fmt.Errorf("core: workload has %d trace hosts but the topology has %d host nodes",
+				gen.NumHosts(), len(hostNodes))
+		}
+		// Build one stream eagerly so bad parameters surface as a config
+		// error, not inside a replica.
+		if _, err := trace.NewSyntheticReplayer(gen, tick); err != nil {
+			return fmt.Errorf("core: workload: %w", err)
+		}
+		hostMap = make([]int32, gen.NumHosts())
+		wormHosts = gen.HostsOfClass(trace.ClassInfected)
+		factory = func() (sim.Workload, error) {
+			return trace.NewSyntheticReplayer(gen, tick)
+		}
+	case WorkloadTrace:
+		var err error
+		wormHosts, err = scanWormHosts(w.Path, len(hostNodes))
+		if err != nil {
+			return err
+		}
+		hostMap = make([]int32, len(hostNodes))
+		path := w.Path
+		factory = func() (sim.Workload, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			rp, err := trace.NewRecordReplayer(f, tick)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			return &fileWorkload{Replayer: rp, f: f}, nil
+		}
+	}
+	for i := range hostMap {
+		hostMap[i] = int32(hostNodes[i])
+	}
+	cfg.Replay = &sim.ReplayConfig{
+		NewWorkload: factory,
+		Hosts:       hostMap,
+		WormHosts:   wormHosts,
+	}
+	if len(wormHosts) > 0 {
+		// The trace decides who is infected; random seeding is off. A
+		// workload with no worm traffic keeps the scenario's random
+		// seeding — a benign-only baseline for false-throttle rates.
+		cfg.InitialInfected = 0
+	}
+	return nil
+}
+
+// scalePaperClasses fills in the default synthetic populations: the
+// paper's 999/17/33/79 mix scaled down to the scenario's host count,
+// with at least one host per class.
+func scalePaperClasses(gen *trace.GenConfig, hosts int) {
+	if hosts < 4 {
+		gen.NormalClients = hosts // too small for four classes: all normal
+		return
+	}
+	scale := func(class int) int {
+		n := hosts * class / paperClassTotal
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	gen.Servers = scale(trace.PaperServers)
+	gen.P2PClients = scale(trace.PaperP2PClients)
+	gen.Infected = scale(trace.PaperInfected)
+	gen.NormalClients = hosts - gen.Servers - gen.P2PClients - gen.Infected
+}
+
+// scanWormHosts streams the trace once at config-build time and
+// returns the ascending set of in-range hosts that emit worm flows
+// (trace.WormFlow) — the trace's infected population, which replaces
+// random seed placement so the simulation agrees with the trace about
+// who scans.
+func scanWormHosts(path string, limit int) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: workload trace: %w", err)
+	}
+	defer f.Close()
+	seen := make(map[int]bool)
+	err = trace.ReadFunc(f, func(rec *trace.Record) error {
+		if h := trace.HostIndex(rec.Src); h >= 0 && h < limit && trace.WormFlow(rec) {
+			seen[h] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: workload trace %s: %w", path, err)
+	}
+	hosts := make([]int, 0, len(seen))
+	for h := range seen {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
+	return hosts, nil
+}

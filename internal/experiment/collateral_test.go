@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCollateralShape: the trace-replay collateral figure must show
+// the containment-vs-collateral tradeoff — stricter limiters contain
+// more and falsely throttle more — with the paper-derived limit
+// slowing the epidemic while sparing most benign traffic (the
+// Section 7 qualitative claim), and the probe window beating the
+// working-set throttle on collateral at its closest containment
+// match.
+func TestCollateralShape(t *testing.T) {
+	res := runFig(t, "collateral", Options{
+		Runs: 2, Quick: true,
+		RunOptions: core.RunOptions{Check: true},
+	})
+	m := res.Metrics
+	if len(res.Figure.Series) != 4 {
+		t.Fatalf("got %d series, want 4", len(res.Figure.Series))
+	}
+	for _, key := range []string{"none", "host", "edge", "edge_tight"} {
+		c, ok := m["collateral_"+key]
+		if !ok {
+			t.Fatalf("no collateral_%s metric: benign contacts never flowed", key)
+		}
+		if c < 0 || c > 1 {
+			t.Errorf("collateral_%s = %v outside [0,1]", key, c)
+		}
+	}
+	if m["collateral_none"] != 0 {
+		t.Errorf("collateral_none = %v: no limiter, nothing to throttle", m["collateral_none"])
+	}
+	// Strictness orders both containment and collateral.
+	if !(m["collateral_host"] > m["collateral_edge_tight"] && m["collateral_edge_tight"] > m["collateral_edge"]) {
+		t.Errorf("collateral not ordered by strictness: host %v, tight %v, derived %v",
+			m["collateral_host"], m["collateral_edge_tight"], m["collateral_edge"])
+	}
+	if !(m["final_host"] < m["final_edge_tight"] && m["final_edge_tight"] < m["final_none"]+0.02) {
+		t.Errorf("containment not ordered by strictness: host %v, tight %v, none %v",
+			m["final_host"], m["final_edge_tight"], m["final_none"])
+	}
+	// Section 7's claim at the derived limit: several-fold slowdown
+	// with most benign traffic untouched.
+	if m["collateral_edge"] > 0.25 {
+		t.Errorf("derived limit throttled %v of benign traffic; should spare most of it",
+			m["collateral_edge"])
+	}
+	if !(m["t50_edge"] >= 3*m["t50_none"]) {
+		t.Errorf("derived limit t50 %v vs undefended %v: expected a several-fold slowdown",
+			m["t50_edge"], m["t50_none"])
+	}
+}

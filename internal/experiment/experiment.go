@@ -253,6 +253,7 @@ func registry() []struct {
 		{"fig10", Fig10},
 		{"tbl-rates", TableRates},
 		{"tbl-claims", TableClaims},
+		{"collateral", Collateral},
 		{"abl-targeting", AblTargeting},
 		{"abl-queue", AblQueueVsDrop},
 		{"abl-weights", AblLinkWeights},

@@ -39,8 +39,8 @@ func TestRunUnknownID(t *testing.T) {
 
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 25 {
-		t.Fatalf("IDs = %d entries, want 25", len(ids))
+	if len(ids) != 26 {
+		t.Fatalf("IDs = %d entries, want 26", len(ids))
 	}
 	seen := make(map[string]bool)
 	for _, id := range ids {
@@ -53,6 +53,7 @@ func TestIDsComplete(t *testing.T) {
 		"fig1a", "fig10", "tbl-rates", "tbl-claims",
 		"abl-targeting", "abl-queue", "abl-weights", "abl-patch",
 		"abl-probe", "abl-topology", "abl-hybrid", "fault-detector",
+		"collateral",
 	} {
 		if !seen[want] {
 			t.Errorf("missing id %q", want)

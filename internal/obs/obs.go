@@ -34,6 +34,15 @@ type TickMetrics struct {
 	// ThrottledContacts counts scan attempts a host contact limiter
 	// blocked this tick (always <= ScanAttempts).
 	ThrottledContacts int `json:"throttled_contacts"`
+	// BenignContacts counts background (normal/server/P2P) connection
+	// attempts measured at the same monitor point as ScanAttempts.
+	// Always zero for synthetic β-scan workloads; trace-replay
+	// workloads fill it from the benign flows of the trace.
+	BenignContacts int `json:"benign_contacts"`
+	// BenignThrottled counts benign contacts a host contact limiter
+	// blocked this tick (always <= BenignContacts) — the per-tick
+	// collateral-damage signal of a rate-limiting defense.
+	BenignThrottled int `json:"benign_throttled"`
 	// PacketsGenerated counts packets injected into the network this
 	// tick: surviving scans plus probe replies and probe-triggered
 	// exploits.
@@ -101,6 +110,8 @@ type Summary struct {
 	// Totals over all observed ticks.
 	ScanAttempts      int64 `json:"scan_attempts"`
 	ThrottledContacts int64 `json:"throttled_contacts"`
+	BenignContacts    int64 `json:"benign_contacts"`
+	BenignThrottled   int64 `json:"benign_throttled"`
 	PacketsGenerated  int64 `json:"packets_generated"`
 	PacketsDelivered  int64 `json:"packets_delivered"`
 	PacketsDropped    int64 `json:"packets_dropped"`
@@ -125,6 +136,8 @@ func (s *Summary) observe(m TickMetrics) {
 	s.Ticks++
 	s.ScanAttempts += int64(m.ScanAttempts)
 	s.ThrottledContacts += int64(m.ThrottledContacts)
+	s.BenignContacts += int64(m.BenignContacts)
+	s.BenignThrottled += int64(m.BenignThrottled)
 	s.PacketsGenerated += int64(m.PacketsGenerated)
 	s.PacketsDelivered += int64(m.PacketsDelivered)
 	s.PacketsDropped += int64(m.PacketsDropped)
@@ -153,6 +166,8 @@ func (s Summary) Counters() map[string]int64 {
 		"ticks":              int64(s.Ticks),
 		"scan_attempts":      s.ScanAttempts,
 		"throttled_contacts": s.ThrottledContacts,
+		"benign_contacts":    s.BenignContacts,
+		"benign_throttled":   s.BenignThrottled,
 		"packets_generated":  s.PacketsGenerated,
 		"packets_delivered":  s.PacketsDelivered,
 		"packets_dropped":    s.PacketsDropped,

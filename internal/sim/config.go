@@ -222,6 +222,14 @@ type Config struct {
 	// rather than an always-on deployment.
 	Quarantine *Quarantine
 
+	// Replay, when non-nil, drives the generate phase from a trace-replay
+	// workload (see replay.go): worm scans and benign background flows
+	// come from the configured Workload stream instead of β draws,
+	// competing for the same host rate-limiter credits. Beta, Strategy,
+	// ScansPerTick, and ProbeFirst are ignored on a replay run (Strategy
+	// must still be set — restored engines rebuild pickers through it).
+	Replay *ReplayConfig
+
 	// Faults, when non-nil, injects domain faults into the defense: an
 	// imperfect detector (false alarms, misses), limiter outage windows,
 	// and lost or delayed immunization. The injector draws from its own
@@ -321,7 +329,19 @@ func (c *Config) Validate() error {
 	if c.Beta < 0 || c.Beta > 1 {
 		return fmt.Errorf("sim: beta %v out of [0,1]", c.Beta)
 	}
-	if c.InitialInfected < 1 || c.InitialInfected > c.Graph.N() {
+	if c.Replay != nil {
+		if err := c.Replay.validate(c.Graph.N()); err != nil {
+			return err
+		}
+	}
+	if c.Replay != nil && len(c.Replay.WormHosts) > 0 {
+		// The trace's infected class seeds the run; random placement
+		// would double-seed.
+		if c.InitialInfected != 0 {
+			return fmt.Errorf("sim: replay worm hosts replace random seeding; set InitialInfected to 0, got %d",
+				c.InitialInfected)
+		}
+	} else if c.InitialInfected < 1 || c.InitialInfected > c.Graph.N() {
 		return fmt.Errorf("sim: initial infected %d out of [1,%d]", c.InitialInfected, c.Graph.N())
 	}
 	if c.Ticks < 1 {

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/bits"
 
 	"repro/internal/fault"
@@ -39,6 +40,10 @@ const (
 	kindProbe
 	// kindReply is the probe response travelling back to the scanner.
 	kindReply
+	// kindBenign is background (normal/server/P2P) traffic injected by a
+	// trace-replay workload: it competes for queues and link budgets but
+	// never infects — delivery is the end of its life.
+	kindBenign
 )
 
 // packet is an in-flight worm packet: src is the scanning host (for
@@ -183,6 +188,22 @@ type Engine struct {
 	activatedTick     int // tick at which the defense engaged (-1 = never)
 	scansThisTick     int
 	throttledThisTick int // contacts a host limiter blocked this tick
+
+	// Trace-replay state (Config.Replay non-nil, see replay.go):
+	// workload is this run's contact stream, replayHosts maps trace host
+	// indices onto nodes, and replayRecords is the stream position —
+	// total contacts consumed — snapshotted so a restore can verify it
+	// resumes over the same trace. workloadErr aborts the run at the
+	// next tick boundary (the tick loop has no error channel inside
+	// generate). benignThisTick / benignThrottledThisTick are the
+	// benign-traffic counterparts of scansThisTick / throttledThisTick:
+	// the per-tick collateral-damage signal.
+	workload                Workload
+	replayHosts             []int32
+	replayRecords           int64
+	workloadErr             error
+	benignThisTick          int
+	benignThrottledThisTick int
 
 	// faults is the domain fault injector (nil when Config.Faults is nil
 	// or inert). It draws from its own RNG, never the engine's, so a
@@ -440,6 +461,11 @@ func newEngine(cfg Config, ns *netState) (*Engine, error) {
 	e.faults = fault.NewInjector(cfg.Faults)
 	e.immunizePending = -1
 	e.collector = cfg.Collector
+	if cfg.Replay != nil {
+		if err := e.buildReplay(); err != nil {
+			return nil, err
+		}
+	}
 	e.tick = -1 // seed infections predate tick 0
 	if err := e.seedInfections(); err != nil {
 		return nil, err
@@ -627,8 +653,13 @@ func (e *Engine) clearQueue(li int) {
 	e.queueBits[li>>6] &^= 1 << (uint(li) & 63)
 }
 
-// seedInfections infects InitialInfected distinct susceptible nodes.
+// seedInfections infects InitialInfected distinct susceptible nodes —
+// or, on a replay run with a declared infected class, exactly the
+// mapped worm hosts (no RNG draw; see seedReplayInfections).
 func (e *Engine) seedInfections() error {
+	if rc := e.cfg.Replay; rc != nil && len(rc.WormHosts) > 0 {
+		return e.seedReplayInfections(rc.WormHosts)
+	}
 	candidates := make([]int32, 0, e.popSize)
 	for u := 0; u < e.n; u++ {
 		if e.stateOf(u) == stateSusceptible {
@@ -714,6 +745,10 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		}
 	}
 	res := e.res
+	if c, ok := e.workload.(io.Closer); ok {
+		// A file-backed workload stream ends with the run.
+		defer c.Close() //nolint:errcheck // read-only stream
+	}
 	var err error
 	for tick := e.nextTick; tick < e.cfg.Ticks; tick++ {
 		if err = ctx.Err(); err != nil {
@@ -741,7 +776,15 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		e.limitsActive = e.defenseActive && !e.limitsDown
 		e.scansThisTick = 0
 		e.throttledThisTick = 0
+		e.benignThisTick = 0
+		e.benignThrottledThisTick = 0
 		e.generate()
+		if e.workloadErr != nil {
+			// The replay stream failed (read error, out-of-order trace):
+			// abort with the partial series, like an audit violation.
+			err = e.workloadErr
+			break
+		}
 		e.rechargeLinks()
 		e.transmit()
 		e.deliver()
@@ -833,6 +876,13 @@ func (e *Engine) updateQuarantine() {
 // RNG consumption, and queueing order are identical for every worker
 // count. Shared-state pickers force a single shard (see infect).
 func (e *Engine) generate() {
+	if e.workload != nil {
+		// Trace-replay run: the workload is the scan source, dispatched
+		// before the sparse shortcut — benign background traffic flows
+		// even with zero infections.
+		e.generateReplay()
+		return
+	}
 	if e.infected == 0 {
 		// Sparse-phase shortcut: no scanners means no draws and no
 		// emissions — byte-identical to sweeping an empty bitset, at
@@ -1210,6 +1260,8 @@ func (e *Engine) deliverAt(pkt packet) {
 		e.latCount++
 	}
 	switch pkt.kind {
+	case kindBenign:
+		// Background traffic: delivery is the end of its life.
 	case kindExploit:
 		e.attemptInfect(int(pkt.dst), int(pkt.src))
 	case kindProbe:
@@ -1396,6 +1448,8 @@ func (e *Engine) observe() {
 		Tick:              e.tick,
 		ScanAttempts:      e.scansThisTick,
 		ThrottledContacts: e.throttledThisTick,
+		BenignContacts:    e.benignThisTick,
+		BenignThrottled:   e.benignThrottledThisTick,
 		PacketsGenerated:  int(e.genCount - e.prevGen),
 		PacketsDelivered:  int(e.delivCount - e.prevDeliv),
 		PacketsDropped:    int(e.dropCount - e.prevDrop),

@@ -32,7 +32,15 @@ import (
 // (RNGIdx/RNGVal replace the dense RNGStates) — and the deferred
 // link-recharge count rides along (RechargeDebt). Version-2 files are
 // rejected.
-const SnapshotVersion = 3
+//
+// Version 4: trace-replay workloads (DESIGN.md §17). The workload
+// stream position rides along (ReplayRecords — restore re-creates the
+// stream from the config and fast-forwards it, cross-checking the
+// skipped contact count), as do the per-tick benign-traffic counters
+// (BenignThisTick/BenignThrottledThisTick), and queued packets may
+// carry a fourth kind (benign background traffic). Version-3 files are
+// rejected.
+const SnapshotVersion = 4
 
 // snapshotFormat identifies checkpoint files regardless of version.
 const snapshotFormat = "wormsim-checkpoint"
@@ -86,6 +94,15 @@ type Snapshot struct {
 	ActivatedTick     int  `json:"activated_tick"`
 	ScansThisTick     int  `json:"scans_this_tick"`
 	ThrottledThisTick int  `json:"throttled_this_tick"`
+
+	// Replay state: the benign-traffic counterparts of the scan
+	// counters, and the workload stream position — the total contacts
+	// consumed before NextTick, which restore verifies against a
+	// re-created stream (resuming over a different trace must fail, not
+	// silently diverge).
+	BenignThisTick          int   `json:"benign_this_tick,omitempty"`
+	BenignThrottledThisTick int   `json:"benign_throttled_this_tick,omitempty"`
+	ReplayRecords           int64 `json:"replay_records,omitempty"`
 
 	GenCount    uint64 `json:"gen_count"`
 	DelivCount  uint64 `json:"deliv_count"`
@@ -238,6 +255,10 @@ func (e *Engine) Snapshot() (*Snapshot, error) {
 		ActivatedTick:     e.activatedTick,
 		ScansThisTick:     e.scansThisTick,
 		ThrottledThisTick: e.throttledThisTick,
+
+		BenignThisTick:          e.benignThisTick,
+		BenignThrottledThisTick: e.benignThrottledThisTick,
+		ReplayRecords:           e.replayRecords,
 
 		GenCount:    e.genCount,
 		DelivCount:  e.delivCount,
@@ -530,7 +551,7 @@ func (e *Engine) restore(s *Snapshot) error {
 			if p.src < 0 || int(p.src) >= e.n || p.dst < 0 || int(p.dst) >= e.n {
 				return fmt.Errorf("%w: link %d carries packet with endpoints %d->%d", ErrSnapshot, li, p.src, p.dst)
 			}
-			if p.kind > kindReply {
+			if p.kind > kindBenign {
 				return fmt.Errorf("%w: link %d carries packet of unknown kind %d", ErrSnapshot, li, p.kind)
 			}
 			q = append(q, p)
@@ -593,6 +614,8 @@ func (e *Engine) restore(s *Snapshot) error {
 	e.activatedTick = s.ActivatedTick
 	e.scansThisTick = s.ScansThisTick
 	e.throttledThisTick = s.ThrottledThisTick
+	e.benignThisTick = s.BenignThisTick
+	e.benignThrottledThisTick = s.BenignThrottledThisTick
 	e.genCount, e.delivCount, e.dropCount = s.GenCount, s.DelivCount, s.DropCount
 	e.prevGen, e.prevDeliv, e.prevDrop = s.PrevGen, s.PrevDeliv, s.PrevDrop
 	e.prevEver, e.prevRemoved = s.PrevEver, s.PrevRemoved
@@ -603,6 +626,25 @@ func (e *Engine) restore(s *Snapshot) error {
 	}
 	if e.faults != nil {
 		e.faults.SetState(s.FaultState)
+	}
+
+	// Replay workload: the fresh engine's stream sits at tick 0;
+	// fast-forward it to the snapshot boundary and verify it yields
+	// exactly the contact count the snapshot consumed — a different
+	// trace (edited file, changed generator profile) fails here instead
+	// of silently diverging from the checkpointed run.
+	if e.workload != nil {
+		skipped, err := e.workload.Skip(s.NextTick)
+		if err != nil {
+			return fmt.Errorf("%w: replay skip to tick %d: %v", ErrSnapshot, s.NextTick, err)
+		}
+		if skipped != s.ReplayRecords {
+			return fmt.Errorf("%w: replay stream yields %d contacts before tick %d, snapshot consumed %d (different trace?)",
+				ErrSnapshot, skipped, s.NextTick, s.ReplayRecords)
+		}
+		e.replayRecords = s.ReplayRecords
+	} else if s.ReplayRecords != 0 {
+		return fmt.Errorf("%w: snapshot of a trace-replay run, but the config has no replay workload", ErrSnapshot)
 	}
 
 	// RNG: reset the lazily-materialized stream table, re-materialize

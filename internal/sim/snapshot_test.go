@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"math/rand"
 	"path/filepath"
 	"reflect"
@@ -193,7 +194,8 @@ func TestSnapshotRejectsVersionSkew(t *testing.T) {
 	// A version-2 checkpoint (dense per-node state bytes, dense RNG
 	// stream array, per-link credit before the rank compaction) must be
 	// rejected with an error that names both versions — there is no
-	// migration path, and misreading it as version 3 would corrupt state.
+	// migration path, and misreading it as a current-version file would
+	// corrupt state.
 	env["version"] = json.RawMessage("2")
 	v2, err := json.Marshal(env)
 	if err != nil {
@@ -203,7 +205,8 @@ func TestSnapshotRejectsVersionSkew(t *testing.T) {
 	if !errors.Is(derr, ErrSnapshot) {
 		t.Fatalf("version-2 decode error = %v, want ErrSnapshot", derr)
 	}
-	if msg := derr.Error(); !strings.Contains(msg, "version 2") || !strings.Contains(msg, "version 3") {
+	if msg := derr.Error(); !strings.Contains(msg, "version 2") ||
+		!strings.Contains(msg, fmt.Sprintf("version %d", SnapshotVersion)) {
 		t.Fatalf("version-2 rejection %q does not name the versions", msg)
 	}
 

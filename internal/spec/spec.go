@@ -70,6 +70,13 @@ type Spec struct {
 	// HostsOnly restricts infection to host-role nodes.
 	HostsOnly bool `json:"hosts_only,omitempty"`
 
+	// Workload replaces the worm's β-draw scan source with a
+	// trace-replay workload (synthetic traffic profile or trace file);
+	// see core.WorkloadSpec. The worm section is still required — it
+	// names the target strategy checkpoint restore rebuilds — but its
+	// scan parameters are not consulted during replay.
+	Workload *Workload `json:"workload,omitempty"`
+
 	Observe *Observe `json:"observe,omitempty"`
 	Run     *Run     `json:"run,omitempty"`
 
@@ -133,6 +140,32 @@ type Defense struct {
 	WorkingSet int   `json:"working_set,omitempty"`
 	Period     int64 `json:"period,omitempty"`
 	Hosts      int   `json:"hosts,omitempty"`
+}
+
+// Workload mirrors core.WorkloadSpec: a trace-replay scan source.
+type Workload struct {
+	// Kind is "synthetic" (the generator's traffic profile) or "trace"
+	// (replay a serialized trace file).
+	Kind string `json:"kind"`
+	// Path is the trace file for kind "trace".
+	Path string `json:"path,omitempty"`
+	// TickMS is the trace milliseconds one engine tick spans (0 = 1000).
+	TickMS int64 `json:"tick_ms,omitempty"`
+	// DurationMS bounds the synthetic stream (0 = the scenario horizon).
+	DurationMS int64 `json:"duration_ms,omitempty"`
+	// Seed drives the synthetic generator (0 = the scenario seed).
+	Seed int64 `json:"seed,omitempty"`
+	// Normal/Servers/P2P/Infected are the synthetic class populations
+	// (all zero = the paper's mix scaled to the topology's host count).
+	Normal   int `json:"normal,omitempty"`
+	Servers  int `json:"servers,omitempty"`
+	P2P      int `json:"p2p,omitempty"`
+	Infected int `json:"infected,omitempty"`
+	// BlasterFraction of synthetic infected hosts run Blaster; the rest
+	// run Welchia.
+	BlasterFraction float64 `json:"blaster_fraction,omitempty"`
+	// WormOnsetMS is when synthetic infected hosts begin scanning.
+	WormOnsetMS int64 `json:"worm_onset_ms,omitempty"`
 }
 
 // Quarantine mirrors core.QuarantineSpec.
@@ -420,6 +453,22 @@ func (s *Spec) Compile() (*Compiled, error) {
 		}
 		if c.Options.ReplicaTimeout, err = parseDuration("run.replica_timeout", r.ReplicaTimeout); err != nil {
 			return nil, err
+		}
+	}
+
+	if s.Workload != nil {
+		c.Options.Workload = &core.WorkloadSpec{
+			Kind:            s.Workload.Kind,
+			Path:            s.Workload.Path,
+			TickMS:          s.Workload.TickMS,
+			DurationMS:      s.Workload.DurationMS,
+			Seed:            s.Workload.Seed,
+			Normal:          s.Workload.Normal,
+			Servers:         s.Workload.Servers,
+			P2P:             s.Workload.P2P,
+			Infected:        s.Workload.Infected,
+			BlasterFraction: s.Workload.BlasterFraction,
+			WormOnsetMS:     s.Workload.WormOnsetMS,
 		}
 	}
 

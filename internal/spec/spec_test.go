@@ -207,6 +207,11 @@ func TestCompileRejects(t *testing.T) {
 			s.Topology = Topology{Kind: "powerlaw", Nodes: 50}
 			s.Defenses = []Defense{{Kind: "throttle", WorkingSet: 0, Period: 1, Hosts: 3}}
 		}, "workingSet"},
+		{"bad workload kind", func(s *Spec) { s.Workload = &Workload{Kind: "replay"} }, "-trace-replay"},
+		{"trace workload needs a path", func(s *Spec) { s.Workload = &Workload{Kind: "trace"} }, "trace file path"},
+		{"bad workload tick", func(s *Spec) {
+			s.Workload = &Workload{Kind: "synthetic", TickMS: -5}
+		}, "-trace-tick-ms"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -220,6 +225,59 @@ func TestCompileRejects(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestCompileWorkload: the workload section lowers onto
+// core.RunOptions.Workload and survives the canonical round trip.
+func TestCompileWorkload(t *testing.T) {
+	doc := `{
+  "format": "wormsim-scenario",
+  "version": 1,
+  "name": "replay",
+  "topology": {
+    "kind": "enterprise",
+    "backbones": 1,
+    "edges_per_backbone": 2,
+    "hosts_per_subnet": 12
+  },
+  "worm": {
+    "kind": "random",
+    "beta": 0.8
+  },
+  "ticks": 40,
+  "workload": {
+    "kind": "synthetic",
+    "tick_ms": 500,
+    "normal": 12,
+    "servers": 2,
+    "p2p": 3,
+    "infected": 3,
+    "blaster_fraction": 0.5
+  }
+}
+`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != doc {
+		t.Errorf("workload spec does not round-trip:\n--- in ---\n%s--- out ---\n%s", doc, out)
+	}
+	c, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := c.Options.Workload
+	if w == nil {
+		t.Fatal("compiled options carry no workload")
+	}
+	if w.Kind != "synthetic" || w.TickMS != 500 || w.Infected != 3 || w.BlasterFraction != 0.5 {
+		t.Errorf("workload lowered to %+v", w)
 	}
 }
 

@@ -3,9 +3,13 @@
 // synthetic generator for the four observed host classes (normal
 // desktop clients, servers, peer-to-peer clients, and Blaster/Welchia-
 // infected machines) calibrated to the published contact-rate
-// percentiles, and an analyzer that measures contact-rate CDFs under
-// the paper's three refinements, classifies hosts, detects the two
-// worms, and derives practical rate limits.
+// percentiles, an analyzer that measures contact-rate CDFs under the
+// paper's three refinements, classifies hosts, detects the two worms,
+// and derives practical rate limits — and a streaming replay adapter
+// (Replayer, NewRecordReplayer, NewSyntheticReplayer) that buckets a
+// record stream into engine ticks so the simulator can be driven by
+// trace traffic instead of β draws, with benign flows competing for
+// the same rate-limiter credits as worm scans (DESIGN.md §17).
 //
 // The real traces (23 days from CMU ECE's edge router, August 15 –
 // September 7, 2003) are not available; the generator synthesizes
